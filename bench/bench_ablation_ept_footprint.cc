@@ -1,0 +1,105 @@
+// Ablation A4 (§5.4): all EPTs fit in one row group per socket.
+//
+// The paper's argument: no page sharing + contiguous static allocation +
+// 2 MiB backing means each last-level EPT page maps ~1 GiB, so a socket's
+// worth of VMs needs at most ~bank_count EPT pages — under the 384 pages of
+// one 1.5 MiB row group. This bench builds real EPTs for a fleet of VMs and
+// counts pages, then contrasts 4 KiB backing to show why the deployment
+// conditions matter.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/units.h"
+#include "src/ept/ept.h"
+#include "src/ept/phys_memory.h"
+#include "src/siloz/hypervisor.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+// Table pages needed to map `bytes` of contiguous memory with `size` pages.
+size_t TablePagesFor(uint64_t bytes, siloz::PageSize size) {
+  using namespace siloz;
+  FlatPhysMemory memory;
+  uint64_t cursor = 1ull << 40;
+  ExtendedPageTable ept(memory, [&]() -> Result<uint64_t> {
+    const uint64_t page = cursor;
+    cursor += kPage4K;
+    return page;
+  });
+  const uint64_t step = PageSizeBytes(size);
+  for (uint64_t gpa = 0; gpa < bytes; gpa += step) {
+    if (!ept.Map(gpa, (1ull << 41) + gpa, size).ok()) {
+      return 0;
+    }
+  }
+  return ept.table_page_count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace siloz;
+  const DramGeometry geometry;
+  bench::PrintHeader("Ablation A4: EPT footprint fits one row group per socket (§5.4)",
+                     geometry);
+  const uint64_t row_group_pages = geometry.row_group_bytes() / kPage4K;
+
+  std::printf("%-34s | %12s | %16s\n", "configuration", "EPT pages", "fits 1 row group?");
+  bench::PrintRule();
+  struct Case {
+    const char* label;
+    uint64_t bytes;
+    PageSize backing;
+  } cases[] = {
+      {"one 160 GiB VM, 2 MiB backing", 160_GiB, PageSize::k2M},
+      {"one 160 GiB VM, 4 KiB backing", 8_GiB, PageSize::k4K},  // sampled, scaled below
+      {"socket full: 189 GiB, 2 MiB", 189_GiB, PageSize::k2M},
+      {"one 1.5 GiB VM, 2 MiB backing", 1536_MiB, PageSize::k2M},
+  };
+  size_t socket_2m_pages = 0;
+  for (const Case& c : cases) {
+    size_t pages = TablePagesFor(c.bytes, c.backing);
+    uint64_t effective_bytes = c.bytes;
+    if (c.backing == PageSize::k4K) {
+      // Building 160 GiB of 4 KiB mappings in-bench is slow; build 8 GiB and
+      // scale linearly (leaf PTs dominate: 1 per 2 MiB).
+      pages = pages * (160_GiB / c.bytes);
+      effective_bytes = 160_GiB;
+    }
+    if (std::string(c.label).find("socket full") != std::string::npos) {
+      socket_2m_pages = pages;
+    }
+    std::printf("%-34s | %12zu | %16s\n", c.label, pages,
+                pages <= row_group_pages ? "yes" : "NO");
+    (void)effective_bytes;
+  }
+  bench::PrintRule();
+  std::printf("Row group capacity: %lu pages (1.5 MiB / 4 KiB).\n",
+              static_cast<unsigned long>(row_group_pages));
+
+  // Cross-check against the real allocator: a booted hypervisor hosting a
+  // fleet never exhausts its per-socket EPT pool.
+  SkylakeDecoder decoder(geometry);
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(decoder, memory, SilozConfig{});
+  if (!hypervisor.Boot().ok()) {
+    return 1;
+  }
+  const size_t pool_before = hypervisor.ept_pool_free(0);
+  uint32_t fleet = 0;
+  while (true) {
+    VmConfig vm{.name = "vm" + std::to_string(fleet), .memory_bytes = 9_GiB, .socket = 0};
+    if (!hypervisor.CreateVm(vm).ok()) {
+      break;
+    }
+    ++fleet;
+  }
+  const size_t pool_used = pool_before - hypervisor.ept_pool_free(0);
+  std::printf("Fleet check: %u x 9 GiB VMs on socket 0 consumed %zu/%zu EPT pool pages.\n",
+              fleet, pool_used, pool_before);
+  const bool ok = socket_2m_pages <= row_group_pages && pool_used < pool_before;
+  std::printf("Result: %s (paper: one row group per socket suffices)\n",
+              ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,205 @@
+// Defense comparison (§3): the software-mitigation landscape the paper
+// surveys, measured head-to-head on the same attack workload.
+//
+//  - SoftTRR-style refresh: protects only designated rows, and only while
+//    the kernel meets a real-time deadline it cannot guarantee.
+//  - Copy-on-Flip: reactive; every detection is an ECC-corrected flip that
+//    already happened (leaky), unmovable pages stay exposed, ECC-escaping
+//    flips are unhandled.
+//  - ZebRAM-style guards: sound but costs g/(g+1) of the protected region.
+//  - Siloz: contains everything at ~0.024% DRAM cost for the EPT block.
+//
+// Attack: double-sided hammering of a 4 KiB target page's rows across every
+// bank (TRR presumed bypassed), same budget for every defense.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/attack/blacksmith.h"
+#include "src/base/units.h"
+#include "src/defenses/copy_on_flip.h"
+#include "src/defenses/soft_trr.h"
+#include "src/defenses/zebram.h"
+#include "src/sim/machine.h"
+#include "src/siloz/hypervisor.h"
+
+namespace {
+
+using namespace siloz;
+
+MachineConfig FaultConfig() {
+  MachineConfig config;
+  config.fault_tracking = true;
+  DimmProfile profile;
+  profile.disturbance.threshold_mean = 2500.0;
+  profile.disturbance.threshold_spread = 0.15;
+  profile.trr.enabled = false;
+  config.dimm_profiles = {profile};
+  return config;
+}
+
+std::vector<uint64_t> NeighbourAggressors(Machine& machine, uint64_t page) {
+  std::vector<uint64_t> aggressors;
+  std::set<std::string> seen;
+  for (uint64_t offset = 0; offset < kPage4K; offset += kCacheLineBytes) {
+    MediaAddress line = *machine.decoder().PhysToMedia(page + offset);
+    line.column = 0;
+    MediaAddress key = line;
+    key.row = 0;
+    if (!seen.insert(key.ToString()).second) {
+      continue;
+    }
+    for (int32_t delta : {-1, 1}) {
+      MediaAddress aggressor = line;
+      aggressor.row = static_cast<uint32_t>(static_cast<int64_t>(line.row) + delta);
+      aggressors.push_back(*machine.decoder().MediaToPhys(aggressor));
+    }
+  }
+  return aggressors;
+}
+
+struct Row {
+  const char* name;
+  const char* scope;
+  double dram_overhead_pct;
+  uint64_t flips_in_protected;
+  uint64_t leak_events;
+  const char* residual_gap;
+};
+
+void Print(const Row& row) {
+  std::printf("%-12s | %-17s | %8.4f%% | %9lu | %6lu | %s\n", row.name, row.scope,
+              row.dram_overhead_pct, static_cast<unsigned long>(row.flips_in_protected),
+              static_cast<unsigned long>(row.leak_events), row.residual_gap);
+}
+
+constexpr uint32_t kRounds = 40000;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Defense comparison (§3): same attack, four mitigations",
+                     DramGeometry{});
+  std::printf("%-12s | %-17s | %9s | %9s | %6s | %s\n", "defense", "protects", "DRAM cost",
+              "prot.flips", "leaks", "residual gap");
+  bench::PrintRule();
+
+  // --- None ---
+  {
+    Machine machine(FaultConfig());
+    const uint64_t page = 10_GiB;
+    machine.phys_memory().WriteU64(page, ~0ull);
+    auto aggressors = NeighbourAggressors(machine, page);
+    HammerPhysAddresses(machine, {aggressors.data(), aggressors.size()}, kRounds);
+    const MediaAddress media = *machine.decoder().PhysToMedia(page);
+    uint64_t flips = 0;
+    for (const PhysFlip& flip : machine.DrainFlips()) {
+      flips += (flip.record.media_row == media.row);
+    }
+    Print({"none", "nothing", 0.0, flips, 0, "everything exposed"});
+  }
+
+  // --- SoftTRR (with the real Linux scheduling behaviour) ---
+  {
+    Machine machine(FaultConfig());
+    const uint64_t page = 10_GiB;
+    SoftTrrConfig config;
+    config.stall_probability = 0.001;  // §8.3: delayed/dropped firings exist
+    SoftTrrDefender defender(machine, {page}, config);
+    auto aggressors = NeighbourAggressors(machine, page);
+    for (uint32_t round = 0; round < kRounds; ++round) {
+      for (uint64_t phys : aggressors) {
+        machine.ActivatePhys(phys);
+      }
+      defender.CatchUp();
+    }
+    const MediaAddress media = *machine.decoder().PhysToMedia(page);
+    uint64_t flips = 0;
+    for (const PhysFlip& flip : machine.DrainFlips()) {
+      flips += (flip.record.media_row == media.row);
+    }
+    char gap[96];
+    std::snprintf(gap, sizeof gap, "max refresh gap %.1f ms; all other rows unprotected",
+                  defender.max_gap_ms());
+    Print({"softtrr", "designated rows", 0.0, flips, 0, gap});
+  }
+
+  // --- Copy-on-Flip ---
+  {
+    Machine machine(FaultConfig());
+    const uint64_t page = 10_GiB;
+    machine.phys_memory().WriteU64(page, ~0ull);
+    CopyOnFlipDefender defender(machine, CopyOnFlipConfig{.movable_fraction = 0.9});
+    auto aggressors = NeighbourAggressors(machine, page);
+    // The defense reacts between bursts.
+    CopyOnFlipDefender::Report total;
+    for (int burst = 0; burst < 4; ++burst) {
+      HammerPhysAddresses(machine, {aggressors.data(), aggressors.size()}, kRounds / 4);
+      const auto report = defender.ProcessPendingFlips();
+      total.corrected_detections += report.corrected_detections;
+      total.flips_on_live_pages += report.flips_on_live_pages;
+      total.unmovable_victim_pages += report.unmovable_victim_pages;
+      total.uncorrectable_words += report.uncorrectable_words;
+      total.silent_corruptions += report.silent_corruptions;
+    }
+    char gap[96];
+    std::snprintf(gap, sizeof gap, "%lu unmovable pages exposed; %lu words beat ECC",
+                  static_cast<unsigned long>(total.unmovable_victim_pages),
+                  static_cast<unsigned long>(total.uncorrectable_words +
+                                             total.silent_corruptions));
+    Print({"copy-on-flip", "movable pages", 0.0, total.flips_on_live_pages,
+           total.corrected_detections, gap});
+  }
+
+  // --- ZebRAM (g=4) protecting a 3 GiB region ---
+  {
+    Machine machine(FaultConfig());
+    const uint64_t row_group = machine.decoder().geometry().row_group_bytes();
+    ZebramRegion zebra(machine.decoder(), PhysRange{0, 2048 * row_group}, 4);
+    const uint64_t aggressors[] = {zebra.safe_extents()[0].begin, zebra.safe_extents()[1].begin};
+    HammerPhysAddresses(machine, aggressors, kRounds);
+    uint64_t flips_in_safe = 0;
+    for (const PhysFlip& flip : machine.DrainFlips()) {
+      flips_in_safe += zebra.IsSafePhys(flip.phys);
+    }
+    Print({"zebram(g=4)", "striped region", zebra.overhead() * 100.0, flips_in_safe, 0,
+           "cost scales with protected size"});
+  }
+
+  // --- Siloz ---
+  {
+    Machine machine(FaultConfig());
+    SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), SilozConfig{});
+    SILOZ_CHECK(hypervisor.Boot().ok());
+    const VmId attacker = *hypervisor.CreateVm({.name = "attacker", .memory_bytes = 1536_MiB});
+    const VmId victim = *hypervisor.CreateVm({.name = "victim", .memory_bytes = 1536_MiB});
+    Vm& attacker_vm = **hypervisor.GetVm(attacker);
+    // Attacker hammers a page of its own memory; everything outside its
+    // groups (victim, host, EPTs) is the protected surface.
+    const uint64_t page = attacker_vm.regions()[0].hpa + 100 * kPage2M;
+    auto aggressors = NeighbourAggressors(machine, page);
+    HammerPhysAddresses(machine, {aggressors.data(), aggressors.size()}, kRounds);
+    uint64_t flips_outside = 0;
+    for (const PhysFlip& flip : machine.DrainFlips()) {
+      bool inside = false;
+      for (uint32_t group : attacker_vm.guest_groups()) {
+        for (const PhysRange& range : hypervisor.group_map().RangesOf(group)) {
+          inside |= range.Contains(flip.phys);
+        }
+      }
+      flips_outside += !inside;
+    }
+    SILOZ_CHECK(hypervisor.AuditVmIsolation(victim).ok());
+    const double overhead = 100.0 *
+                            static_cast<double>(hypervisor.ept_reserved_bytes()) /
+                            static_cast<double>(machine.decoder().geometry().total_bytes());
+    Print({"siloz", "all other domains", overhead, flips_outside, 0,
+           "intra-VM flips out of scope (accepted trade-off)"});
+  }
+  bench::PrintRule();
+  std::printf("'prot.flips' = flips landing in what each defense claims to protect;\n"
+              "'leaks' = ECC-corrected events observable to a RAMBleed-style attacker.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Figure 7 (§7.4): Siloz-1024-normalized throughput when the
+// presumed subarray size is varied to 512 and 2048 rows.
+//
+// Expected shape (paper): within 0.5% with no trend across sizes.
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace siloz;
+  bench::PrintHeader("Figure 7: Siloz-1024-normalized throughput, subarray size sweep",
+                     DramGeometry{});
+  const bool ok = bench::RunFigure(ThroughputWorkloads(),
+                                   {"siloz-1024", bench::SilozKernel(1024)},
+                                   {{"siloz-512", bench::SilozKernel(512)},
+                                    {"siloz-2048", bench::SilozKernel(2048)}},
+                                   5, 42, "fig7_size_tput");
+  return ok ? 0 : 1;
+}

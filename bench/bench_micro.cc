@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the library:
+// address decode, subarray-group lookup, controller timing, disturbance
+// bookkeeping, ECC, buddy allocation, EPT walks. These are the operations
+// that bound simulation throughput (and, for the decode paths, model the
+// cost Siloz pays once at boot).
+#include <benchmark/benchmark.h>
+
+#include "src/addr/decoder.h"
+#include "src/addr/subarray_group.h"
+#include "src/base/rng.h"
+#include "src/dram/device.h"
+#include "src/dram/ecc.h"
+#include "src/ept/ept.h"
+#include "src/ept/phys_memory.h"
+#include "src/hostmem/buddy.h"
+#include "src/memctl/controller.h"
+
+namespace siloz {
+namespace {
+
+const DramGeometry& Geometry() {
+  static const DramGeometry geometry;
+  return geometry;
+}
+
+void BM_SkylakePhysToMedia(benchmark::State& state) {
+  SkylakeDecoder decoder(Geometry());
+  Rng rng(1);
+  uint64_t phys = rng.NextBelow(Geometry().total_bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.PhysToMedia(phys));
+    phys = (phys + 4096) % Geometry().total_bytes();
+  }
+}
+BENCHMARK(BM_SkylakePhysToMedia);
+
+void BM_SkylakeRoundTrip(benchmark::State& state) {
+  SkylakeDecoder decoder(Geometry());
+  uint64_t phys = 12345 * 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.MediaToPhys(*decoder.PhysToMedia(phys)));
+    phys = (phys + 64) % Geometry().total_bytes();
+  }
+}
+BENCHMARK(BM_SkylakeRoundTrip);
+
+void BM_SubarrayGroupMapBuild(benchmark::State& state) {
+  // The boot-time computation of §5.3 over the full 384 GiB machine.
+  SkylakeDecoder decoder(Geometry());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubarrayGroupMap::Build(decoder, 1024));
+  }
+}
+BENCHMARK(BM_SubarrayGroupMapBuild)->Unit(benchmark::kMillisecond);
+
+void BM_GroupOfPhys(benchmark::State& state) {
+  SkylakeDecoder decoder(Geometry());
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, 1024);
+  uint64_t phys = 777 * 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.GroupOfPhys(phys));
+    phys = (phys + 2 * 1024 * 1024) % Geometry().total_bytes();
+  }
+}
+BENCHMARK(BM_GroupOfPhys);
+
+void BM_ControllerServe(benchmark::State& state) {
+  MemoryController controller(Geometry(), 0);
+  SkylakeDecoder decoder(Geometry());
+  uint64_t phys = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    MemRequest request;
+    request.address = *decoder.PhysToMedia(phys);
+    t = controller.Serve(request, t);
+    phys = (phys + 64) % Geometry().socket_bytes();
+  }
+}
+BENCHMARK(BM_ControllerServe);
+
+void BM_DisturbanceActivate(benchmark::State& state) {
+  DisturbanceModel model(DisturbanceProfile{}, Geometry().rows_per_bank, 1024, 4096 * 8);
+  uint64_t now = 0;
+  uint32_t row = 5000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.OnActivate(0, HalfRowSide::kA, row, now));
+    row ^= 32;  // alternate two rows
+    now += 50;
+  }
+}
+BENCHMARK(BM_DisturbanceActivate);
+
+void BM_DeviceActivate(benchmark::State& state) {
+  DramGeometry geometry = Geometry();
+  DramDevice device(geometry, RemapConfig{}, DisturbanceProfile{}, TrrConfig{}, "bench");
+  uint64_t now = 0;
+  uint32_t row = 5000;
+  for (auto _ : state) {
+    device.Activate(0, 0, row, now);
+    row ^= 32;
+    now += 50;
+  }
+}
+BENCHMARK(BM_DeviceActivate);
+
+void BM_EccEncodeDecode(benchmark::State& state) {
+  Rng rng(7);
+  uint64_t data = rng.NextU64();
+  for (auto _ : state) {
+    const uint8_t check = EccEncode(data);
+    benchmark::DoNotOptimize(EccDecode(data ^ 1, check));
+    data = data * 6364136223846793005ull + 1;
+  }
+}
+BENCHMARK(BM_EccEncodeDecode);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  BuddyAllocator buddy({PhysRange{0, 1ull << 30}});
+  for (auto _ : state) {
+    const uint64_t page = *buddy.Allocate(kOrder4K);
+    benchmark::DoNotOptimize(page);
+    (void)buddy.Free(page, kOrder4K);
+  }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void BM_EptTranslate(benchmark::State& state) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1ull << 40;
+  ExtendedPageTable ept(memory, [&]() -> Result<uint64_t> {
+    const uint64_t page = cursor;
+    cursor += 4096;
+    return page;
+  });
+  for (uint64_t gpa = 0; gpa < (1ull << 33); gpa += 2 * 1024 * 1024) {
+    (void)ept.Map(gpa, (1ull << 41) + gpa, PageSize::k2M);
+  }
+  uint64_t gpa = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ept.Translate(gpa));
+    gpa = (gpa + 2 * 1024 * 1024) % (1ull << 33);
+  }
+}
+BENCHMARK(BM_EptTranslate);
+
+}  // namespace
+}  // namespace siloz
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Shared driver for the performance figures (Figs 4-7): run a workload set
+// under a baseline hypervisor configuration and one or more variants, print
+// per-workload normalized overhead with 95% CIs and the geometric mean.
+#ifndef SILOZ_BENCH_FIG_COMMON_H_
+#define SILOZ_BENCH_FIG_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/workload/workloads.h"
+
+namespace siloz {
+namespace bench {
+
+struct VariantSpec {
+  std::string label;
+  SilozConfig config;
+};
+
+// Runs every workload under `baseline` and each variant; prints one
+// overhead table per variant (normalized to baseline) and geometric means.
+// With SILOZ_RESULTS_DIR set, also appends CSV rows per (variant, workload).
+// Returns false if any run failed.
+inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantSpec& baseline,
+                      const std::vector<VariantSpec>& variants, uint32_t trials = 5,
+                      uint64_t seed = 42, const char* experiment = "figure") {
+  RunnerConfig runner;
+  runner.trials = trials;
+  runner.seed = seed;
+
+  // Gather stats per (variant, workload); baseline first.
+  std::vector<std::vector<RunMeasurement>> measurements(variants.size() + 1);
+  std::vector<std::string> labels;
+  labels.push_back(baseline.label);
+  for (const VariantSpec& variant : variants) {
+    labels.push_back(variant.label);
+  }
+  for (size_t v = 0; v < variants.size() + 1; ++v) {
+    runner.hypervisor = (v == 0) ? baseline.config : variants[v - 1].config;
+    for (const WorkloadSpec& workload : workloads) {
+      Result<RunMeasurement> run = RunWorkload(runner, workload);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", labels[v].c_str(), workload.name.c_str(),
+                     run.error().ToString().c_str());
+        return false;
+      }
+      measurements[v].push_back(std::move(*run));
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n");
+
+  const bool throughput = workloads[0].metric == MetricKind::kThroughput;
+  for (size_t v = 1; v <= variants.size(); ++v) {
+    std::printf("%s-normalized %s for %s (positive = overhead; error bars 95%% CI):\n",
+                baseline.label.c_str(), throughput ? "throughput loss" : "execution time",
+                labels[v].c_str());
+    std::vector<OverheadRow> rows;
+    std::vector<double> ratios;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      const RunningStat& base_stat = throughput ? measurements[0][w].bandwidth_gibs
+                                                : measurements[0][w].elapsed_ns;
+      const RunningStat& var_stat =
+          throughput ? measurements[v][w].bandwidth_gibs : measurements[v][w].elapsed_ns;
+      rows.push_back(Normalize(workloads[w].name, base_stat, var_stat, throughput));
+      ratios.push_back(1.0 + rows.back().mean_pct / 100.0);
+    }
+    OverheadRow geomean;
+    geomean.name = "geomean";
+    geomean.mean_pct = (GeometricMean(ratios) - 1.0) * 100.0;
+    rows.push_back(geomean);
+    PrintOverheadTable(throughput ? "tput loss" : "time ovh", rows);
+    CsvReporter csv(experiment);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      (void)csv.Append({"variant", "workload", "overhead_pct", "ci95_pct"},
+                       {labels[v], workloads[w].name, CsvNumber(rows[w].mean_pct),
+                        CsvNumber(rows[w].ci_pct)});
+    }
+    std::printf("geomean |%s overhead| = %.3f%% — paper reports within +/-0.5%%\n\n",
+                labels[v].c_str(), std::abs(geomean.mean_pct));
+  }
+  return true;
+}
+
+inline SilozConfig BaselineKernel() {
+  SilozConfig config;
+  config.enabled = false;
+  return config;
+}
+
+inline SilozConfig SilozKernel(uint32_t rows_per_subarray = 1024) {
+  SilozConfig config;
+  config.rows_per_subarray = rows_per_subarray;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace siloz
+
+#endif  // SILOZ_BENCH_FIG_COMMON_H_

@@ -1,0 +1,193 @@
+// silozctl: command-line front end over the simulated platform — inspect
+// topology, run attack campaigns, compare kernels, and audit isolation.
+//
+// Usage:
+//   silozctl topology [--snc] [--ddr5] [--subarray-rows N]
+//   silozctl attack   [--baseline] [--patterns N] [--seed N]
+//   silozctl audit    [--flip-ept]
+//   silozctl groupof  <phys-address>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/attack/blacksmith.h"
+#include "src/base/units.h"
+#include "src/ept/phys_memory.h"
+#include "src/sim/machine.h"
+#include "src/siloz/hypervisor.h"
+
+using namespace siloz;
+
+namespace {
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FlagValue(int argc, char** argv, const char* flag, uint64_t fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 0);
+    }
+  }
+  return fallback;
+}
+
+int CmdTopology(int argc, char** argv) {
+  DramGeometry geometry = HasFlag(argc, argv, "--ddr5") ? Ddr5Geometry() : DramGeometry{};
+  SilozConfig config;
+  config.rows_per_subarray =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--subarray-rows", 1024));
+  std::unique_ptr<AddressDecoder> decoder;
+  if (HasFlag(argc, argv, "--snc")) {
+    decoder = std::make_unique<SncDecoder>(geometry, 2);
+  } else {
+    decoder = std::make_unique<SkylakeDecoder>(geometry);
+  }
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(*decoder, memory, config);
+  if (Status status = hypervisor.Boot(); !status.ok()) {
+    std::fprintf(stderr, "boot: %s\n", status.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("platform : %s\n", geometry.ToString().c_str());
+  std::printf("decoder  : %s\n", decoder->name().c_str());
+  std::printf("groups   : %u/socket x %lu MiB%s\n", hypervisor.group_map().groups_per_socket(),
+              static_cast<unsigned long>(hypervisor.group_map().group_bytes() >> 20),
+              hypervisor.using_artificial_groups() ? " (artificial)" : "");
+  std::printf("nodes    : %zu total (%zu host, %zu guest)\n", hypervisor.nodes().node_count(),
+              hypervisor.nodes().NodesOfKind(NodeKind::kHostReserved).size(),
+              hypervisor.nodes().NodesOfKind(NodeKind::kGuestReserved).size());
+  std::printf("EPT block: %lu KiB reserved (%.4f%% of DRAM), %zu pool pages/socket\n",
+              static_cast<unsigned long>(hypervisor.ept_reserved_bytes() >> 10),
+              100.0 * static_cast<double>(hypervisor.ept_reserved_bytes()) /
+                  static_cast<double>(geometry.total_bytes()),
+              hypervisor.ept_pool_free(0));
+  for (uint32_t socket = 0; socket < geometry.sockets; ++socket) {
+    std::printf("socket %u : %zu guest nodes available\n", socket,
+                hypervisor.AvailableGuestNodes(socket).size());
+  }
+  return 0;
+}
+
+int CmdAttack(int argc, char** argv) {
+  const bool baseline = HasFlag(argc, argv, "--baseline");
+  MachineConfig machine_config;
+  machine_config.fault_tracking = true;
+  DimmProfile profile;
+  profile.disturbance.threshold_mean = 2500.0;
+  profile.trr.enabled = true;
+  profile.trr.act_threshold = 400;
+  machine_config.dimm_profiles = {profile};
+  Machine machine(machine_config);
+
+  SilozConfig config;
+  config.enabled = !baseline;
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), config);
+  SILOZ_CHECK(hypervisor.Boot().ok());
+  const VmId attacker = *hypervisor.CreateVm({.name = "attacker", .memory_bytes = 3_GiB});
+  const VmId victim = *hypervisor.CreateVm({.name = "victim", .memory_bytes = 3_GiB});
+  Vm& attacker_vm = **hypervisor.GetVm(attacker);
+
+  std::vector<PhysRange> reachable;
+  for (const VmRegion& region : attacker_vm.regions()) {
+    reachable.push_back(PhysRange{region.hpa, region.hpa + region.bytes});
+  }
+  BlacksmithConfig fuzz;
+  fuzz.patterns = static_cast<uint32_t>(FlagValue(argc, argv, "--patterns", 12));
+  fuzz.seed = FlagValue(argc, argv, "--seed", 0xB1AC5);
+  std::printf("kernel=%s patterns=%u seed=%lu ... ", baseline ? "baseline" : "siloz",
+              fuzz.patterns, static_cast<unsigned long>(fuzz.seed));
+  std::fflush(stdout);
+  const FuzzReport report = BlacksmithFuzzer(fuzz).Run(machine, reachable);
+
+  uint64_t in_victim = 0;
+  Vm& victim_vm = **hypervisor.GetVm(victim);
+  for (const PhysFlip& flip : report.flips) {
+    for (const VmRegion& region : victim_vm.regions()) {
+      in_victim += (flip.phys >= region.hpa && flip.phys < region.hpa + region.bytes);
+    }
+  }
+  std::printf("done\n%lu activations, %zu flips, %lu in the victim VM\n",
+              static_cast<unsigned long>(report.activations), report.flips.size(),
+              static_cast<unsigned long>(in_victim));
+  const Status audit_a = hypervisor.AuditVmIsolation(attacker);
+  const Status audit_v = hypervisor.AuditVmIsolation(victim);
+  std::printf("audits: attacker=%s victim=%s\n", audit_a.ok() ? "PASS" : "FAIL",
+              audit_v.ok() ? "PASS" : "FAIL");
+  return 0;
+}
+
+int CmdAudit(int argc, char** argv) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(decoder, memory, SilozConfig{});
+  SILOZ_CHECK(hypervisor.Boot().ok());
+  const VmId vm = *hypervisor.CreateVm({.name = "tenant", .memory_bytes = 3_GiB});
+  if (HasFlag(argc, argv, "--flip-ept")) {
+    Vm& tenant = **hypervisor.GetVm(vm);
+    memory.FlipBit(tenant.ept()->table_pages().back() + 4, 2);
+    std::printf("injected a bit flip into an EPT table page\n");
+  }
+  const Status audit = hypervisor.AuditVmIsolation(vm);
+  std::printf("audit: %s\n", audit.ok() ? "PASS" : audit.error().ToString().c_str());
+  return audit.ok() ? 0 : 2;
+}
+
+int CmdGroupOf(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: silozctl groupof <phys-address>\n");
+    return 1;
+  }
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, geometry.rows_per_subarray);
+  const uint64_t phys = std::strtoull(argv[2], nullptr, 0);
+  Result<uint32_t> group = map.GroupOfPhys(phys);
+  if (!group.ok()) {
+    std::fprintf(stderr, "%s\n", group.error().ToString().c_str());
+    return 1;
+  }
+  const MediaAddress media = *decoder.PhysToMedia(phys);
+  std::printf("phys 0x%lx -> %s -> subarray group %u (socket %u, subarray %u)\n",
+              static_cast<unsigned long>(phys), media.ToString().c_str(), *group,
+              map.SocketOfGroup(*group), map.IndexInCluster(*group));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: silozctl <command>\n"
+                 "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
+                 "  attack   [--baseline] [--patterns N] [--seed N]\n"
+                 "  audit    [--flip-ept]\n"
+                 "  groupof  <phys-address>\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "topology") {
+    return CmdTopology(argc, argv);
+  }
+  if (command == "attack") {
+    return CmdAttack(argc, argv);
+  }
+  if (command == "audit") {
+    return CmdAudit(argc, argv);
+  }
+  if (command == "groupof") {
+    return CmdGroupOf(argc, argv);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

@@ -1,0 +1,182 @@
+#include "src/addr/decoder.h"
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+
+// ---------------------------------------------------------------------------
+// SkylakeDecoder
+// ---------------------------------------------------------------------------
+
+SkylakeDecoder::SkylakeDecoder(const DramGeometry& geometry) : geometry_(geometry) {
+  SILOZ_CHECK(geometry_.Validate().ok());
+  SILOZ_CHECK_EQ(geometry_.row_bytes % kCacheLineBytes, 0u);
+  lines_per_row_ = geometry_.row_bytes / kCacheLineBytes;
+  chunk_bytes_ = static_cast<uint64_t>(kRowGroupsPerChunk) * geometry_.row_group_bytes();
+  // Paper layout: 16 chunks per 384 MiB half-range on the evaluation
+  // geometry, i.e. each region covers 512 rows before the mapping jump.
+  chunks_per_half_ = 16;
+  region_bytes_ = static_cast<uint64_t>(kHalvesPerRegion) * chunks_per_half_ * chunk_bytes_;
+  rows_per_region_ = kRowGroupsPerChunk * kHalvesPerRegion * chunks_per_half_;
+  SILOZ_CHECK_EQ(geometry_.rows_per_bank % rows_per_region_, 0u)
+      << "rows_per_bank must be a multiple of " << rows_per_region_;
+}
+
+Result<MediaAddress> SkylakeDecoder::PhysToMedia(uint64_t phys) const {
+  if (phys >= geometry_.total_bytes()) {
+    return MakeError(ErrorCode::kOutOfRange, "phys 0x" + std::to_string(phys) + " beyond DRAM");
+  }
+  MediaAddress media;
+  media.socket = static_cast<uint32_t>(phys / geometry_.socket_bytes());
+  const uint64_t socket_off = phys % geometry_.socket_bytes();
+
+  // 768 MiB-aligned region, then the A/B half-range and its 24 MiB chunk.
+  const uint64_t region = socket_off / region_bytes_;
+  const uint64_t region_off = socket_off % region_bytes_;
+  const uint64_t half_bytes = region_bytes_ / kHalvesPerRegion;
+  const uint64_t half = region_off / half_bytes;  // 0 = range A, 1 = range B
+  const uint64_t half_off = region_off % half_bytes;
+  const uint64_t chunk = half_off / chunk_bytes_;
+  const uint64_t chunk_off = half_off % chunk_bytes_;
+  // Chunks of A and B alternate in ascending row groups (§4.2).
+  const uint64_t row_base =
+      region * rows_per_region_ + (chunk * kHalvesPerRegion + half) * kRowGroupsPerChunk;
+
+  // Within a chunk: cache lines interleave across channels first, then across
+  // the channel's DIMM/rank/bank combinations, then across columns and the
+  // chunk's 16 rows.
+  const uint64_t byte_in_line = chunk_off % kCacheLineBytes;
+  const uint64_t line = chunk_off / kCacheLineBytes;
+  media.channel = static_cast<uint32_t>(line % geometry_.channels_per_socket);
+  const uint64_t per_channel = line / geometry_.channels_per_socket;
+  const uint64_t bank_lin = per_channel % geometry_.banks_per_channel();
+  const uint64_t per_bank = per_channel / geometry_.banks_per_channel();
+  const uint64_t row_in_chunk = per_bank / lines_per_row_;
+  const uint64_t column_line = per_bank % lines_per_row_;
+
+  media.dimm = static_cast<uint32_t>(bank_lin / geometry_.banks_per_dimm());
+  media.rank =
+      static_cast<uint32_t>((bank_lin / geometry_.banks_per_rank) % geometry_.ranks_per_dimm);
+  media.bank = static_cast<uint32_t>(bank_lin % geometry_.banks_per_rank);
+  media.row = static_cast<uint32_t>(row_base + row_in_chunk);
+  media.column = static_cast<uint32_t>(column_line * kCacheLineBytes + byte_in_line);
+  return media;
+}
+
+Result<uint64_t> SkylakeDecoder::MediaToPhys(const MediaAddress& media) const {
+  SILOZ_RETURN_IF_ERROR(ValidateAddress(geometry_, media));
+
+  // Invert the row decomposition: region, interleaved chunk slot, row.
+  const uint64_t region = media.row / rows_per_region_;
+  const uint64_t row_in_region = media.row % rows_per_region_;
+  const uint64_t slot = row_in_region / kRowGroupsPerChunk;  // chunk*2 + half
+  const uint64_t row_in_chunk = row_in_region % kRowGroupsPerChunk;
+  const uint64_t chunk = slot / kHalvesPerRegion;
+  const uint64_t half = slot % kHalvesPerRegion;
+
+  const uint64_t bank_lin = (static_cast<uint64_t>(media.dimm) * geometry_.ranks_per_dimm +
+                             media.rank) *
+                                geometry_.banks_per_rank +
+                            media.bank;
+  const uint64_t column_line = media.column / kCacheLineBytes;
+  const uint64_t byte_in_line = media.column % kCacheLineBytes;
+
+  const uint64_t per_bank = row_in_chunk * lines_per_row_ + column_line;
+  const uint64_t per_channel = per_bank * geometry_.banks_per_channel() + bank_lin;
+  const uint64_t line = per_channel * geometry_.channels_per_socket + media.channel;
+  const uint64_t chunk_off = line * kCacheLineBytes + byte_in_line;
+
+  const uint64_t half_bytes = region_bytes_ / kHalvesPerRegion;
+  const uint64_t socket_off =
+      region * region_bytes_ + half * half_bytes + chunk * chunk_bytes_ + chunk_off;
+  return media.socket * geometry_.socket_bytes() + socket_off;
+}
+
+// ---------------------------------------------------------------------------
+// LinearDecoder
+// ---------------------------------------------------------------------------
+
+LinearDecoder::LinearDecoder(const DramGeometry& geometry) : geometry_(geometry) {
+  SILOZ_CHECK(geometry_.Validate().ok());
+  SILOZ_CHECK_EQ(geometry_.row_bytes % kCacheLineBytes, 0u);
+  lines_per_row_ = geometry_.row_bytes / kCacheLineBytes;
+}
+
+Result<MediaAddress> LinearDecoder::PhysToMedia(uint64_t phys) const {
+  if (phys >= geometry_.total_bytes()) {
+    return MakeError(ErrorCode::kOutOfRange, "phys 0x" + std::to_string(phys) + " beyond DRAM");
+  }
+  MediaAddress media;
+  const uint64_t bank_global = phys / geometry_.bank_bytes();
+  const uint64_t bank_off = phys % geometry_.bank_bytes();
+  media.socket = static_cast<uint32_t>(bank_global / geometry_.banks_per_socket());
+  uint64_t in_socket = bank_global % geometry_.banks_per_socket();
+  media.channel = static_cast<uint32_t>(in_socket / geometry_.banks_per_channel());
+  in_socket %= geometry_.banks_per_channel();
+  media.dimm = static_cast<uint32_t>(in_socket / geometry_.banks_per_dimm());
+  in_socket %= geometry_.banks_per_dimm();
+  media.rank = static_cast<uint32_t>(in_socket / geometry_.banks_per_rank);
+  media.bank = static_cast<uint32_t>(in_socket % geometry_.banks_per_rank);
+  media.row = static_cast<uint32_t>(bank_off / geometry_.row_bytes);
+  media.column = static_cast<uint32_t>(bank_off % geometry_.row_bytes);
+  return media;
+}
+
+Result<uint64_t> LinearDecoder::MediaToPhys(const MediaAddress& media) const {
+  SILOZ_RETURN_IF_ERROR(ValidateAddress(geometry_, media));
+  const uint64_t bank_global =
+      static_cast<uint64_t>(media.socket) * geometry_.banks_per_socket() +
+      SocketBankIndex(geometry_, media);
+  return bank_global * geometry_.bank_bytes() +
+         static_cast<uint64_t>(media.row) * geometry_.row_bytes + media.column;
+}
+
+// ---------------------------------------------------------------------------
+// SncDecoder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DramGeometry ClusterGeometry(const DramGeometry& geometry, uint32_t clusters) {
+  SILOZ_CHECK_GT(clusters, 0u);
+  SILOZ_CHECK_EQ(geometry.channels_per_socket % clusters, 0u)
+      << "SNC clusters must evenly divide channels";
+  DramGeometry cluster = geometry;
+  cluster.sockets = geometry.sockets * clusters;
+  cluster.channels_per_socket = geometry.channels_per_socket / clusters;
+  return cluster;
+}
+
+}  // namespace
+
+SncDecoder::SncDecoder(const DramGeometry& geometry, uint32_t clusters)
+    : full_geometry_(geometry),
+      clusters_(clusters),
+      inner_(ClusterGeometry(geometry, clusters)) {}
+
+Result<MediaAddress> SncDecoder::PhysToMedia(uint64_t phys) const {
+  Result<MediaAddress> inner = inner_.PhysToMedia(phys);
+  if (!inner.ok()) {
+    return inner;
+  }
+  MediaAddress media = *inner;
+  // Inner "sockets" are (socket, cluster) pairs; relocate the cluster into
+  // the channel index of the full socket.
+  const uint32_t cluster = media.socket % clusters_;
+  media.socket /= clusters_;
+  media.channel += cluster * inner_.geometry().channels_per_socket;
+  return media;
+}
+
+Result<uint64_t> SncDecoder::MediaToPhys(const MediaAddress& media) const {
+  SILOZ_RETURN_IF_ERROR(ValidateAddress(full_geometry_, media));
+  MediaAddress inner = media;
+  const uint32_t channels_per_cluster = inner_.geometry().channels_per_socket;
+  const uint32_t cluster = media.channel / channels_per_cluster;
+  inner.channel = media.channel % channels_per_cluster;
+  inner.socket = media.socket * clusters_ + cluster;
+  return inner_.MediaToPhys(inner);
+}
+
+}  // namespace siloz

@@ -1,0 +1,145 @@
+// Physical-to-media address translation (§2.4, §4.2).
+//
+// Memory controllers translate host physical addresses to media addresses at
+// cache-line granularity, interleaving consecutive lines across a socket's
+// channels/ranks/banks for bank-level parallelism. The mapping is fixed at
+// boot by BIOS; Siloz ports the skx_edac-style translation drivers to run at
+// early boot (§5.3). This module is the reproduction's equivalent of those
+// drivers: fully invertible decoders with the layout the paper describes.
+#ifndef SILOZ_SRC_ADDR_DECODER_H_
+#define SILOZ_SRC_ADDR_DECODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/dram/geometry.h"
+
+namespace siloz {
+
+// Translates host physical addresses to media addresses and back.
+//
+// Implementations must be exact bijections over [0, geometry.total_bytes()):
+// Siloz's subarray-group computation and guard-row placement both depend on
+// inverting the map.
+class AddressDecoder {
+ public:
+  virtual ~AddressDecoder() = default;
+
+  virtual const DramGeometry& geometry() const = 0;
+
+  // Media address serving physical byte `phys`.
+  virtual Result<MediaAddress> PhysToMedia(uint64_t phys) const = 0;
+
+  // Physical byte served by `media`.
+  virtual Result<uint64_t> MediaToPhys(const MediaAddress& media) const = 0;
+
+  // Independent interleave domains per socket. 1 for whole-socket
+  // interleaving; >1 under sub-NUMA clustering, where each cluster
+  // interleaves over its own subset of channels (§8.1). Subarray groups are
+  // per-cluster: the same row index in different clusters is a different
+  // group.
+  virtual uint32_t clusters_per_socket() const { return 1; }
+
+  // Cluster (within the socket) serving a media address.
+  virtual uint32_t ClusterOf(const MediaAddress& media) const {
+    (void)media;
+    return 0;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+// Skylake-style decoder reproducing the layout of §4.2:
+//  - each socket owns a contiguous physical range (no cross-socket
+//    interleave, matching the NUMA configuration of the evaluation server);
+//  - within a socket, ascending physical pages populate ascending row groups;
+//  - more precisely, every 768 MiB-aligned region is fed by two contiguous
+//    384 MiB half-ranges A and B whose 24 MiB chunks (n = 16 row groups)
+//    alternate: row groups [0,16) <- A chunk 0, [16,32) <- B chunk 0,
+//    [32,48) <- A chunk 1, ... with a mapping "jump" to fresh ranges at each
+//    768 MiB boundary;
+//  - within a chunk, consecutive cache lines interleave across channels, and
+//    consecutive channel-local lines across ranks and banks, so every 2 MiB
+//    page touches all of the socket's banks yet stays within one subarray
+//    group (the property §4.2 needs).
+//
+// Deviation from real hardware (documented in DESIGN.md): the A/B ranges are
+// the adjacent halves of each region, which is slightly more benign to 1 GiB
+// pages than real Skylake; the bench for §4.2's 1 GiB analysis quantifies it.
+class SkylakeDecoder final : public AddressDecoder {
+ public:
+  explicit SkylakeDecoder(const DramGeometry& geometry);
+
+  const DramGeometry& geometry() const override { return geometry_; }
+  Result<MediaAddress> PhysToMedia(uint64_t phys) const override;
+  Result<uint64_t> MediaToPhys(const MediaAddress& media) const override;
+  std::string name() const override { return "skylake"; }
+
+  // Layout constants derived from geometry, exposed for tests.
+  uint64_t chunk_bytes() const { return chunk_bytes_; }          // 24 MiB default
+  uint64_t region_bytes() const { return region_bytes_; }        // 768 MiB default
+  uint32_t row_groups_per_chunk() const { return kRowGroupsPerChunk; }
+
+ private:
+  // n = 16 row groups per chunk (24 MiB on the evaluation geometry, §4.2).
+  static constexpr uint32_t kRowGroupsPerChunk = 16;
+  // Two half-ranges (A/B) alternate chunks within a region.
+  static constexpr uint32_t kHalvesPerRegion = 2;
+
+  DramGeometry geometry_;
+  uint64_t lines_per_row_;     // cache lines per row (128 for 8 KiB rows)
+  uint64_t chunk_bytes_;       // kRowGroupsPerChunk * row_group_bytes
+  uint64_t region_bytes_;      // chunks covering 512 rows by default
+  uint32_t rows_per_region_;   // row indices covered by one region
+  uint32_t chunks_per_half_;   // chunks in each 384 MiB half-range
+};
+
+// Simple linear decoder: physical bytes fill one bank completely before the
+// next (no interleaving). Used as a worst-case baseline: it confines each
+// page to a single bank, destroying bank-level parallelism — the
+// configuration §4.1 argues against.
+class LinearDecoder final : public AddressDecoder {
+ public:
+  explicit LinearDecoder(const DramGeometry& geometry);
+
+  const DramGeometry& geometry() const override { return geometry_; }
+  Result<MediaAddress> PhysToMedia(uint64_t phys) const override;
+  Result<uint64_t> MediaToPhys(const MediaAddress& media) const override;
+  std::string name() const override { return "linear"; }
+
+ private:
+  DramGeometry geometry_;
+  uint64_t lines_per_row_;
+};
+
+// Sub-NUMA-clustering variant (§8.1): the socket is split into `clusters`
+// independent halves, each interleaving over banks_per_socket/clusters banks,
+// which shrinks the subarray-group size proportionally.
+class SncDecoder final : public AddressDecoder {
+ public:
+  SncDecoder(const DramGeometry& geometry, uint32_t clusters);
+
+  const DramGeometry& geometry() const override { return full_geometry_; }
+  Result<MediaAddress> PhysToMedia(uint64_t phys) const override;
+  Result<uint64_t> MediaToPhys(const MediaAddress& media) const override;
+  uint32_t clusters_per_socket() const override { return clusters_; }
+  uint32_t ClusterOf(const MediaAddress& media) const override {
+    return media.channel / (full_geometry_.channels_per_socket / clusters_);
+  }
+  std::string name() const override { return "snc" + std::to_string(clusters_); }
+
+  uint32_t clusters() const { return clusters_; }
+
+ private:
+  // Implemented by running a SkylakeDecoder over a shrunken per-cluster
+  // geometry and relocating channels.
+  DramGeometry full_geometry_;
+  uint32_t clusters_;
+  SkylakeDecoder inner_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_ADDR_DECODER_H_

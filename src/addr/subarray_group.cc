@@ -1,0 +1,94 @@
+#include "src/addr/subarray_group.h"
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+
+uint32_t SubarrayGroupMap::GroupOfMedia(const MediaAddress& media) const {
+  const uint32_t cluster = decoder_->ClusterOf(media);
+  return (media.socket * clusters_per_socket_ + cluster) * groups_per_cluster_ +
+         media.row / rows_per_subarray_;
+}
+
+Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
+                                                 uint32_t rows_per_subarray,
+                                                 uint64_t probe_page) {
+  const DramGeometry& geometry = decoder.geometry();
+  if (rows_per_subarray == 0 || geometry.rows_per_bank % rows_per_subarray != 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "rows_per_subarray " + std::to_string(rows_per_subarray) +
+                         " does not divide rows_per_bank " +
+                         std::to_string(geometry.rows_per_bank));
+  }
+  if (probe_page == 0 || geometry.total_bytes() % probe_page != 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "probe_page must divide total DRAM size");
+  }
+
+  SubarrayGroupMap map;
+  map.decoder_ = &decoder;
+  map.rows_per_subarray_ = rows_per_subarray;
+  map.sockets_ = geometry.sockets;
+  map.clusters_per_socket_ = decoder.clusters_per_socket();
+  map.groups_per_cluster_ = geometry.rows_per_bank / rows_per_subarray;
+  map.group_bytes_ = static_cast<uint64_t>(geometry.banks_per_socket() /
+                                           map.clusters_per_socket_) *
+                     rows_per_subarray * geometry.row_bytes;
+  map.ranges_.resize(map.total_groups());
+
+  // Probe the decoder at page granularity; merge adjacent pages of the same
+  // group into extents. The decoder guarantees (and tests verify) that a
+  // probe_page-aligned page never straddles groups.
+  for (uint64_t phys = 0; phys < geometry.total_bytes(); phys += probe_page) {
+    Result<MediaAddress> media = decoder.PhysToMedia(phys);
+    SILOZ_RETURN_IF_ERROR(media);
+    const uint32_t group = map.GroupOfMedia(*media);
+    std::vector<PhysRange>& extents = map.ranges_[group];
+    if (!extents.empty() && extents.back().end == phys) {
+      extents.back().end = phys + probe_page;
+    } else {
+      extents.push_back(PhysRange{phys, phys + probe_page});
+    }
+  }
+
+  // Sanity: every group must cover exactly group_bytes.
+  for (uint32_t g = 0; g < map.total_groups(); ++g) {
+    uint64_t covered = 0;
+    for (const PhysRange& range : map.ranges_[g]) {
+      covered += range.size();
+    }
+    if (covered != map.group_bytes_) {
+      return MakeError(ErrorCode::kFailedPrecondition,
+                       "group " + std::to_string(g) + " covers " + std::to_string(covered) +
+                           " bytes, expected " + std::to_string(map.group_bytes_));
+    }
+  }
+  return map;
+}
+
+Result<uint32_t> SubarrayGroupMap::GroupOfPhys(uint64_t phys) const {
+  Result<MediaAddress> media = decoder_->PhysToMedia(phys);
+  SILOZ_RETURN_IF_ERROR(media);
+  return GroupOfMedia(*media);
+}
+
+const std::vector<PhysRange>& SubarrayGroupMap::RangesOf(uint32_t group) const {
+  SILOZ_CHECK_LT(group, ranges_.size());
+  return ranges_[group];
+}
+
+Result<bool> SubarrayGroupMap::PageIsContained(const AddressDecoder& decoder,
+                                               uint64_t page_start, uint64_t page_bytes) const {
+  Result<uint32_t> first = GroupOfPhys(page_start);
+  SILOZ_RETURN_IF_ERROR(first);
+  for (uint64_t offset = 0; offset < page_bytes; offset += kCacheLineBytes) {
+    Result<MediaAddress> media = decoder.PhysToMedia(page_start + offset);
+    SILOZ_RETURN_IF_ERROR(media);
+    if (GroupOfMedia(*media) != *first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace siloz

@@ -1,0 +1,90 @@
+// Subarray groups (§4): Siloz's DRAM isolation domain.
+//
+// A subarray group is the union of the s-th subarray of every bank in an
+// interleave domain (a whole physical node normally; one SNC cluster under
+// sub-NUMA clustering, §8.1): row groups [s*r, (s+1)*r) for subarray size r.
+// Hammering in one group cannot flip bits in another, yet a group still
+// spans every bank its pages interleave over, preserving bank-level
+// parallelism.
+//
+// SubarrayGroupMap is the boot-time computation of §5.3: given the
+// physical-to-media decoder and the rows-per-subarray boot parameter, derive
+// the physical address extents of every group. The extents are *derived by
+// probing the decoder*, not assumed, so they remain correct for any decoder
+// (Skylake, SNC, linear).
+#ifndef SILOZ_SRC_ADDR_SUBARRAY_GROUP_H_
+#define SILOZ_SRC_ADDR_SUBARRAY_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/addr/decoder.h"
+#include "src/base/result.h"
+
+namespace siloz {
+
+// Half-open physical byte range [begin, end).
+struct PhysRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool Contains(uint64_t phys) const { return phys >= begin && phys < end; }
+  bool operator==(const PhysRange&) const = default;
+};
+
+class SubarrayGroupMap {
+ public:
+  // Probes `decoder` at `probe_page` granularity (must be a granularity at
+  // which the decoder maps whole pages into single subarray groups; 2 MiB for
+  // all decoders here, §4.2). rows_per_subarray must divide rows_per_bank.
+  static Result<SubarrayGroupMap> Build(const AddressDecoder& decoder,
+                                        uint32_t rows_per_subarray,
+                                        uint64_t probe_page = 2 * 1024 * 1024);
+
+  uint32_t rows_per_subarray() const { return rows_per_subarray_; }
+  // Groups per interleave domain (= subarrays per bank).
+  uint32_t groups_per_cluster() const { return groups_per_cluster_; }
+  uint32_t clusters_per_socket() const { return clusters_per_socket_; }
+  uint32_t groups_per_socket() const { return groups_per_cluster_ * clusters_per_socket_; }
+  uint32_t total_groups() const { return groups_per_socket() * sockets_; }
+  // Bytes per group: banks in one interleave domain * rows * row size.
+  uint64_t group_bytes() const { return group_bytes_; }
+
+  // Global group id of a physical address:
+  //   (socket * clusters + cluster) * groups_per_cluster + subarray index.
+  Result<uint32_t> GroupOfPhys(uint64_t phys) const;
+
+  // Physical extents of a group, ascending and non-overlapping.
+  const std::vector<PhysRange>& RangesOf(uint32_t group) const;
+
+  uint32_t SocketOfGroup(uint32_t group) const { return group / groups_per_socket(); }
+  uint32_t ClusterOfGroup(uint32_t group) const {
+    return (group / groups_per_cluster_) % clusters_per_socket_;
+  }
+  // Subarray index within the bank.
+  uint32_t IndexInCluster(uint32_t group) const { return group % groups_per_cluster_; }
+
+  // True iff [page_start, page_start + page_bytes) maps entirely into one
+  // group when checked at cache-line granularity. Used by isolation tests and
+  // the 1 GiB-page analysis (§4.2).
+  Result<bool> PageIsContained(const AddressDecoder& decoder, uint64_t page_start,
+                               uint64_t page_bytes) const;
+
+ private:
+  SubarrayGroupMap() = default;
+
+  uint32_t GroupOfMedia(const MediaAddress& media) const;
+
+  const AddressDecoder* decoder_ = nullptr;
+  uint32_t rows_per_subarray_ = 0;
+  uint32_t groups_per_cluster_ = 0;
+  uint32_t clusters_per_socket_ = 1;
+  uint32_t sockets_ = 0;
+  uint64_t group_bytes_ = 0;
+  std::vector<std::vector<PhysRange>> ranges_;  // indexed by global group id
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_ADDR_SUBARRAY_GROUP_H_

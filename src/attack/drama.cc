@@ -1,0 +1,40 @@
+#include "src/attack/drama.h"
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+DramaProbe ProbePair(MemoryController& controller, const AddressDecoder& decoder,
+                     uint64_t phys_a, uint64_t phys_b, const DramaConfig& config) {
+  controller.ResetState();
+  const MediaAddress media_a = *decoder.PhysToMedia(phys_a);
+  const MediaAddress media_b = *decoder.PhysToMedia(phys_b);
+  SILOZ_CHECK_EQ(media_a.socket, media_b.socket);
+
+  DramaProbe probe;
+  probe.same_bank = media_a.socket == media_b.socket && media_a.channel == media_b.channel &&
+                    media_a.dimm == media_b.dimm && media_a.rank == media_b.rank &&
+                    media_a.bank == media_b.bank && media_a.row != media_b.row;
+
+  // The attacker's loop: access a, access b, flush, repeat — each access
+  // waits for the previous (dependent chain), which is what exposes the
+  // serialization of same-bank row conflicts.
+  MemRequest request_a{media_a, false, media_a.socket};
+  MemRequest request_b{media_b, false, media_b.socket};
+  double cursor = 0.0;
+  for (uint32_t round = 0; round < config.rounds; ++round) {
+    cursor = controller.Serve(request_a, cursor);
+    cursor = controller.Serve(request_b, cursor);
+  }
+  probe.mean_latency_ns = cursor / (2.0 * config.rounds);
+
+  double threshold = config.threshold_ns;
+  if (threshold == 0.0) {
+    // Midpoint between a row-buffer hit and a conflict turnaround.
+    threshold = controller.timings().t_cas + controller.timings().t_rc() / 2.0;
+  }
+  probe.conflict_detected = probe.mean_latency_ns > threshold;
+  return probe;
+}
+
+}  // namespace siloz

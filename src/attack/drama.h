@@ -1,0 +1,44 @@
+// DRAMA-style bank-conflict timing side channel (§8.4, §9).
+//
+// DRAMA [Pessl et al., USENIX Sec'16] shows that row-buffer conflicts leak
+// information across security domains sharing a bank: alternating accesses
+// to two addresses is measurably slower when they map to different rows of
+// the same bank. Siloz's subarray groups deliberately share banks (for
+// parallelism), so this channel *persists* under Siloz — §8.4's point that
+// coarser isolation units (banks/ranks/channels via logical nodes) would be
+// needed to close it, given addressing control.
+//
+// The probe replays the attacker's timing measurement against the
+// MemoryController model.
+#ifndef SILOZ_SRC_ATTACK_DRAMA_H_
+#define SILOZ_SRC_ATTACK_DRAMA_H_
+
+#include <cstdint>
+
+#include "src/addr/decoder.h"
+#include "src/memctl/controller.h"
+
+namespace siloz {
+
+struct DramaProbe {
+  double mean_latency_ns = 0.0;   // per access, alternating a/b
+  bool same_bank = false;         // ground truth from the decoder
+  bool conflict_detected = false; // attacker's inference from timing
+};
+
+struct DramaConfig {
+  uint32_t rounds = 2000;
+  // Latency above this threshold (ns) classifies the pair as conflicting;
+  // DRAMA calibrates it from a histogram, we use the midpoint between a row
+  // hit and a full row-miss turnaround.
+  double threshold_ns = 0.0;  // 0 = auto (tCAS + tRC/2)
+};
+
+// Times alternating uncached accesses to phys_a/phys_b through a fresh view
+// of `controller` timing (controller state is reset).
+DramaProbe ProbePair(MemoryController& controller, const AddressDecoder& decoder,
+                     uint64_t phys_a, uint64_t phys_b, const DramaConfig& config = {});
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_ATTACK_DRAMA_H_

@@ -1,0 +1,65 @@
+// Bit-field helpers for address decoding and the DDR4 remap transforms.
+#ifndef SILOZ_SRC_BASE_BITOPS_H_
+#define SILOZ_SRC_BASE_BITOPS_H_
+
+#include <cstdint>
+
+namespace siloz {
+
+// Value of bit `pos` of `v` (0 = LSB).
+constexpr uint64_t GetBit(uint64_t v, unsigned pos) { return (v >> pos) & 1ull; }
+
+// `v` with bit `pos` set to `bit` (bit must be 0 or 1).
+constexpr uint64_t SetBit(uint64_t v, unsigned pos, uint64_t bit) {
+  return (v & ~(1ull << pos)) | ((bit & 1ull) << pos);
+}
+
+// Extract bits [lo, hi] inclusive of `v`, right-aligned.
+constexpr uint64_t GetBits(uint64_t v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const uint64_t mask = (width >= 64) ? ~0ull : ((1ull << width) - 1);
+  return (v >> lo) & mask;
+}
+
+// Swap bits `a` and `b` of `v` (DDR4 address mirroring swaps bit pairs, §6).
+constexpr uint64_t SwapBits(uint64_t v, unsigned a, unsigned b) {
+  const uint64_t bit_a = GetBit(v, a);
+  const uint64_t bit_b = GetBit(v, b);
+  return SetBit(SetBit(v, a, bit_b), b, bit_a);
+}
+
+// XOR bit `pos` with `bit`.
+constexpr uint64_t XorBit(uint64_t v, unsigned pos, uint64_t bit) {
+  return v ^ ((bit & 1ull) << pos);
+}
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Round `v` up to the next power of two (v must be nonzero and representable).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Integer log2 of a power of two.
+constexpr unsigned Log2(uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+// Round `v` up/down to a multiple of `align` (align nonzero).
+constexpr uint64_t AlignDown(uint64_t v, uint64_t align) { return v - (v % align); }
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return AlignDown(v + align - 1, align);
+}
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_BITOPS_H_

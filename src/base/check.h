@@ -1,0 +1,64 @@
+// CHECK/DCHECK invariant macros.
+//
+// Library code uses Result<T> for recoverable errors (see result.h) and CHECK
+// for programmer errors / broken invariants, which abort with a location and
+// message. DCHECK compiles out of release builds.
+#ifndef SILOZ_SRC_BASE_CHECK_H_
+#define SILOZ_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace siloz {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr,
+                                      const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream sink that aborts on destruction; enables `CHECK(x) << "detail"`.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailure(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace siloz
+
+// `while` (not `if`) avoids dangling-else pitfalls; the CheckMessage
+// destructor aborts, so the loop body runs at most once.
+#define SILOZ_CHECK(expr)                  \
+  while (__builtin_expect(!(expr), 0))     \
+  ::siloz::CheckMessage(__FILE__, __LINE__, #expr)
+
+#define SILOZ_CHECK_EQ(a, b) SILOZ_CHECK((a) == (b))
+#define SILOZ_CHECK_NE(a, b) SILOZ_CHECK((a) != (b))
+#define SILOZ_CHECK_LT(a, b) SILOZ_CHECK((a) < (b))
+#define SILOZ_CHECK_LE(a, b) SILOZ_CHECK((a) <= (b))
+#define SILOZ_CHECK_GT(a, b) SILOZ_CHECK((a) > (b))
+#define SILOZ_CHECK_GE(a, b) SILOZ_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SILOZ_DCHECK(expr) (void)0
+#else
+#define SILOZ_DCHECK(expr) SILOZ_CHECK(expr)
+#endif
+
+#endif  // SILOZ_SRC_BASE_CHECK_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+//
+// Experiments print structured tables on stdout; diagnostics go through this
+// logger so they can be silenced (e.g. in property-test sweeps).
+#ifndef SILOZ_SRC_BASE_LOG_H_
+#define SILOZ_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace siloz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default kWarning so tests
+// and benches stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream adapter used by the SILOZ_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace siloz
+
+#define SILOZ_LOG(level) ::siloz::LogLine(::siloz::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SILOZ_SRC_BASE_LOG_H_

@@ -1,0 +1,29 @@
+#include "src/base/result.h"
+
+namespace siloz {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kNoMemory:
+      return "NO_MEMORY";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kIntegrityViolation:
+      return "INTEGRITY_VIOLATION";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace siloz

@@ -1,0 +1,117 @@
+// Result<T>: lightweight expected-style error handling.
+//
+// Recoverable failures (allocation exhaustion, policy denials, decode errors)
+// return Result<T>; invariant violations use SILOZ_CHECK. No exceptions cross
+// the public API.
+#ifndef SILOZ_SRC_BASE_RESULT_H_
+#define SILOZ_SRC_BASE_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+// Error taxonomy shared across subsystems. Codes are coarse; the message
+// carries specifics.
+enum class ErrorCode {
+  kInvalidArgument,   // caller passed something structurally wrong
+  kOutOfRange,        // address/index outside the modeled machine
+  kNoMemory,          // allocator exhausted for the requested node/order
+  kPermissionDenied,  // control-group / KVM-privilege policy rejected request
+  kNotFound,          // lookup missed (node id, VM id, mapping)
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// operation invalid in current state (e.g. before boot)
+  kIntegrityViolation,// EPT checksum mismatch / isolation escape detected
+  kUnsupported,       // configuration the model does not implement
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// An error with code and human-readable context.
+struct Error {
+  ErrorCode code;
+  std::string message;
+
+  std::string ToString() const { return std::string(ErrorCodeName(code)) + ": " + message; }
+};
+
+inline Error MakeError(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    SILOZ_CHECK(ok()) << error().ToString();
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    SILOZ_CHECK(ok()) << error().ToString();
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    SILOZ_CHECK(ok()) << error().ToString();
+    return std::get<0>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    SILOZ_CHECK(!ok());
+    return std::get<1>(data_);
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<0>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> specialization-equivalent for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                     // success
+  Status(Error error) : error_(std::move(error)) {}       // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    SILOZ_CHECK(!ok());
+    return *error_;
+  }
+
+  static Status Ok() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace siloz
+
+// Propagate an error from a Result/Status expression. Binds by reference so
+// move-only Result payloads are supported.
+#define SILOZ_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    auto&& siloz_status_ = (expr);             \
+    if (!siloz_status_.ok()) {                 \
+      return siloz_status_.error();            \
+    }                                          \
+  } while (0)
+
+#endif  // SILOZ_SRC_BASE_RESULT_H_

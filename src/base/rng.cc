@@ -1,0 +1,145 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/base/check.h"
+
+namespace siloz {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SILOZ_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  SILOZ_CHECK_LE(lo, hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::Fork(uint64_t tag) {
+  // Mix the tag into fresh state drawn from this stream.
+  const uint64_t child_seed = NextU64() ^ (tag * 0x9E3779B97F4A7C15ull);
+  return Rng(child_seed);
+}
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  SILOZ_CHECK_GT(n, 0u);
+  SILOZ_CHECK_GT(theta, 0.0);
+  SILOZ_CHECK_LT(theta, 1.0);  // the closed form below requires theta < 1
+  // Exact zeta for small n, Euler-Maclaurin-style approximation for large n
+  // (the constructor must stay O(1)-ish for multi-GiB footprints).
+  constexpr uint64_t kExactLimit = 100000;
+  if (n <= kExactLimit) {
+    zetan_ = Zeta(n, theta);
+  } else {
+    const double zeta_head = Zeta(kExactLimit, theta);
+    // integral_{kExactLimit}^{n} x^-theta dx
+    const double tail = (std::pow(static_cast<double>(n), 1.0 - theta) -
+                         std::pow(static_cast<double>(kExactLimit), 1.0 - theta)) /
+                        (1.0 - theta);
+    zetan_ = zeta_head + tail;
+  }
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+  threshold_ = 1.0 + std::pow(0.5, theta);
+}
+
+uint64_t ZipfianSampler::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < threshold_) {
+    return 1;
+  }
+  const double rank = static_cast<double>(n_) *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const auto index = static_cast<uint64_t>(rank);
+  return index >= n_ ? n_ - 1 : index;
+}
+
+}  // namespace siloz

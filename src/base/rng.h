@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// All stochastic model components (per-row Rowhammer thresholds, workload
+// address streams, fuzzer pattern synthesis, timing noise) draw from seeded
+// Rng instances so every experiment is reproducible bit-for-bit. The
+// implementation is xoshiro256++, seeded through SplitMix64.
+#ifndef SILOZ_SRC_BASE_RNG_H_
+#define SILOZ_SRC_BASE_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace siloz {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0, bound); bound must be nonzero. Uses rejection sampling
+  // (Lemire) to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Standard normal via Box-Muller (no cached spare; cheap enough here).
+  double NextGaussian();
+
+  // Derive an independent child stream; deterministic in (parent seed, tag).
+  Rng Fork(uint64_t tag);
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+// Zipfian sampler over [0, n) with skew theta (YCSB uses theta ~ 0.99):
+// rank r is drawn with probability proportional to 1 / (r+1)^theta.
+// Implements the Gray et al. rejection-free inverse method YCSB uses.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold_;  // probability mass of the two hottest items
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_RNG_H_

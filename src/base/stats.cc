@@ -1,0 +1,67 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+void RunningStat::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStat::mean() const { return mean_; }
+
+double RunningStat::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double RunningStat::ci95_halfwidth() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double sem = stddev() / std::sqrt(static_cast<double>(count_));
+  return TCritical95(count_ - 1) * sem;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  SILOZ_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    SILOZ_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double TCritical95(size_t degrees_of_freedom) {
+  // Standard two-sided 95% t table; beyond df=30 the normal quantile 1.96 is
+  // within 2% and is used directly.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degrees_of_freedom == 0) {
+    return 0.0;
+  }
+  if (degrees_of_freedom <= 30) {
+    return kTable[degrees_of_freedom];
+  }
+  return 1.96;
+}
+
+}  // namespace siloz

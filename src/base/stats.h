@@ -1,0 +1,46 @@
+// Statistics helpers for experiment reporting.
+//
+// Figures 4-7 of the paper report baseline-normalized means with 95%
+// confidence intervals and geometric means across workloads; these helpers
+// provide exactly those aggregations.
+#ifndef SILOZ_SRC_BASE_STATS_H_
+#define SILOZ_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace siloz {
+
+// Accumulates samples; provides mean / stddev / 95% CI.
+class RunningStat {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample standard deviation (0 for <2 samples).
+  double stddev() const;
+  // Half-width of the 95% confidence interval on the mean, using Student's t
+  // for small samples (two-sided, df = count-1).
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford running sum of squared deviations
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Geometric mean of strictly positive values.
+double GeometricMean(const std::vector<double>& values);
+
+// Two-sided Student's t critical value at 95% for the given degrees of
+// freedom (table lookup with asymptotic tail).
+double TCritical95(size_t degrees_of_freedom);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_STATS_H_

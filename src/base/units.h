@@ -1,0 +1,38 @@
+// Size and time unit helpers used throughout the Siloz reproduction.
+#ifndef SILOZ_SRC_BASE_UNITS_H_
+#define SILOZ_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace siloz {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// x86-64 page sizes relevant to the paper (§4.2).
+inline constexpr uint64_t kPage4K = 4 * kKiB;
+inline constexpr uint64_t kPage2M = 2 * kMiB;
+inline constexpr uint64_t kPage1G = 1 * kGiB;
+
+// Cache line granularity at which physical-to-media mappings apply (§2.4).
+inline constexpr uint64_t kCacheLineBytes = 64;
+
+// DDR4 retention window: every cell is refreshed within 64 ms (§2.3).
+inline constexpr uint64_t kRefreshWindowNs = 64'000'000;
+// DDR4 issues one REF command per tREFI (7.8 us) covering 1/8192 of rows.
+inline constexpr uint64_t kRefreshIntervalNs = 7'800;
+inline constexpr uint32_t kRefreshBins = 8192;
+// JEDEC allows postponing at most 9 REF commands, so a row can stay open at
+// most ~9*tREFI before the controller must precharge the bank — the bound on
+// RowPress aggressor-on time.
+inline constexpr uint64_t kMaxRowOpenNs = 9 * kRefreshIntervalNs;
+
+// Literal helpers so geometry configs read like the paper ("32 GiB DIMM").
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_UNITS_H_

@@ -1,0 +1,86 @@
+#include "src/defenses/copy_on_flip.h"
+
+#include <map>
+#include <set>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+// Deterministic page-movability assignment.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a * 0x9E3779B97F4A7C15ull + b;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool CopyOnFlipDefender::IsMovable(uint64_t page) const {
+  const double u =
+      static_cast<double>(Mix(config_.seed, page) >> 11) * 0x1.0p-53;
+  return u < config_.movable_fraction;
+}
+
+CopyOnFlipDefender::Report CopyOnFlipDefender::ProcessPendingFlips() {
+  SILOZ_CHECK(machine_.fault_tracking());
+  Report report;
+
+  // The scrub pass that surfaces ECC events; its corrected count is the
+  // detection signal (and, equally, the leak count).
+  report.corrected_detections = machine_.PatrolScrubAll();
+
+  // Classify the flips by victim 4 KiB page, then evacuate *every* page
+  // with bytes in a detected victim row (the defense knows the row from the
+  // corrected-error report, and the whole row stays exposed).
+  std::map<uint64_t, uint64_t> flips_per_page;
+  std::set<uint64_t> victim_row_pages;
+  const DramGeometry& geometry = machine_.decoder().geometry();
+  for (const PhysFlip& flip : machine_.DrainFlips()) {
+    flips_per_page[flip.phys / kPage4K] += 1;
+    MediaAddress media = flip.media;
+    for (uint32_t column = 0; column < geometry.row_bytes; column += kCacheLineBytes) {
+      media.column = column;
+      victim_row_pages.insert(*machine_.decoder().MediaToPhys(media) / kPage4K);
+    }
+  }
+  for (const auto& [page, flips] : flips_per_page) {
+    if (migrated_pages_.count(page) == 0) {
+      report.flips_on_live_pages += flips;
+    }
+  }
+  for (uint64_t page : victim_row_pages) {
+    if (migrated_pages_.count(page) != 0) {
+      continue;  // already rescued
+    }
+    if (IsMovable(page)) {
+      migrated_pages_.insert(page);
+      ++report.migrations;
+    } else {
+      ++report.unmovable_victim_pages;
+    }
+  }
+
+  // ECC-escape tallies: deltas of the devices' cumulative counters.
+  uint64_t uncorrectable_total = 0;
+  uint64_t silent_total = 0;
+  for (uint32_t socket = 0; socket < machine_.decoder().geometry().sockets; ++socket) {
+    for (uint32_t channel = 0; channel < machine_.decoder().geometry().channels_per_socket;
+         ++channel) {
+      for (uint32_t dimm = 0; dimm < machine_.decoder().geometry().dimms_per_channel; ++dimm) {
+        const DeviceCounters& counters = machine_.device(socket, channel, dimm).counters();
+        uncorrectable_total += counters.uncorrectable_words;
+        silent_total += counters.silent_corruptions;
+      }
+    }
+  }
+  report.uncorrectable_words = uncorrectable_total - seen_uncorrectable_;
+  report.silent_corruptions = silent_total - seen_silent_;
+  seen_uncorrectable_ = uncorrectable_total;
+  seen_silent_ = silent_total;
+  return report;
+}
+
+}  // namespace siloz

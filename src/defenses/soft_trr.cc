@@ -1,0 +1,65 @@
+#include "src/defenses/soft_trr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+
+SoftTrrDefender::SoftTrrDefender(Machine& machine, const std::vector<uint64_t>& protected_pages,
+                                 SoftTrrConfig config)
+    : machine_(machine), config_(config), rng_(config.seed) {
+  SILOZ_CHECK(machine_.fault_tracking());
+  // Resolve every distinct (device, rank, bank, row) the protected pages'
+  // cache lines live in.
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, uint32_t, uint32_t>> seen;
+  for (uint64_t page : protected_pages) {
+    for (uint64_t offset = 0; offset < kPage4K; offset += kCacheLineBytes) {
+      const MediaAddress media = *machine_.decoder().PhysToMedia(page + offset);
+      const auto key = std::make_tuple(media.socket, media.channel, media.dimm, media.rank,
+                                       media.bank, media.row);
+      if (seen.insert(key).second) {
+        rows_.push_back(ProtectedRow{media.socket, media.channel, media.dimm, media.rank,
+                                     media.bank, media.row});
+      }
+    }
+  }
+  last_fire_ns_ = machine_.clock_ns();
+  next_fire_ns_ = machine_.clock_ns() + static_cast<uint64_t>(config_.period_ms * 1e6);
+}
+
+void SoftTrrDefender::CatchUp() {
+  const uint64_t now = machine_.clock_ns();
+  while (next_fire_ns_ <= now) {
+    // The task finally runs: refresh every protected row. Devices may have
+    // advanced past the scheduled instant while the attacker ran; the
+    // refresh is applied at the current clock (CatchUp is the seam where
+    // the "kernel task" gets the CPU back).
+    for (const ProtectedRow& row : rows_) {
+      machine_.device(row.socket, row.channel, row.dimm)
+          .RefreshRow(row.rank, row.bank, row.row, now);
+    }
+    ++refreshes_fired_;
+    const double gap_ms = static_cast<double>(next_fire_ns_ - last_fire_ns_) / 1e6;
+    max_gap_ms_ = std::max(max_gap_ms_, gap_ms);
+    if (gap_ms > config_.period_ms * 1.5) {
+      ++deadline_misses_;
+    }
+    last_fire_ns_ = next_fire_ns_;
+
+    // Schedule the next firing: period + runqueue jitter, with occasional
+    // long stalls (§8.3's delayed/dropped ticks).
+    double delay_ms =
+        config_.period_ms - config_.jitter_mean_ms * std::log(1.0 - rng_.NextDouble());
+    if (rng_.NextBernoulli(config_.stall_probability)) {
+      delay_ms += rng_.NextDouble() * config_.stall_max_ms;
+    }
+    next_fire_ns_ += static_cast<uint64_t>(delay_ms * 1e6);
+  }
+}
+
+}  // namespace siloz

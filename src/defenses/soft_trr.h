@@ -1,0 +1,74 @@
+// SoftTRR-style software target-row-refresh (§3, §8.3).
+//
+// SoftTRR [Zhang et al., ATC'22] protects a designated set of rows (page
+// tables in the original) by refreshing them from kernel software before
+// aggressors can accumulate enough activations. Its soundness depends on a
+// real-time guarantee Linux cannot give: the refresh task must run at least
+// once per safe period. This model drives DramDevice::RefreshRow on a
+// schedule with the latency behaviour the paper measured — never early,
+// usually ~on time, occasionally stalled for tens of milliseconds — so
+// attacks that fit inside a stall window land flips in "protected" rows.
+#ifndef SILOZ_SRC_DEFENSES_SOFT_TRR_H_
+#define SILOZ_SRC_DEFENSES_SOFT_TRR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/machine.h"
+
+namespace siloz {
+
+struct SoftTrrConfig {
+  // Intended refresh period (1 ms protects against ~threshold-rate hammering
+  // per the paper's analysis).
+  double period_ms = 1.0;
+  // Exponential scheduling latency added to each firing (runqueue delay).
+  double jitter_mean_ms = 0.05;
+  // Probability a firing is stalled (preemption/IRQ-off window) and the
+  // uniform upper bound of the stall.
+  double stall_probability = 0.0005;
+  double stall_max_ms = 34.0;
+  uint64_t seed = 0x50F7;
+};
+
+class SoftTrrDefender {
+ public:
+  // Protects the rows containing `protected_phys` pages (every bank a page's
+  // lines touch). Requires a fault-tracking machine.
+  SoftTrrDefender(Machine& machine, const std::vector<uint64_t>& protected_pages,
+                  SoftTrrConfig config);
+
+  // Fire all refresh events scheduled before the machine's current clock.
+  // Call between attacker bursts (the simulation's co-routine seam).
+  void CatchUp();
+
+  uint64_t refreshes_fired() const { return refreshes_fired_; }
+  double max_gap_ms() const { return max_gap_ms_; }
+  uint64_t deadline_misses() const { return deadline_misses_; }
+  size_t protected_row_count() const { return rows_.size(); }
+
+ private:
+  struct ProtectedRow {
+    uint32_t socket;
+    uint32_t channel;
+    uint32_t dimm;
+    uint32_t rank;
+    uint32_t bank;
+    uint32_t row;
+  };
+
+  Machine& machine_;
+  SoftTrrConfig config_;
+  Rng rng_;
+  std::vector<ProtectedRow> rows_;
+  uint64_t next_fire_ns_ = 0;
+  uint64_t last_fire_ns_ = 0;
+  uint64_t refreshes_fired_ = 0;
+  uint64_t deadline_misses_ = 0;
+  double max_gap_ms_ = 0.0;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DEFENSES_SOFT_TRR_H_

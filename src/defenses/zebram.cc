@@ -1,0 +1,50 @@
+#include "src/defenses/zebram.h"
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+ZebramRegion::ZebramRegion(const AddressDecoder& decoder, PhysRange region, uint32_t guard_rows)
+    : region_(region), guard_rows_(guard_rows) {
+  const DramGeometry& geometry = decoder.geometry();
+  row_group_bytes_ = geometry.row_group_bytes() / decoder.clusters_per_socket();
+  SILOZ_CHECK_GT(guard_rows_, 0u);
+  SILOZ_CHECK_EQ(region_.begin % row_group_bytes_, 0u);
+  SILOZ_CHECK_EQ(region_.end % row_group_bytes_, 0u);
+  // Stripe: one safe row group, then guard_rows guards, repeating. The first
+  // and last safe groups still need guards on their outer sides, so the
+  // stripe starts with guards.
+  const uint32_t stride = guard_rows_ + 1;
+  const uint64_t groups = region_.size() / row_group_bytes_;
+  for (uint64_t index = 0; index < groups; ++index) {
+    if (index % stride != guard_rows_) {
+      continue;  // guard row group
+    }
+    const uint64_t begin = region_.begin + index * row_group_bytes_;
+    // The safe group needs guard_rows of trailing guards too; the stripe
+    // provides them except at the region tail.
+    if (index + guard_rows_ >= groups) {
+      break;
+    }
+    usable_bytes_ += row_group_bytes_;
+    if (!safe_extents_.empty() && safe_extents_.back().end == begin) {
+      safe_extents_.back().end = begin + row_group_bytes_;
+    } else {
+      safe_extents_.push_back(PhysRange{begin, begin + row_group_bytes_});
+    }
+  }
+}
+
+bool ZebramRegion::IsSafePhys(uint64_t phys) const {
+  if (!region_.Contains(phys)) {
+    return false;
+  }
+  for (const PhysRange& extent : safe_extents_) {
+    if (extent.Contains(phys)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace siloz

@@ -1,0 +1,54 @@
+// ZebRAM-style whole-region guard-row protection (§3).
+//
+// ZebRAM [Konoth et al., OSDI'18] splits memory into alternating "safe" and
+// "guard" rows: hammering safe rows can only flip bits in guards, which hold
+// no data (or ECC-protected swap). The scheme generalizes to g guard rows
+// per safe row; the paper's critique is cost: g/(g+1) of DRAM is sacrificed
+// (50% at g=1, 80% at the modern requirement g=4), so it only scales to
+// small protected regions.
+//
+// This model carves a physical region into safe/guard row groups at the
+// platform's row-group granularity, exposes the usable extents, and verifies
+// containment: flips from hammering safe rows must land in guards.
+#ifndef SILOZ_SRC_DEFENSES_ZEBRAM_H_
+#define SILOZ_SRC_DEFENSES_ZEBRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/addr/subarray_group.h"
+
+namespace siloz {
+
+class ZebramRegion {
+ public:
+  // Protects `region` (must be row-group aligned under `decoder`) with
+  // `guard_rows` guard row groups between consecutive safe row groups.
+  ZebramRegion(const AddressDecoder& decoder, PhysRange region, uint32_t guard_rows);
+
+  // Extents usable for data (the safe row groups).
+  const std::vector<PhysRange>& safe_extents() const { return safe_extents_; }
+
+  uint64_t usable_bytes() const { return usable_bytes_; }
+  uint64_t total_bytes() const { return region_.size(); }
+  // Fraction of the region sacrificed to guards.
+  double overhead() const {
+    return 1.0 - static_cast<double>(usable_bytes_) / static_cast<double>(region_.size());
+  }
+
+  // True if `phys` lies in a safe (data) row group.
+  bool IsSafePhys(uint64_t phys) const;
+
+  uint32_t guard_rows() const { return guard_rows_; }
+
+ private:
+  PhysRange region_;
+  uint32_t guard_rows_;
+  uint64_t row_group_bytes_;
+  uint64_t usable_bytes_ = 0;
+  std::vector<PhysRange> safe_extents_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DEFENSES_ZEBRAM_H_

@@ -1,0 +1,162 @@
+// DramDevice: functional + fault model of one server DIMM.
+//
+// The device executes the controller-visible command stream (activate, read,
+// write, refresh ticks) against:
+//  - the media-to-internal remap chain (remap.h),
+//  - the Rowhammer/RowPress disturbance model in internal coordinates
+//    (fault_model.h),
+//  - a per-(rank,bank,side) TRR tracker consulted on REF ticks (trr.h),
+//  - SEC-DED ECC storage: every stored 64-bit word carries check bits and is
+//    decoded on read (ecc.h).
+//
+// Each 8 KiB media row is split into an A-side half (bytes [0, 4 KiB)) and a
+// B-side half (bytes [4 KiB, 8 KiB)) which may live at different internal
+// rows (§2.3, §6). Bit flips are recorded in a log with both media and
+// internal coordinates so experiments can take a census (Table 3).
+#ifndef SILOZ_SRC_DRAM_DEVICE_H_
+#define SILOZ_SRC_DRAM_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dram/ecc.h"
+#include "src/dram/fault_model.h"
+#include "src/dram/geometry.h"
+#include "src/dram/remap.h"
+#include "src/dram/trr.h"
+
+namespace siloz {
+
+// One observed bit flip, in both coordinate systems.
+struct FlipRecord {
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+  uint32_t media_row = 0;     // external row the flipped byte belongs to
+  uint32_t internal_row = 0;  // wordline that was disturbed
+  HalfRowSide side = HalfRowSide::kA;
+  uint32_t byte_in_row = 0;   // within the 8 KiB external row
+  uint8_t bit_in_byte = 0;
+  uint64_t time_ns = 0;
+};
+
+// Aggregate outcome of one read through ECC.
+struct ReadResult {
+  EccOutcome outcome = EccOutcome::kClean;  // worst word in the range
+  uint32_t corrected_words = 0;
+  uint32_t uncorrectable_words = 0;
+  // Words whose "correction" produced wrong data (>=3 aliased flips) or that
+  // carry undetected even->even aliasing; instrumentation only — software in
+  // the model cannot see this field.
+  uint32_t silently_corrupt_words = 0;
+};
+
+struct DeviceCounters {
+  uint64_t activates = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t ref_ticks = 0;
+  uint64_t trr_victim_refreshes = 0;
+  uint64_t bit_flips = 0;
+  uint64_t corrected_words = 0;
+  uint64_t uncorrectable_words = 0;
+  uint64_t silent_corruptions = 0;
+};
+
+class DramDevice {
+ public:
+  // `name` labels the DIMM in experiment output ("A".."F" in Table 3).
+  DramDevice(const DramGeometry& geometry, RemapConfig remap_config,
+             DisturbanceProfile disturbance_profile, TrrConfig trr_config, std::string name);
+
+  // Activate `media_row` in (rank, bank) at time `now_ns`, implicitly
+  // precharging any open row (whose open interval contributes RowPress
+  // disturbance). Advances the refresh clock first.
+  void Activate(uint32_t rank, uint32_t bank, uint32_t media_row, uint64_t now_ns);
+
+  // Close any open row in (rank, bank).
+  void Precharge(uint32_t rank, uint32_t bank, uint64_t now_ns);
+
+  // Write bytes at (media_row, column). Activates the row if not open.
+  void Write(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t column,
+             std::span<const uint8_t> data, uint64_t now_ns);
+
+  // Read bytes through ECC. Single-bit errors are corrected in place (as a
+  // scrubbing controller would); double-bit errors leave data as-is and
+  // report kUncorrectable.
+  ReadResult Read(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t column,
+                  std::span<uint8_t> out, uint64_t now_ns);
+
+  // Advance the device clock, processing REF ticks (auto-refresh epochs are
+  // handled lazily by the fault model; TRR victim refreshes happen here).
+  void AdvanceTo(uint64_t now_ns);
+
+  // Walk all stored rows through ECC, correcting single-bit errors — the
+  // patrol scrub the paper relies on to surface undetected flips (§7.1).
+  // Returns the number of corrected words.
+  uint64_t PatrolScrub(uint64_t now_ns);
+
+  // Force a bit flip (tests; EPT-corruption experiments).
+  void InjectFlip(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t byte_in_row,
+                  uint8_t bit_in_byte, uint64_t now_ns);
+
+  // Refresh one media row ahead of schedule on both half-row sides (the
+  // primitive a SoftTRR-style software defense drives, §8.3).
+  void RefreshRow(uint32_t rank, uint32_t bank, uint32_t media_row, uint64_t now_ns);
+
+  const std::vector<FlipRecord>& flip_log() const { return flip_log_; }
+  void ClearFlipLog() { flip_log_.clear(); }
+  const DeviceCounters& counters() const { return counters_; }
+  const DramGeometry& geometry() const { return geometry_; }
+  const RowRemapper& remapper() const { return remapper_; }
+  DisturbanceModel& disturbance_model() { return disturbance_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct StoredRow {
+    std::vector<uint8_t> data;       // current (possibly corrupted) contents
+    std::vector<uint8_t> check;      // one ECC check byte per 8 data bytes
+    std::vector<uint8_t> flip_mask;  // XOR of all un-repaired flips (ground truth)
+  };
+  struct BankState {
+    int64_t open_row = -1;  // media row, -1 = precharged
+    uint64_t open_since_ns = 0;
+  };
+
+  uint32_t BankKey(uint32_t rank, uint32_t bank) const {
+    return rank * geometry_.banks_per_rank + bank;
+  }
+  uint64_t RowKey(uint32_t rank, uint32_t bank, uint32_t media_row) const {
+    return (static_cast<uint64_t>(BankKey(rank, bank)) << 32) | media_row;
+  }
+  StoredRow& GetOrCreateRow(uint32_t rank, uint32_t bank, uint32_t media_row);
+
+  // Map an internal-space flip back to media coordinates and apply it.
+  void ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide side,
+                          const std::vector<InternalFlip>& flips, uint64_t now_ns);
+  void ApplyFlipBit(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t internal_row,
+                    HalfRowSide side, uint32_t byte_in_row, uint8_t bit_in_byte, uint64_t now_ns);
+  void CloseOpenRow(uint32_t rank, uint32_t bank, uint64_t now_ns);
+  TrrTracker& Tracker(uint32_t rank, uint32_t bank, HalfRowSide side);
+
+  DramGeometry geometry_;
+  RowRemapper remapper_;
+  DisturbanceModel disturbance_;
+  TrrConfig trr_config_;
+  std::string name_;
+
+  std::vector<BankState> bank_state_;          // indexed by BankKey
+  std::vector<TrrTracker> trr_trackers_;       // indexed by BankKey*2 + side
+  std::unordered_map<uint64_t, StoredRow> rows_;
+  std::vector<FlipRecord> flip_log_;
+  DeviceCounters counters_;
+  uint64_t now_ns_ = 0;
+  uint64_t next_ref_ns_ = kRefreshIntervalNs;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_DEVICE_H_

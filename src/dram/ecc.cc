@@ -1,0 +1,91 @@
+#include "src/dram/ecc.h"
+
+#include <bit>
+
+namespace siloz {
+namespace {
+
+// Codeword layout: positions 1..71. Parity bits sit at power-of-two
+// positions {1,2,4,8,16,32,64}; the 64 data bits fill the remaining
+// positions in ascending order. Bit 72 (stored as check bit 7) is the
+// overall parity over positions 1..71.
+constexpr bool IsParityPosition(unsigned pos) { return (pos & (pos - 1)) == 0; }
+
+// data bit index -> codeword position, precomputed at compile time.
+struct Layout {
+  unsigned data_position[64] = {};
+  constexpr Layout() {
+    unsigned index = 0;
+    for (unsigned pos = 1; pos <= 71; ++pos) {
+      if (!IsParityPosition(pos)) {
+        data_position[index++] = pos;
+      }
+    }
+  }
+};
+constexpr Layout kLayout;
+
+// Syndrome contribution of the data bits alone: XOR of positions of set bits.
+unsigned DataSyndrome(uint64_t data) {
+  unsigned syndrome = 0;
+  while (data != 0) {
+    const unsigned index = static_cast<unsigned>(std::countr_zero(data));
+    syndrome ^= kLayout.data_position[index];
+    data &= data - 1;
+  }
+  return syndrome;
+}
+
+}  // namespace
+
+uint8_t EccEncode(uint64_t data) {
+  // Choosing parity bit p_i (position 2^i) equal to syndrome bit i makes the
+  // full-codeword syndrome zero.
+  const unsigned syndrome = DataSyndrome(data);
+  uint8_t check = static_cast<uint8_t>(syndrome & 0x7F);
+  // Overall parity over positions 1..71 = parity(data) ^ parity(check bits).
+  const unsigned ones =
+      static_cast<unsigned>(std::popcount(data)) + static_cast<unsigned>(std::popcount(check));
+  if (ones & 1u) {
+    check |= 0x80;
+  }
+  return check;
+}
+
+EccDecodeResult EccDecode(uint64_t data, uint8_t check) {
+  const unsigned stored_parity_bits = check & 0x7F;
+  const unsigned syndrome = DataSyndrome(data) ^ stored_parity_bits;
+  const unsigned total_ones = static_cast<unsigned>(std::popcount(data)) +
+                              static_cast<unsigned>(std::popcount(static_cast<uint64_t>(check)));
+  const bool overall_parity_error = (total_ones & 1u) != 0;
+
+  if (syndrome == 0 && !overall_parity_error) {
+    return {EccOutcome::kClean, data};
+  }
+  if (syndrome == 0 && overall_parity_error) {
+    // The overall parity bit itself flipped; data intact.
+    return {EccOutcome::kCorrected, data};
+  }
+  if (!overall_parity_error) {
+    // Nonzero syndrome with even parity: an even number (>=2) of flips.
+    return {EccOutcome::kUncorrectable, data};
+  }
+  // Odd number of flips with nonzero syndrome: hardware assumes exactly one
+  // and corrects position `syndrome`. Triple+ flips land here too and get
+  // miscorrected — the device model detects that by comparing to true data.
+  if (syndrome > 71) {
+    return {EccOutcome::kUncorrectable, data};  // impossible position
+  }
+  if (IsParityPosition(syndrome)) {
+    return {EccOutcome::kCorrected, data};  // a parity bit flipped; data intact
+  }
+  // Map position back to the data bit index.
+  for (unsigned index = 0; index < 64; ++index) {
+    if (kLayout.data_position[index] == syndrome) {
+      return {EccOutcome::kCorrected, data ^ (1ull << index)};
+    }
+  }
+  return {EccOutcome::kUncorrectable, data};
+}
+
+}  // namespace siloz

@@ -1,0 +1,37 @@
+// SEC-DED ECC codec (Hamming(72,64)) as deployed on server DIMMs (§2.5).
+//
+// Every 64-bit data word carries 8 check bits: 7 Hamming parity bits plus an
+// overall parity bit. Decoding corrects any single-bit error and detects any
+// double-bit error (machine check in the device model). Like real SEC-DED,
+// >=3 flips can alias to a single-bit syndrome and be *miscorrected* into
+// silent corruption — the property that makes ECC insufficient against
+// Rowhammer [Cojocar et al., S&P'19]. Hardware cannot tell a miscorrection
+// from a correction; the device model reclassifies by comparing against the
+// stored true data, for instrumentation only.
+#ifndef SILOZ_SRC_DRAM_ECC_H_
+#define SILOZ_SRC_DRAM_ECC_H_
+
+#include <cstdint>
+
+namespace siloz {
+
+enum class EccOutcome : uint8_t {
+  kClean = 0,      // no error
+  kCorrected,      // single-bit error corrected (what the hardware believes)
+  kUncorrectable,  // double-bit error detected (machine check)
+};
+
+// Compute the 8 check bits for a 64-bit data word.
+uint8_t EccEncode(uint64_t data);
+
+struct EccDecodeResult {
+  EccOutcome outcome;
+  uint64_t data;  // corrected (or, for aliased multi-bit errors, miscorrected)
+};
+
+// Decode a (data, check) pair; flips may be present in both data and check.
+EccDecodeResult EccDecode(uint64_t data, uint8_t check);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_ECC_H_

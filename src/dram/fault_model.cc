@@ -1,0 +1,138 @@
+#include "src/dram/fault_model.h"
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+uint64_t VictimKey(uint32_t bank_key, HalfRowSide side, uint32_t row) {
+  return (static_cast<uint64_t>(bank_key) << 33) | (static_cast<uint64_t>(side) << 32) | row;
+}
+
+// Stateless mixer for deterministic per-row properties.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a * 0x9E3779B97F4A7C15ull + b;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DisturbanceModel::DisturbanceModel(DisturbanceProfile profile, uint32_t rows_per_bank,
+                                   uint32_t rows_per_subarray, uint32_t half_row_bits)
+    : profile_(profile),
+      rows_per_bank_(rows_per_bank),
+      rows_per_subarray_(rows_per_subarray),
+      half_row_bits_(half_row_bits),
+      flip_rng_(profile.seed ^ 0xF11Bull) {
+  SILOZ_CHECK_GT(rows_per_subarray_, 0u);
+  SILOZ_CHECK_EQ(rows_per_bank_ % rows_per_subarray_, 0u);
+  SILOZ_CHECK_GT(profile_.threshold_mean, 0.0);
+}
+
+uint64_t DisturbanceModel::EpochFor(uint32_t internal_row, uint64_t now_ns) const {
+  // Each row belongs to a refresh bin; its refresh fires at
+  // phase = bin * tREFI within every 64 ms window. The epoch counts completed
+  // refreshes of this particular row.
+  const uint64_t phase = (internal_row % kRefreshBins) * kRefreshIntervalNs;
+  return (now_ns + kRefreshWindowNs - phase) / kRefreshWindowNs;
+}
+
+double DisturbanceModel::ThresholdFor(uint32_t bank_key, HalfRowSide side,
+                                      uint32_t internal_row) const {
+  const uint64_t h = Mix(profile_.seed, VictimKey(bank_key, side, internal_row));
+  // Uniform in mean * [1 - spread, 1 + spread].
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return profile_.threshold_mean * (1.0 + profile_.threshold_spread * (2.0 * u - 1.0));
+}
+
+void DisturbanceModel::DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row,
+                                     double amount, uint64_t now_ns,
+                                     std::vector<InternalFlip>& flips) {
+  VictimState& state = victims_[VictimKey(bank_key, side, victim_row)];
+  const uint64_t epoch = EpochFor(victim_row, now_ns);
+  if (epoch != state.refresh_epoch) {
+    // The row's periodic refresh fired since we last looked: charge restored.
+    state.disturbance = 0.0;
+    state.crossings = 0;
+    state.refresh_epoch = epoch;
+  }
+  state.disturbance += amount;
+
+  const double threshold = ThresholdFor(bank_key, side, victim_row);
+  while (state.disturbance >= threshold * static_cast<double>(state.crossings + 1)) {
+    ++state.crossings;
+    ++total_flip_events_;
+    // 1 + Geometric(extra_flip_prob) bit flips at hash-determined positions.
+    uint32_t flip_count = 1;
+    while (flip_rng_.NextBernoulli(profile_.extra_flip_prob)) {
+      ++flip_count;
+    }
+    for (uint32_t i = 0; i < flip_count; ++i) {
+      flips.push_back(InternalFlip{
+          .victim_row = victim_row,
+          .bit = static_cast<uint32_t>(flip_rng_.NextBelow(half_row_bits_)),
+      });
+    }
+  }
+}
+
+std::vector<InternalFlip> DisturbanceModel::AddDisturbance(uint32_t bank_key, HalfRowSide side,
+                                                           uint32_t aggressor_row, double amount,
+                                                           uint64_t now_ns) {
+  std::vector<InternalFlip> flips;
+  const uint32_t subarray = aggressor_row / rows_per_subarray_;
+  // Distance-1 and distance-2 neighbours, clipped to the aggressor's
+  // subarray: cells in other subarrays are electrically isolated (§2.5).
+  struct Neighbour {
+    int64_t row;
+    double weight;
+  };
+  const Neighbour neighbours[] = {
+      {static_cast<int64_t>(aggressor_row) - 1, 1.0},
+      {static_cast<int64_t>(aggressor_row) + 1, 1.0},
+      {static_cast<int64_t>(aggressor_row) - 2, profile_.distance2_factor},
+      {static_cast<int64_t>(aggressor_row) + 2, profile_.distance2_factor},
+  };
+  for (const Neighbour& n : neighbours) {
+    if (n.row < 0 || n.row >= static_cast<int64_t>(rows_per_bank_)) {
+      continue;
+    }
+    const auto victim = static_cast<uint32_t>(n.row);
+    if (victim / rows_per_subarray_ != subarray) {
+      continue;  // subarray isolation boundary
+    }
+    DisturbVictim(bank_key, side, victim, amount * n.weight, now_ns, flips);
+  }
+  return flips;
+}
+
+std::vector<InternalFlip> DisturbanceModel::OnActivate(uint32_t bank_key, HalfRowSide side,
+                                                       uint32_t internal_row, uint64_t now_ns) {
+  SILOZ_DCHECK(internal_row < rows_per_bank_);
+  // The ACT refreshes the aggressor row itself.
+  RefreshRow(bank_key, side, internal_row, now_ns);
+  return AddDisturbance(bank_key, side, internal_row, 1.0, now_ns);
+}
+
+std::vector<InternalFlip> DisturbanceModel::OnRowOpen(uint32_t bank_key, HalfRowSide side,
+                                                      uint32_t internal_row, uint64_t open_ns,
+                                                      uint64_t now_ns) {
+  const double equivalent_acts = static_cast<double>(open_ns) * profile_.rowpress_acts_per_ns;
+  return AddDisturbance(bank_key, side, internal_row, equivalent_acts, now_ns);
+}
+
+void DisturbanceModel::RefreshRow(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
+                                  uint64_t now_ns) {
+  auto it = victims_.find(VictimKey(bank_key, side, internal_row));
+  if (it == victims_.end()) {
+    return;
+  }
+  it->second.disturbance = 0.0;
+  it->second.crossings = 0;
+  it->second.refresh_epoch = EpochFor(internal_row, now_ns);
+}
+
+}  // namespace siloz

@@ -1,0 +1,119 @@
+// Rowhammer / RowPress disturbance fault model (§2.5).
+//
+// Physics modeled:
+//  - Activating (ACT) an aggressor row disturbs charge in nearby rows *in the
+//    same subarray*; rows in other subarrays are electrically isolated and
+//    unaffected. This containment is the property Siloz builds on.
+//  - Disturbance accumulates per victim between refreshes of that victim;
+//    when it crosses the victim's (per-row, DIMM-dependent) Rowhammer
+//    threshold, bits flip.
+//  - An ACT refreshes the activated row itself.
+//  - Distance-2 neighbours receive a fraction of the disturbance
+//    (Half-Double-style).
+//  - RowPress: a row *held open* disturbs neighbours proportionally to its
+//    open time.
+//
+// Adjacency is computed on INTERNAL row addresses (post remap chain, see
+// remap.h), and the subarray size used here is the silicon ground truth —
+// deliberately independent of the subarray size Siloz *presumes* via its boot
+// parameter, so misconfiguration is observable (§7.4).
+#ifndef SILOZ_SRC_DRAM_FAULT_MODEL_H_
+#define SILOZ_SRC_DRAM_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/dram/remap.h"
+
+namespace siloz {
+
+// Per-DIMM-model fault characteristics. Thresholds are in units of
+// activations within one 64 ms refresh window. The defaults are in the range
+// reported for modern server DDR4 (tens of thousands of ACTs).
+struct DisturbanceProfile {
+  // Mean/spread of the per-row Rowhammer threshold. Per-row values are
+  // deterministic in (seed, bank, side, row).
+  double threshold_mean = 50000.0;
+  double threshold_spread = 0.3;  // rows vary uniformly in mean*(1 +/- spread)
+  // Weight of distance-2 aggressors relative to distance-1.
+  double distance2_factor = 0.2;
+  // RowPress: equivalent ACT count contributed per nanosecond a neighbouring
+  // row is held open past tRAS.
+  double rowpress_acts_per_ns = 1.0 / 3000.0;
+  // Bits flipped per threshold crossing: 1 + Geometric(extra_flip_prob).
+  double extra_flip_prob = 0.35;
+  // Seed for per-row thresholds and flip positions.
+  uint64_t seed = 0x51102;
+};
+
+// A flip in internal coordinates: bit index within one half-row (the device
+// maps it back to a media row + byte).
+struct InternalFlip {
+  uint32_t victim_row = 0;  // internal row
+  uint32_t bit = 0;         // bit within the 4 KiB half-row
+};
+
+// Tracks disturbance accumulation for all victims of one DIMM.
+//
+// Keys are (bank_key, side, internal_row) where bank_key identifies the
+// rank+bank within the DIMM. Victims are tracked sparsely: commodity access
+// patterns never cross thresholds, so the map stays small.
+class DisturbanceModel {
+ public:
+  // `half_row_bits` = bits per half-row (4 KiB * 8 by default);
+  // `rows_per_subarray` is the silicon ground truth;
+  // `rows_per_bank` bounds row indices.
+  DisturbanceModel(DisturbanceProfile profile, uint32_t rows_per_bank,
+                   uint32_t rows_per_subarray, uint32_t half_row_bits);
+
+  // Record one activation of `internal_row`. Disturbs same-subarray
+  // neighbours and refreshes the aggressor itself. Returns flips triggered by
+  // this ACT (in victims, never in the aggressor).
+  std::vector<InternalFlip> OnActivate(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
+                                       uint64_t now_ns);
+
+  // Record that `internal_row` was held open for `open_ns` beyond nominal
+  // tRAS (RowPress, §2.5).
+  std::vector<InternalFlip> OnRowOpen(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
+                                      uint64_t open_ns, uint64_t now_ns);
+
+  // Refresh `internal_row` ahead of schedule (TRR or software refresh):
+  // clears its accumulated disturbance.
+  void RefreshRow(uint32_t bank_key, HalfRowSide side, uint32_t internal_row, uint64_t now_ns);
+
+  // Deterministic per-row threshold (exposed for tests/analysis).
+  double ThresholdFor(uint32_t bank_key, HalfRowSide side, uint32_t internal_row) const;
+
+  uint32_t rows_per_subarray() const { return rows_per_subarray_; }
+  uint64_t total_flip_events() const { return total_flip_events_; }
+
+ private:
+  struct VictimState {
+    double disturbance = 0.0;   // accumulated since last refresh of this row
+    uint64_t refresh_epoch = 0; // auto-refresh epoch the disturbance belongs to
+    uint32_t crossings = 0;     // threshold crossings already converted to flips
+  };
+
+  // Auto-refresh: every row is refreshed once per 64 ms window, staggered by
+  // its refresh bin. Returns the current epoch for the row at `now_ns`.
+  uint64_t EpochFor(uint32_t internal_row, uint64_t now_ns) const;
+
+  std::vector<InternalFlip> AddDisturbance(uint32_t bank_key, HalfRowSide side,
+                                           uint32_t aggressor_row, double amount, uint64_t now_ns);
+  void DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row, double amount,
+                     uint64_t now_ns, std::vector<InternalFlip>& flips);
+
+  DisturbanceProfile profile_;
+  uint32_t rows_per_bank_;
+  uint32_t rows_per_subarray_;
+  uint32_t half_row_bits_;
+  std::unordered_map<uint64_t, VictimState> victims_;
+  Rng flip_rng_;
+  uint64_t total_flip_events_ = 0;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_FAULT_MODEL_H_

@@ -1,0 +1,56 @@
+#include "src/dram/geometry.h"
+
+#include <sstream>
+
+namespace siloz {
+
+Status DramGeometry::Validate() const {
+  if (sockets == 0 || channels_per_socket == 0 || dimms_per_channel == 0 ||
+      ranks_per_dimm == 0 || banks_per_rank == 0 || rows_per_bank == 0 || row_bytes == 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "geometry has a zero dimension");
+  }
+  if (rows_per_subarray == 0 || rows_per_bank % rows_per_subarray != 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "rows_per_subarray must divide rows_per_bank (got " +
+                         std::to_string(rows_per_subarray) + " / " +
+                         std::to_string(rows_per_bank) + ")");
+  }
+  return Status::Ok();
+}
+
+std::string DramGeometry::ToString() const {
+  std::ostringstream out;
+  out << sockets << " socket(s), " << channels_per_socket << " ch/socket, " << dimms_per_channel
+      << " DIMM/ch, " << ranks_per_dimm << " rank/DIMM, " << banks_per_rank << " bank/rank; "
+      << rows_per_bank << " rows x " << row_bytes << " B; subarray " << rows_per_subarray
+      << " rows; bank " << (bank_bytes() >> 20) << " MiB; socket " << (socket_bytes() >> 30)
+      << " GiB; subarray group " << (subarray_group_bytes() >> 20) << " MiB";
+  return out.str();
+}
+
+std::string MediaAddress::ToString() const {
+  std::ostringstream out;
+  out << "s" << socket << ".ch" << channel << ".d" << dimm << ".r" << rank << ".b" << bank
+      << ".row" << row << ".col" << column;
+  return out.str();
+}
+
+uint32_t SocketBankIndex(const DramGeometry& geometry, const MediaAddress& addr) {
+  uint32_t index = addr.channel;
+  index = index * geometry.dimms_per_channel + addr.dimm;
+  index = index * geometry.ranks_per_dimm + addr.rank;
+  index = index * geometry.banks_per_rank + addr.bank;
+  return index;
+}
+
+Status ValidateAddress(const DramGeometry& geometry, const MediaAddress& addr) {
+  if (addr.socket >= geometry.sockets || addr.channel >= geometry.channels_per_socket ||
+      addr.dimm >= geometry.dimms_per_channel || addr.rank >= geometry.ranks_per_dimm ||
+      addr.bank >= geometry.banks_per_rank || addr.row >= geometry.rows_per_bank ||
+      addr.column >= geometry.row_bytes) {
+    return MakeError(ErrorCode::kOutOfRange, "media address outside geometry: " + addr.ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace siloz

@@ -1,0 +1,102 @@
+// DRAM geometry and media addressing (§2.3-§2.4 of the paper).
+//
+// A server DRAM pool is a hierarchy: socket → channel → DIMM → rank → bank →
+// subarray → row → column. The memory controller addresses DRAM by *media
+// address* (socket/channel/dimm/rank/bank/row/column); DIMM-internal
+// transforms (remap.h) may further rewrite the row bits.
+#ifndef SILOZ_SRC_DRAM_GEOMETRY_H_
+#define SILOZ_SRC_DRAM_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+
+namespace siloz {
+
+// Geometry of one machine's DRAM pool. Defaults reproduce the paper's
+// evaluation server (Table 2): dual-socket, 6 channels/socket, one 32 GiB
+// 2Rx4 DIMM per channel, 16 banks/rank → 192 banks and 192 GiB per socket,
+// 1 GiB banks of 131072 8 KiB rows, 1024-row subarrays.
+struct DramGeometry {
+  uint32_t sockets = 2;
+  uint32_t channels_per_socket = 6;
+  uint32_t dimms_per_channel = 1;
+  uint32_t ranks_per_dimm = 2;
+  uint32_t banks_per_rank = 16;
+  uint64_t row_bytes = 8 * kKiB;
+  uint32_t rows_per_bank = 131072;
+  // Subarray size in rows. Not reported by DDR4 (§4.1); Siloz receives it as
+  // a boot parameter. 1024 on the evaluation server; modern range 512-2048.
+  uint32_t rows_per_subarray = 1024;
+
+  // --- Derived quantities ---
+  uint32_t banks_per_dimm() const { return ranks_per_dimm * banks_per_rank; }
+  uint32_t banks_per_channel() const { return dimms_per_channel * banks_per_dimm(); }
+  // "Banks per physical node" in the paper's terminology (192 by default).
+  uint32_t banks_per_socket() const { return channels_per_socket * banks_per_channel(); }
+  uint32_t total_banks() const { return sockets * banks_per_socket(); }
+
+  uint64_t bank_bytes() const { return static_cast<uint64_t>(rows_per_bank) * row_bytes; }
+  uint64_t socket_bytes() const { return static_cast<uint64_t>(banks_per_socket()) * bank_bytes(); }
+  uint64_t total_bytes() const { return static_cast<uint64_t>(sockets) * socket_bytes(); }
+
+  uint32_t subarrays_per_bank() const { return rows_per_bank / rows_per_subarray; }
+  // One row group = the same row index across every bank in a socket (§4.1).
+  uint64_t row_group_bytes() const {
+    return static_cast<uint64_t>(banks_per_socket()) * row_bytes;
+  }
+  // Subarray group size = banks/socket * rows/subarray * row size (1.5 GiB on
+  // the evaluation server).
+  uint64_t subarray_group_bytes() const {
+    return row_group_bytes() * rows_per_subarray;
+  }
+  uint32_t subarray_groups_per_socket() const { return subarrays_per_bank(); }
+
+  // Structural validity: nonzero fields, subarray size divides the bank.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+// DDR5-generation platform preset (§8.2): DDR5 raises the bank count per
+// rank (32 vs DDR4's 16), increasing bank-level parallelism — and, under
+// Siloz, proportionally increasing the subarray-group size (3 GiB here).
+// Capacity per socket doubles to 384 GiB with the same DIMM count.
+inline DramGeometry Ddr5Geometry() {
+  DramGeometry geometry;
+  geometry.banks_per_rank = 32;
+  return geometry;
+}
+
+// A fully-resolved media address for one byte of DRAM.
+struct MediaAddress {
+  uint32_t socket = 0;
+  uint32_t channel = 0;   // within socket
+  uint32_t dimm = 0;      // within channel
+  uint32_t rank = 0;      // within DIMM
+  uint32_t bank = 0;      // within rank
+  uint32_t row = 0;       // media row within bank (pre-internal-remap)
+  uint32_t column = 0;    // byte offset within the 8 KiB row
+
+  bool operator==(const MediaAddress&) const = default;
+
+  std::string ToString() const;
+};
+
+// Flat bank index within a socket: channel-major, then dimm, rank, bank.
+// Range [0, banks_per_socket()).
+uint32_t SocketBankIndex(const DramGeometry& geometry, const MediaAddress& addr);
+
+// Media-level subarray index of a row.
+inline uint32_t SubarrayOfRow(const DramGeometry& geometry, uint32_t row) {
+  return row / geometry.rows_per_subarray;
+}
+
+// Bounds-check an address against the geometry.
+Status ValidateAddress(const DramGeometry& geometry, const MediaAddress& addr);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_GEOMETRY_H_

@@ -1,0 +1,138 @@
+#include "src/dram/remap.h"
+
+#include <algorithm>
+
+#include "src/base/bitops.h"
+#include "src/base/check.h"
+
+namespace siloz {
+namespace {
+
+uint64_t RepairKey(uint32_t rank, uint32_t bank, uint32_t row) {
+  return (static_cast<uint64_t>(rank) << 48) | (static_cast<uint64_t>(bank) << 32) | row;
+}
+
+}  // namespace
+
+RowRemapper::RowRemapper(const DramGeometry& geometry, RemapConfig config)
+    : geometry_(geometry), config_(std::move(config)) {
+  for (const RowRepair& repair : config_.repairs) {
+    SILOZ_CHECK_LT(repair.rank, geometry_.ranks_per_dimm);
+    SILOZ_CHECK_LT(repair.bank, geometry_.banks_per_rank);
+    SILOZ_CHECK_LT(repair.from_row, geometry_.rows_per_bank);
+    SILOZ_CHECK_LT(repair.to_row, geometry_.rows_per_bank);
+    const uint64_t key = RepairKey(repair.rank, repair.bank, repair.from_row);
+    SILOZ_CHECK(repair_map_.emplace(key, repair.to_row).second)
+        << "duplicate repair for row " << repair.from_row;
+    reverse_repair_map_.emplace(RepairKey(repair.rank, repair.bank, repair.to_row),
+                                repair.from_row);
+  }
+}
+
+uint32_t RowRemapper::ApplyMirroring(uint32_t row, uint32_t rank) {
+  if ((rank & 1u) == 0) {
+    return row;
+  }
+  uint64_t r = row;
+  r = SwapBits(r, 3, 4);
+  r = SwapBits(r, 5, 6);
+  r = SwapBits(r, 7, 8);
+  return static_cast<uint32_t>(r);
+}
+
+uint32_t RowRemapper::ApplyInversion(uint32_t row, HalfRowSide side) {
+  if (side == HalfRowSide::kA) {
+    return row;
+  }
+  // Invert bits [b3, b9].
+  return row ^ 0b11'1111'1000u;
+}
+
+uint32_t RowRemapper::ApplyScrambling(uint32_t row) {
+  const uint64_t b3 = GetBit(row, 3);
+  uint64_t r = XorBit(row, 1, b3);
+  r = XorBit(r, 2, b3);
+  return static_cast<uint32_t>(r);
+}
+
+uint32_t RowRemapper::ToInternal(uint32_t media_row, uint32_t rank, uint32_t bank,
+                                 HalfRowSide side) const {
+  SILOZ_DCHECK(media_row < geometry_.rows_per_bank);
+  uint32_t row = media_row;
+  // RCD-level transforms first (mirroring on the address bus, inversion on
+  // the B-side copy of the bus), then device-level scrambling, then the
+  // device's repair lookup. Mirroring and inversion commute (bitwise swap and
+  // XOR over the same range), so the order of the first two is immaterial.
+  if (config_.address_mirroring) {
+    row = ApplyMirroring(row, rank);
+  }
+  if (config_.address_inversion) {
+    row = ApplyInversion(row, side);
+  }
+  if (config_.vendor_scrambling) {
+    row = ApplyScrambling(row);
+  }
+  if (!repair_map_.empty()) {
+    auto it = repair_map_.find(RepairKey(rank, bank, row));
+    if (it != repair_map_.end()) {
+      row = it->second;
+    }
+  }
+  return row;
+}
+
+uint32_t RowRemapper::ToMedia(uint32_t internal_row, uint32_t rank, uint32_t bank,
+                              HalfRowSide side) const {
+  uint32_t row = internal_row;
+  if (!reverse_repair_map_.empty()) {
+    auto it = reverse_repair_map_.find(RepairKey(rank, bank, row));
+    if (it != reverse_repair_map_.end()) {
+      row = it->second;
+    }
+  }
+  // Scrambling is an involution: b1/b2 are XORed with b3, which scrambling
+  // itself never modifies, so applying it twice restores the original.
+  if (config_.vendor_scrambling) {
+    row = ApplyScrambling(row);
+  }
+  // Inversion is an XOR (involution); mirroring is a swap (involution).
+  if (config_.address_inversion) {
+    row = ApplyInversion(row, side);
+  }
+  if (config_.address_mirroring) {
+    row = ApplyMirroring(row, rank);
+  }
+  return row;
+}
+
+bool TransformsPreserveSubarrayBlocks(const DramGeometry& geometry, const RemapConfig& config,
+                                      uint32_t rows_per_subarray) {
+  SILOZ_CHECK_GT(rows_per_subarray, 0u);
+  // Repairs are handled separately (offlining, §6); analyze the bit-level
+  // transforms only.
+  RemapConfig no_repairs = config;
+  no_repairs.repairs.clear();
+  RowRemapper remapper(geometry, no_repairs);
+
+  // The transforms only touch bits [b1, b9]; checking two subarrays' worth of
+  // rows per (rank, side) covers every distinct behaviour, but scanning the
+  // whole bank is cheap enough to be exhaustive.
+  for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+    for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+      for (uint32_t row = 0; row < geometry.rows_per_bank; row += rows_per_subarray) {
+        const uint32_t expected_block =
+            remapper.ToInternal(row, rank, /*bank=*/0, side) / rows_per_subarray;
+        const uint32_t limit = std::min(row + rows_per_subarray, geometry.rows_per_bank);
+        for (uint32_t r = row; r < limit; ++r) {
+          const uint32_t internal = remapper.ToInternal(r, rank, /*bank=*/0, side);
+          if (internal / rows_per_subarray != expected_block) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace siloz

@@ -1,0 +1,112 @@
+// DIMM-internal media-to-internal row address transforms (§6, Table 1).
+//
+// The memory controller addresses rows by *media* address, but server DIMMs
+// may internally rewrite row bits before selecting physical wordlines:
+//
+//  1. DDR4 address mirroring: odd ranks swap bit pairs <b3,b4>, <b5,b6>,
+//     <b7,b8> (easier signal routing).
+//  2. DDR4 address inversion: B-side half-rows invert bits [b3, b9]
+//     (improved signal integrity). Each 8 KiB row is split into an A-side and
+//     a B-side half-row (§2.3), so one media row can live at *different*
+//     internal rows on the two sides.
+//  3. Vendor-specific scrambling: some vendors XOR b1 and b2 with b3.
+//  4. Row repair: defective rows are remapped to spare rows, possibly in a
+//     different subarray.
+//
+// Rowhammer adjacency is physical, i.e. defined on *internal* rows; Siloz's
+// isolation argument (§6) is that for power-of-2 subarray sizes these
+// transforms permute rows subarray-block-to-subarray-block, so media-level
+// subarray groups still map onto whole internal subarrays. The fault model
+// (fault_model.h) computes neighbours in internal space, making that argument
+// load-bearing in this reproduction.
+#ifndef SILOZ_SRC_DRAM_REMAP_H_
+#define SILOZ_SRC_DRAM_REMAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dram/geometry.h"
+
+namespace siloz {
+
+// Which half of the rank serves a half-row (§2.3).
+enum class HalfRowSide : uint8_t { kA = 0, kB = 1 };
+
+inline const char* HalfRowSideName(HalfRowSide side) {
+  return side == HalfRowSide::kA ? "A" : "B";
+}
+
+// One manufacturing-time row repair: media row `from_row` of (rank, bank) is
+// served by spare internal row `to_row`.
+struct RowRepair {
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+  uint32_t from_row = 0;
+  uint32_t to_row = 0;
+};
+
+// Per-DIMM remap behaviour. Defaults model the paper's evaluation DIMMs:
+// mirroring and inversion per the DDR4 standard, no vendor scrambling, no
+// repairs.
+struct RemapConfig {
+  bool address_mirroring = true;
+  bool address_inversion = true;
+  bool vendor_scrambling = false;
+  std::vector<RowRepair> repairs;
+};
+
+// DDR5 interface semantics (§8.2): DDR5RCD02 stipulates that any mirroring
+// and inversion applied on the bus must be *undone* before reaching each
+// device, so all devices see the same internal addresses — non-power-of-2
+// subarray sizes then need no artificial groups.
+inline RemapConfig Ddr5RemapConfig() {
+  RemapConfig config;
+  config.address_mirroring = false;
+  config.address_inversion = false;
+  return config;
+}
+
+// Applies the §6 transform chain for one DIMM.
+class RowRemapper {
+ public:
+  RowRemapper(const DramGeometry& geometry, RemapConfig config);
+
+  // Internal row actually driven when the controller activates `media_row`
+  // on (rank, bank), for the given side.
+  uint32_t ToInternal(uint32_t media_row, uint32_t rank, uint32_t bank, HalfRowSide side) const;
+
+  // Inverse of ToInternal for the non-repaired transform chain; repaired
+  // spare rows return the media row they serve, unmapped spares return
+  // themselves. (Used by diagnostics and tests.)
+  uint32_t ToMedia(uint32_t internal_row, uint32_t rank, uint32_t bank, HalfRowSide side) const;
+
+  const RemapConfig& config() const { return config_; }
+
+  // --- Individual transforms, exposed for tests and Table 1 regeneration ---
+
+  // Mirroring of <b3,b4>, <b5,b6>, <b7,b8>; identity on even ranks.
+  static uint32_t ApplyMirroring(uint32_t row, uint32_t rank);
+  // Inversion of bits [b3, b9]; identity on the A side.
+  static uint32_t ApplyInversion(uint32_t row, HalfRowSide side);
+  // Vendor scrambling: b1 ^= b3, b2 ^= b3 (involution).
+  static uint32_t ApplyScrambling(uint32_t row);
+
+ private:
+  DramGeometry geometry_;
+  RemapConfig config_;
+  // (rank, bank, post-transform row) -> spare row, and the reverse.
+  std::unordered_map<uint64_t, uint32_t> repair_map_;
+  std::unordered_map<uint64_t, uint32_t> reverse_repair_map_;
+};
+
+// Analysis used by tests and by Siloz's boot-time soundness check: does every
+// media subarray of `rows_per_subarray` rows map onto exactly one internal
+// subarray for all rank/side combinations? True for power-of-2 sizes in
+// [512, 2048]; false e.g. for 768-row subarrays (§6).
+bool TransformsPreserveSubarrayBlocks(const DramGeometry& geometry, const RemapConfig& config,
+                                      uint32_t rows_per_subarray);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_REMAP_H_

@@ -1,0 +1,48 @@
+#include "src/dram/trr.h"
+
+#include <algorithm>
+
+namespace siloz {
+
+void TrrTracker::OnActivate(uint32_t internal_row) {
+  auto it = counts_.find(internal_row);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counts_.size() < config_.tracker_entries) {
+    counts_.emplace(internal_row, 1);
+    return;
+  }
+  // Misra-Gries: a new row with a full table decrements every counter; rows
+  // hitting zero are evicted. Many-sided patterns exploit exactly this to
+  // flush true aggressors with decoys.
+  for (auto iter = counts_.begin(); iter != counts_.end();) {
+    if (--iter->second == 0) {
+      iter = counts_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+std::vector<uint32_t> TrrTracker::SelectTargets() {
+  std::vector<uint32_t> targets;
+  for (uint32_t i = 0; i < config_.targets_per_ref; ++i) {
+    auto best = counts_.end();
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+      if (it->second >= config_.act_threshold &&
+          (best == counts_.end() || it->second > best->second)) {
+        best = it;
+      }
+    }
+    if (best == counts_.end()) {
+      break;
+    }
+    targets.push_back(best->first);
+    best->second = 0;  // handled; leave the entry so steady hammering re-arms it
+  }
+  return targets;
+}
+
+}  // namespace siloz

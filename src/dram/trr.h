@@ -1,0 +1,55 @@
+// Target Row Refresh (TRR) model (§2.5).
+//
+// Deployed in-DRAM TRR tracks frequently-activated rows with a small amount
+// of per-bank state and refreshes a subset of their victims ahead of
+// schedule. It stops naive double-sided hammering but — because the tracker
+// is tiny — can be evicted by many-sided patterns with decoy rows, which is
+// exactly how Blacksmith-class fuzzers (and src/attack here) defeat it.
+//
+// The tracker is Misra-Gries frequent-item estimation over internal row
+// addresses, per (rank, bank, side) as real per-chip TRR would be.
+#ifndef SILOZ_SRC_DRAM_TRR_H_
+#define SILOZ_SRC_DRAM_TRR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace siloz {
+
+struct TrrConfig {
+  bool enabled = true;
+  // Tracker entries per (rank, bank, side). Real devices are believed to
+  // track on the order of a dozen rows.
+  uint32_t tracker_entries = 12;
+  // Aggressors whose neighbourhoods are refreshed per REF tick.
+  uint32_t targets_per_ref = 1;
+  // Neighbour radius refreshed around a suspected aggressor.
+  uint32_t victim_radius = 2;
+  // Minimum tracked count before a row is considered worth refreshing.
+  uint64_t act_threshold = 512;
+};
+
+// Misra-Gries tracker for one (rank, bank, side).
+class TrrTracker {
+ public:
+  explicit TrrTracker(const TrrConfig& config) : config_(config) {}
+
+  // Record an activation of `internal_row`.
+  void OnActivate(uint32_t internal_row);
+
+  // Called on each REF tick; returns the aggressor rows whose neighbourhoods
+  // the device will proactively refresh (their counters reset).
+  std::vector<uint32_t> SelectTargets();
+
+  size_t tracked_rows() const { return counts_.size(); }
+
+ private:
+  TrrConfig config_;
+  std::unordered_map<uint32_t, uint64_t> counts_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_DRAM_TRR_H_

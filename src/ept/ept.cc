@@ -1,0 +1,153 @@
+#include "src/ept/ept.h"
+
+#include <array>
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz {
+
+uint64_t PageSizeBytes(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return kPage4K;
+    case PageSize::k2M:
+      return kPage2M;
+    case PageSize::k1G:
+      return kPage1G;
+  }
+  return 0;
+}
+
+ExtendedPageTable::ExtendedPageTable(PhysMemory& memory, EptPageAllocator allocator, bool secure)
+    : memory_(memory), allocator_(std::move(allocator)), secure_(secure) {
+  Result<uint64_t> root = AllocateTablePage();
+  SILOZ_CHECK(root.ok()) << "cannot allocate EPT root: " << root.error().ToString();
+  root_ = *root;
+}
+
+Result<std::unique_ptr<ExtendedPageTable>> ExtendedPageTable::Create(PhysMemory& memory,
+                                                                     EptPageAllocator allocator,
+                                                                     bool secure) {
+  // Probe the allocator for the root before entering the aborting ctor.
+  Result<uint64_t> probe = allocator();
+  SILOZ_RETURN_IF_ERROR(probe);
+  const uint64_t root_page = *probe;
+  auto ept = std::make_unique<ExtendedPageTable>(
+      memory, [root_page]() -> Result<uint64_t> { return root_page; }, secure);
+  // Rebind the real allocator for subsequent table pages.
+  ept->allocator_ = std::move(allocator);
+  return ept;
+}
+
+uint32_t ExtendedPageTable::LevelIndex(uint64_t gpa, uint32_t level) {
+  // Level 0 = PML4 (bits 47:39) ... level 3 = PT (bits 20:12).
+  const unsigned shift = 39 - 9 * level;
+  return static_cast<uint32_t>((gpa >> shift) & 0x1FF);
+}
+
+Result<uint64_t> ExtendedPageTable::AllocateTablePage() {
+  Result<uint64_t> page = allocator_();
+  SILOZ_RETURN_IF_ERROR(page);
+  SILOZ_CHECK_EQ(*page % kPage4K, 0u);
+  const std::array<uint8_t, 64> zeros{};
+  for (uint64_t offset = 0; offset < kPage4K; offset += zeros.size()) {
+    memory_.WritePhys(*page + offset, zeros);
+  }
+  table_pages_.push_back(*page);
+  if (secure_) {
+    RefreshChecksum(*page);
+  }
+  return *page;
+}
+
+uint64_t ExtendedPageTable::ChecksumOf(uint64_t table_hpa) const {
+  // FNV-1a over the page, standing in for the TDX module's MAC.
+  std::array<uint8_t, kPage4K> bytes;
+  memory_.ReadPhys(table_hpa, bytes);
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (uint8_t byte : bytes) {
+    hash = (hash ^ byte) * 0x100000001B3ull;
+  }
+  return hash;
+}
+
+void ExtendedPageTable::RefreshChecksum(uint64_t table_hpa) {
+  checksums_[table_hpa] = ChecksumOf(table_hpa);
+}
+
+Status ExtendedPageTable::VerifyChecksum(uint64_t table_hpa) const {
+  auto it = checksums_.find(table_hpa);
+  if (it == checksums_.end() || it->second != ChecksumOf(table_hpa)) {
+    return MakeError(ErrorCode::kIntegrityViolation,
+                     "EPT page at " + std::to_string(table_hpa) + " failed integrity check");
+  }
+  return Status::Ok();
+}
+
+Status ExtendedPageTable::Map(uint64_t gpa, uint64_t hpa, PageSize size) {
+  const uint64_t bytes = PageSizeBytes(size);
+  if (gpa % bytes != 0 || hpa % bytes != 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "gpa/hpa not aligned to page size");
+  }
+  // Leaf level: PDPT (1) for 1 GiB, PD (2) for 2 MiB, PT (3) for 4 KiB.
+  const uint32_t leaf_level = size == PageSize::k1G ? 1 : (size == PageSize::k2M ? 2 : 3);
+
+  uint64_t table = root_;
+  for (uint32_t level = 0; level < leaf_level; ++level) {
+    const uint64_t entry_addr = table + LevelIndex(gpa, level) * 8;
+    uint64_t entry = memory_.ReadU64(entry_addr);
+    if ((entry & kEptPresent) == 0) {
+      Result<uint64_t> child = AllocateTablePage();
+      SILOZ_RETURN_IF_ERROR(child);
+      entry = (*child & kEptFrameMask) | kEptPresent;
+      memory_.WriteU64(entry_addr, entry);
+      if (secure_) {
+        RefreshChecksum(table);
+      }
+    } else if ((entry & kEptLargePage) != 0) {
+      return MakeError(ErrorCode::kAlreadyExists, "large mapping already covers this GPA");
+    }
+    table = entry & kEptFrameMask;
+  }
+
+  const uint64_t leaf_addr = table + LevelIndex(gpa, leaf_level) * 8;
+  if ((memory_.ReadU64(leaf_addr) & kEptPresent) != 0) {
+    return MakeError(ErrorCode::kAlreadyExists, "GPA already mapped");
+  }
+  uint64_t leaf = (hpa & kEptFrameMask) | kEptPresent;
+  if (size != PageSize::k4K) {
+    leaf |= kEptLargePage;
+  }
+  memory_.WriteU64(leaf_addr, leaf);
+  if (secure_) {
+    RefreshChecksum(table);
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ExtendedPageTable::Translate(uint64_t gpa) const {
+  uint64_t table = root_;
+  for (uint32_t level = 0; level < 4; ++level) {
+    if (secure_) {
+      SILOZ_RETURN_IF_ERROR(VerifyChecksum(table));
+    }
+    const uint64_t entry = memory_.ReadU64(table + LevelIndex(gpa, level) * 8);
+    if ((entry & kEptPresent) == 0) {
+      return MakeError(ErrorCode::kNotFound, "GPA not mapped");
+    }
+    const bool is_leaf = level == 3 || (entry & kEptLargePage) != 0;
+    if (is_leaf) {
+      // Offset bits below the leaf's coverage pass through.
+      const unsigned shift = level == 3 ? 12 : (level == 2 ? 21 : 30);
+      const uint64_t frame = entry & kEptFrameMask;
+      // A corrupted entry can set frame bits below the mapping granularity;
+      // hardware would honour them, so the model does too.
+      return frame + (gpa & ((1ull << shift) - 1));
+    }
+    table = entry & kEptFrameMask;
+  }
+  return MakeError(ErrorCode::kNotFound, "GPA not mapped");
+}
+
+}  // namespace siloz

@@ -1,0 +1,49 @@
+// Physical memory byte access used by the EPT walker.
+//
+// EPT pages live at host physical addresses; hardware page walks read their
+// bytes from DRAM. Routing the walker through this interface means a bit
+// flip in simulated DRAM genuinely redirects translation — the attack §5.4
+// defends against. FlatPhysMemory is the fast store for unit tests and for
+// performance-mode simulation; sim::DramBackedMemory routes through the full
+// DramDevice fault model.
+#ifndef SILOZ_SRC_EPT_PHYS_MEMORY_H_
+#define SILOZ_SRC_EPT_PHYS_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace siloz {
+
+class PhysMemory {
+ public:
+  virtual ~PhysMemory() = default;
+
+  virtual void ReadPhys(uint64_t phys, std::span<uint8_t> out) = 0;
+  virtual void WritePhys(uint64_t phys, std::span<const uint8_t> data) = 0;
+
+  uint64_t ReadU64(uint64_t phys);
+  void WriteU64(uint64_t phys, uint64_t value);
+};
+
+// Sparse in-memory frame store (4 KiB frames, zero-filled on first touch).
+class FlatPhysMemory final : public PhysMemory {
+ public:
+  void ReadPhys(uint64_t phys, std::span<uint8_t> out) override;
+  void WritePhys(uint64_t phys, std::span<const uint8_t> data) override;
+
+  // Test helper: flip one bit directly (simulates a Rowhammer hit on a
+  // flat-backed configuration).
+  void FlipBit(uint64_t phys, uint8_t bit);
+
+  size_t frame_count() const { return frames_.size(); }
+
+ private:
+  std::vector<uint8_t>& Frame(uint64_t frame_index);
+  std::unordered_map<uint64_t, std::vector<uint8_t>> frames_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_EPT_PHYS_MEMORY_H_

@@ -1,0 +1,154 @@
+#include "src/hostmem/buddy.h"
+
+#include <algorithm>
+
+#include "src/base/bitops.h"
+#include "src/base/check.h"
+
+namespace siloz {
+
+BuddyAllocator::BuddyAllocator(const std::vector<PhysRange>& ranges) {
+  free_.resize(kMaxOrder + 1);
+  for (const PhysRange& range : ranges) {
+    SILOZ_CHECK_EQ(range.begin % OrderBytes(0), 0u);
+    SILOZ_CHECK_EQ(range.end % OrderBytes(0), 0u);
+    SILOZ_CHECK_LT(range.begin, range.end);
+    total_bytes_ += range.size();
+    // Greedily carve the range into maximal naturally-aligned blocks.
+    uint64_t cursor = range.begin;
+    while (cursor < range.end) {
+      uint32_t order = kMaxOrder;
+      while (order > 0 &&
+             (cursor % OrderBytes(order) != 0 || cursor + OrderBytes(order) > range.end)) {
+        --order;
+      }
+      Insert(cursor, order);
+      cursor += OrderBytes(order);
+    }
+  }
+  free_bytes_ = total_bytes_;
+}
+
+void BuddyAllocator::Insert(uint64_t phys, uint32_t order) {
+  // Coalesce with the buddy while possible.
+  while (order < kMaxOrder) {
+    const uint64_t buddy = phys ^ OrderBytes(order);
+    auto it = free_[order].find(buddy);
+    if (it == free_[order].end()) {
+      break;
+    }
+    free_[order].erase(it);
+    phys = std::min(phys, buddy);
+    ++order;
+  }
+  // Insert only places blocks; free_bytes_ accounting is the caller's.
+  free_[order].insert(phys);
+}
+
+Result<uint64_t> BuddyAllocator::Allocate(uint32_t order) {
+  if (order > kMaxOrder) {
+    return MakeError(ErrorCode::kInvalidArgument, "order too large");
+  }
+  // Find the smallest order >= requested with a free block.
+  uint32_t have = order;
+  while (have <= kMaxOrder && free_[have].empty()) {
+    ++have;
+  }
+  if (have > kMaxOrder) {
+    return MakeError(ErrorCode::kNoMemory,
+                     "no free block of order " + std::to_string(order));
+  }
+  uint64_t block = *free_[have].begin();
+  free_[have].erase(free_[have].begin());
+  // Split down, returning the upper halves to the free lists.
+  while (have > order) {
+    --have;
+    free_[have].insert(block + OrderBytes(have));
+  }
+  free_bytes_ -= OrderBytes(order);
+  return block;
+}
+
+bool BuddyAllocator::CarveTo(uint64_t phys, uint32_t order) {
+  // Find the free block containing `phys` at some order >= `order`.
+  for (uint32_t have = order; have <= kMaxOrder; ++have) {
+    const uint64_t candidate = AlignDown(phys, OrderBytes(have));
+    auto it = free_[have].find(candidate);
+    if (it == free_[have].end()) {
+      continue;
+    }
+    free_[have].erase(it);
+    // Split down toward `phys`.
+    uint64_t block = candidate;
+    while (have > order) {
+      --have;
+      const uint64_t half = OrderBytes(have);
+      if (phys < block + half) {
+        free_[have].insert(block + half);  // keep low half
+      } else {
+        free_[have].insert(block);  // keep high half
+        block += half;
+      }
+    }
+    free_[order].insert(block);
+    return true;
+  }
+  return false;
+}
+
+Status BuddyAllocator::AllocateAt(uint64_t phys, uint32_t order) {
+  if (order > kMaxOrder || phys % OrderBytes(order) != 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "misaligned AllocateAt");
+  }
+  if (!CarveTo(phys, order)) {
+    return MakeError(ErrorCode::kNoMemory,
+                     "block at " + std::to_string(phys) + " not free");
+  }
+  free_[order].erase(phys);
+  free_bytes_ -= OrderBytes(order);
+  return Status::Ok();
+}
+
+Status BuddyAllocator::Free(uint64_t phys, uint32_t order) {
+  if (order > kMaxOrder || phys % OrderBytes(order) != 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "misaligned Free");
+  }
+  Insert(phys, order);
+  free_bytes_ += OrderBytes(order);
+  return Status::Ok();
+}
+
+Status BuddyAllocator::OfflinePage(uint64_t phys) {
+  if (phys % OrderBytes(0) != 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "misaligned OfflinePage");
+  }
+  if (!CarveTo(phys, 0)) {
+    return MakeError(ErrorCode::kFailedPrecondition,
+                     "page at " + std::to_string(phys) + " not free; cannot offline");
+  }
+  free_[0].erase(phys);
+  free_bytes_ -= OrderBytes(0);
+  offlined_bytes_ += OrderBytes(0);
+  total_bytes_ -= OrderBytes(0);
+  return Status::Ok();
+}
+
+int32_t BuddyAllocator::LargestFreeOrder() const {
+  for (int32_t order = kMaxOrder; order >= 0; --order) {
+    if (!free_[order].empty()) {
+      return order;
+    }
+  }
+  return -1;
+}
+
+bool BuddyAllocator::IsFree(uint64_t phys) const {
+  for (uint32_t order = 0; order <= kMaxOrder; ++order) {
+    if (free_[order].count(AlignDown(phys, OrderBytes(order))) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace siloz

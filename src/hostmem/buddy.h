@@ -1,0 +1,75 @@
+// Buddy page allocator over a set of physical ranges.
+//
+// The reproduction's stand-in for Linux's per-node buddy allocator: each
+// logical NUMA node (§5.2) owns one, seeded with the node's subarray-group
+// extents. Supports the page sizes the paper discusses (4 KiB order 0 up to
+// 1 GiB order 18) and page offlining (used for guard rows, §5.4, and for
+// isolation-violating pages, §6).
+#ifndef SILOZ_SRC_HOSTMEM_BUDDY_H_
+#define SILOZ_SRC_HOSTMEM_BUDDY_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/addr/subarray_group.h"
+#include "src/base/result.h"
+
+namespace siloz {
+
+inline constexpr uint32_t kOrder4K = 0;
+inline constexpr uint32_t kOrder2M = 9;   // 4 KiB << 9 = 2 MiB
+inline constexpr uint32_t kOrder1G = 18;  // 4 KiB << 18 = 1 GiB
+inline constexpr uint32_t kMaxOrder = kOrder1G;
+
+constexpr uint64_t OrderBytes(uint32_t order) { return (4ull * 1024) << order; }
+
+class BuddyAllocator {
+ public:
+  // Seeds the free lists with `ranges`; each range must be 4 KiB-aligned.
+  // Blocks are kept naturally aligned to their size in absolute physical
+  // space, so buddy computation is a simple XOR.
+  explicit BuddyAllocator(const std::vector<PhysRange>& ranges);
+
+  // Allocate one naturally-aligned block of (4 KiB << order) bytes.
+  Result<uint64_t> Allocate(uint32_t order);
+
+  // Allocate the specific block at `phys` (must be free). Used for
+  // contiguous VM placement (§5.4's EPT-count argument relies on it).
+  Status AllocateAt(uint64_t phys, uint32_t order);
+
+  // Return a block obtained from Allocate/AllocateAt.
+  Status Free(uint64_t phys, uint32_t order);
+
+  // Permanently remove a free 4 KiB page from the pool (Linux page
+  // offlining, §5.4/§6). Fails if the page is not currently free.
+  Status OfflinePage(uint64_t phys);
+
+  // Largest order with a free block available, or nullopt-like -1.
+  int32_t LargestFreeOrder() const;
+
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t offlined_bytes() const { return offlined_bytes_; }
+
+  // True if `phys` lies within a currently-free block (diagnostics/tests).
+  bool IsFree(uint64_t phys) const;
+
+ private:
+  // Splits blocks until a free block of exactly `order` containing `phys`
+  // exists; returns false if `phys` is not inside any free block of order
+  // >= `order`.
+  bool CarveTo(uint64_t phys, uint32_t order);
+
+  void Insert(uint64_t phys, uint32_t order);
+
+  // free_[order] holds the start addresses of free blocks of that order.
+  std::vector<std::unordered_set<uint64_t>> free_;
+  uint64_t free_bytes_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t offlined_bytes_ = 0;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_HOSTMEM_BUDDY_H_

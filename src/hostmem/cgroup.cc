@@ -1,0 +1,46 @@
+#include "src/hostmem/cgroup.h"
+
+#include <algorithm>
+
+namespace siloz {
+
+Result<ControlGroup*> CgroupRegistry::Create(const std::string& name,
+                                             std::set<uint32_t> mems_allowed,
+                                             bool kvm_privileged) {
+  for (const auto& group : groups_) {
+    if (group->name() == name) {
+      return MakeError(ErrorCode::kAlreadyExists, "cgroup '" + name + "' exists");
+    }
+    for (uint32_t node : mems_allowed) {
+      if (group->MayAllocateFrom(node)) {
+        return MakeError(ErrorCode::kPermissionDenied,
+                         "node " + std::to_string(node) + " already reserved by cgroup '" +
+                             group->name() + "'");
+      }
+    }
+  }
+  groups_.push_back(
+      std::make_unique<ControlGroup>(name, std::move(mems_allowed), kvm_privileged));
+  return groups_.back().get();
+}
+
+Result<ControlGroup*> CgroupRegistry::Get(const std::string& name) {
+  for (const auto& group : groups_) {
+    if (group->name() == name) {
+      return group.get();
+    }
+  }
+  return MakeError(ErrorCode::kNotFound, "no cgroup '" + name + "'");
+}
+
+Status CgroupRegistry::Destroy(const std::string& name) {
+  auto it = std::find_if(groups_.begin(), groups_.end(),
+                         [&](const auto& group) { return group->name() == name; });
+  if (it == groups_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no cgroup '" + name + "'");
+  }
+  groups_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace siloz

@@ -1,0 +1,45 @@
+#include "src/memctl/act_profile.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+RowActivationProfiler::RowActivationProfiler(const DramGeometry& geometry, uint64_t threshold)
+    : geometry_(geometry), threshold_(threshold) {
+  profile_.threshold = threshold;
+}
+
+void RowActivationProfiler::RollWindow() {
+  for (const auto& [key, count] : counts_) {
+    profile_.max_row_acts_per_window = std::max(profile_.max_row_acts_per_window, count);
+    profile_.rows_over_threshold += (count > threshold_);
+  }
+  counts_.clear();
+  ++profile_.windows;
+}
+
+void RowActivationProfiler::Observe(const MemRequest& request, double time_ns) {
+  const auto window = static_cast<uint64_t>(time_ns / static_cast<double>(kRefreshWindowNs));
+  while (window_index_ < window) {
+    RollWindow();
+    ++window_index_;
+  }
+  const uint32_t bank = request.address.socket * geometry_.banks_per_socket() +
+                        SocketBankIndex(geometry_, request.address);
+  auto [it, first_touch] = open_row_.try_emplace(bank, -1);
+  if (!first_touch && it->second == static_cast<int64_t>(request.address.row)) {
+    return;  // row-buffer hit: no activation
+  }
+  it->second = request.address.row;
+  ++profile_.total_activations;
+  counts_[(static_cast<uint64_t>(bank) << 32) | request.address.row] += 1;
+}
+
+ActProfile RowActivationProfiler::Finish() {
+  RollWindow();
+  return profile_;
+}
+
+}  // namespace siloz

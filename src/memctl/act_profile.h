@@ -1,0 +1,65 @@
+// Row-activation rate profiling (§1, §2.5).
+//
+// The paper's motivation leans on the observation (MOESI-prime [98]) that
+// *commodity* cloud workloads — not just attacks — already activate rows at
+// rates exceeding modern Rowhammer thresholds, so deployed mitigations are
+// load-bearing and isolation is needed. This profiler consumes the same
+// request streams the timing model serves and reports per-row activation
+// counts per refresh window, for comparison against threshold ranges.
+#ifndef SILOZ_SRC_MEMCTL_ACT_PROFILE_H_
+#define SILOZ_SRC_MEMCTL_ACT_PROFILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/dram/geometry.h"
+#include "src/memctl/controller.h"
+
+namespace siloz {
+
+struct ActProfile {
+  uint64_t windows = 0;
+  uint64_t total_activations = 0;
+  // Highest single-row activation count observed in any one refresh window.
+  uint64_t max_row_acts_per_window = 0;
+  // Rows whose count exceeded `threshold` in some window.
+  uint64_t rows_over_threshold = 0;
+  uint64_t threshold = 0;
+
+  double max_acts_rate_vs_threshold() const {
+    return threshold == 0 ? 0.0
+                          : static_cast<double>(max_row_acts_per_window) /
+                                static_cast<double>(threshold);
+  }
+};
+
+// Counts per-(bank, row) activations in tumbling 64 ms refresh windows.
+// Row-buffer hits are not activations: the profiler models an open row per
+// bank like the controller does.
+class RowActivationProfiler {
+ public:
+  RowActivationProfiler(const DramGeometry& geometry, uint64_t threshold);
+
+  // Observe a request issued at `time_ns` (stream must be time-ordered).
+  void Observe(const MemRequest& request, double time_ns);
+
+  // Close the current window and return the profile so far.
+  ActProfile Finish();
+
+ private:
+  void RollWindow();
+
+  DramGeometry geometry_;
+  uint64_t threshold_;
+  uint64_t window_index_ = 0;
+  // (socket bank index : row) -> activations in the current window.
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  std::unordered_map<uint32_t, int64_t> open_row_;  // per global bank
+  ActProfile profile_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_MEMCTL_ACT_PROFILE_H_

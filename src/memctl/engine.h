@@ -1,0 +1,48 @@
+// Closed-loop access engine: models cores issuing memory requests with
+// bounded memory-level parallelism.
+//
+// Workload generators (src/workload) produce request streams; the engine
+// replays them against the per-socket memory controllers with a fixed number
+// of outstanding misses and an optional compute gap between issues. Elapsed
+// time and achieved bandwidth are what the Fig 4-7 benches report.
+#ifndef SILOZ_SRC_MEMCTL_ENGINE_H_
+#define SILOZ_SRC_MEMCTL_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/memctl/controller.h"
+
+namespace siloz {
+
+struct EngineConfig {
+  // Outstanding requests the core(s) sustain (MLP). 10 approximates one
+  // aggressive core; multi-threaded workloads use higher effective values.
+  uint32_t max_outstanding = 10;
+  // Nanoseconds of compute between consecutive issues (0 = memory-bound).
+  double compute_ns_per_access = 0.0;
+};
+
+struct EngineResult {
+  double elapsed_ns = 0.0;
+  uint64_t requests = 0;
+
+  double bandwidth_gib_per_s(double bytes_per_request = 64.0) const {
+    if (elapsed_ns <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(requests) * bytes_per_request / elapsed_ns *
+           (1e9 / (1024.0 * 1024.0 * 1024.0));
+  }
+};
+
+// Replays `requests` through the controllers (indexed by socket).
+// Requests route to controllers[address.socket].
+EngineResult RunClosedLoop(std::span<const MemRequest> requests,
+                           std::span<MemoryController* const> controllers,
+                           const EngineConfig& config);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_MEMCTL_ENGINE_H_

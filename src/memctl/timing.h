@@ -1,0 +1,38 @@
+// DDR4 timing parameters (§2.4, Table 2).
+//
+// Values model DDR4-2933 on the evaluation server. The performance claims of
+// the paper (Figs 4-7) are about *relative* behaviour — Siloz placement vs
+// baseline placement — so what matters is that the model captures row
+// buffer hits vs misses, per-bank serialization (tRC), bank-level
+// parallelism, channel bus occupancy, and the tFAW activation window.
+#ifndef SILOZ_SRC_MEMCTL_TIMING_H_
+#define SILOZ_SRC_MEMCTL_TIMING_H_
+
+#include <cstdint>
+
+namespace siloz {
+
+struct DdrTimings {
+  // Nanoseconds. DDR4-2933 CL21-ish server part.
+  double t_rcd = 14.3;  // ACT to column command
+  double t_rp = 14.3;   // PRE to ACT
+  double t_cas = 14.3;  // column command to first data
+  double t_ras = 32.0;  // minimum row-open time (ACT to PRE)
+  double t_rrd = 4.9;   // ACT to ACT, different banks of one rank
+  double t_faw = 23.0;  // window in which at most 4 ACTs may hit one rank
+  // One 64-byte burst occupies the channel bus for BL8 / (2933 MT/s) ~= 2.7ns.
+  double t_burst = 2.7;
+  // Cross-socket interconnect latency added to remote-node requests (§2.2).
+  double t_remote_numa = 70.0;
+  // Refresh: one REF per rank per tREFI on average; the rank is unavailable
+  // for tRFC while it executes (§2.3). Steals ~tRFC/tREFI ~ 4.5% of time.
+  double t_refi = 7800.0;
+  double t_rfc = 350.0;
+  bool model_refresh = true;
+
+  double t_rc() const { return t_ras + t_rp; }  // ACT to ACT, same bank
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_MEMCTL_TIMING_H_

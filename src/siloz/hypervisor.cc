@@ -1,0 +1,856 @@
+#include "src/siloz/hypervisor.h"
+
+#include <algorithm>
+
+#include "src/base/bitops.h"
+#include "src/base/check.h"
+#include "src/base/log.h"
+#include "src/base/units.h"
+#include "src/dram/remap.h"
+
+namespace siloz {
+namespace {
+
+uint32_t OrderOf(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return kOrder4K;
+    case PageSize::k2M:
+      return kOrder2M;
+    case PageSize::k1G:
+      return kOrder1G;
+  }
+  return kOrder4K;
+}
+
+}  // namespace
+
+SilozHypervisor::SilozHypervisor(const AddressDecoder& decoder, PhysMemory& memory,
+                                 SilozConfig config)
+    : decoder_(decoder), memory_(memory), config_(config) {}
+
+Status SilozHypervisor::Boot() {
+  if (booted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "already booted");
+  }
+  const DramGeometry& geometry = decoder_.geometry();
+  host_node_by_socket_.assign(geometry.sockets, 0);
+  ept_pool_.assign(geometry.sockets, {});
+  ept_pool_ranges_.assign(geometry.sockets, {});
+
+  if (!config_.enabled) {
+    // Unmodified baseline: one node per socket covering all of its memory.
+    effective_rows_per_subarray_ = geometry.rows_per_subarray;
+    for (uint32_t socket = 0; socket < geometry.sockets; ++socket) {
+      const uint64_t begin = socket * geometry.socket_bytes();
+      NumaNode& node = nodes_.AddNode(NodeKind::kHostReserved, socket, /*first_group=*/0,
+                                      {PhysRange{begin, begin + geometry.socket_bytes()}},
+                                      /*has_cpus=*/true);
+      host_node_by_socket_[socket] = node.id();
+    }
+    std::set<uint32_t> host_nodes;
+    for (uint32_t node : host_node_by_socket_) {
+      host_nodes.insert(node);
+    }
+    Result<ControlGroup*> host_cgroup = cgroups_.Create("host", host_nodes, true);
+    SILOZ_RETURN_IF_ERROR(host_cgroup);
+    booted_ = true;
+    return Status::Ok();
+  }
+
+  // §6: round non-power-of-2 subarray sizes up to artificial groups —
+  // except on DDR5-style platforms whose devices all see the same internal
+  // addresses (§8.2), where any size dividing the bank is managed natively.
+  effective_rows_per_subarray_ = config_.rows_per_subarray;
+  if (!IsPowerOfTwo(effective_rows_per_subarray_)) {
+    const bool native_ok = config_.uniform_internal_addressing &&
+                           geometry.rows_per_bank % effective_rows_per_subarray_ == 0;
+    if (!native_ok) {
+      if (!config_.allow_artificial_groups) {
+        return MakeError(ErrorCode::kUnsupported,
+                         "non-power-of-2 subarray size requires artificial groups");
+      }
+      effective_rows_per_subarray_ =
+          static_cast<uint32_t>(NextPowerOfTwo(effective_rows_per_subarray_));
+      using_artificial_groups_ = true;
+      SILOZ_LOG(kInfo) << "artificial subarray groups: " << config_.rows_per_subarray
+                       << " rows rounded to " << effective_rows_per_subarray_;
+    }
+  }
+
+  // Boot-time subarray group computation (§5.3).
+  Result<SubarrayGroupMap> map = SubarrayGroupMap::Build(decoder_, effective_rows_per_subarray_);
+  SILOZ_RETURN_IF_ERROR(map);
+  group_map_ = std::make_unique<SubarrayGroupMap>(std::move(*map));
+
+  const uint32_t clusters = group_map_->clusters_per_socket();
+  const uint32_t groups_per_cluster = group_map_->groups_per_cluster();
+  if (config_.host_groups_per_socket == 0 ||
+      config_.host_groups_per_socket >= groups_per_cluster) {
+    return MakeError(ErrorCode::kInvalidArgument, "host_groups_per_socket out of range");
+  }
+
+  // Provision one host-reserved node (first host_groups_per_socket groups of
+  // each cluster) and one guest-reserved, memory-only node per remaining
+  // group (§5.2).
+  std::set<uint32_t> host_nodes;
+  node_of_group_.assign(group_map_->total_groups(), 0);
+  for (uint32_t socket = 0; socket < geometry.sockets; ++socket) {
+    for (uint32_t cluster = 0; cluster < clusters; ++cluster) {
+      const uint32_t first_group = (socket * clusters + cluster) * groups_per_cluster;
+      std::vector<PhysRange> host_ranges;
+      for (uint32_t g = 0; g < config_.host_groups_per_socket; ++g) {
+        const auto& ranges = group_map_->RangesOf(first_group + g);
+        host_ranges.insert(host_ranges.end(), ranges.begin(), ranges.end());
+      }
+      NumaNode& host = nodes_.AddNode(NodeKind::kHostReserved, socket, first_group,
+                                      std::move(host_ranges), /*has_cpus=*/true);
+      host_nodes.insert(host.id());
+      for (uint32_t g = 0; g < config_.host_groups_per_socket; ++g) {
+        node_of_group_[first_group + g] = host.id();
+      }
+      if (cluster == 0) {
+        host_node_by_socket_[socket] = host.id();
+      }
+      for (uint32_t g = config_.host_groups_per_socket; g < groups_per_cluster; ++g) {
+        NumaNode& guest = nodes_.AddNode(NodeKind::kGuestReserved, socket, first_group + g,
+                                         group_map_->RangesOf(first_group + g),
+                                         /*has_cpus=*/false);
+        node_of_group_[first_group + g] = guest.id();
+      }
+    }
+  }
+  Result<ControlGroup*> host_cgroup = cgroups_.Create("host", host_nodes, true);
+  SILOZ_RETURN_IF_ERROR(host_cgroup);
+
+  if (!config_.quarantined_rows.empty()) {
+    SILOZ_RETURN_IF_ERROR(QuarantineRepairedRows());
+  }
+  if (using_artificial_groups_) {
+    SILOZ_RETURN_IF_ERROR(OfflineArtificialBoundaryGuards());
+  }
+  if (config_.ept_protection == EptProtection::kGuardRows) {
+    SILOZ_RETURN_IF_ERROR(ReserveEptBlocks());
+  }
+  booted_ = true;
+  return Status::Ok();
+}
+
+Status SilozHypervisor::QuarantineRepairedRows() {
+  const DramGeometry& geometry = decoder_.geometry();
+  std::set<uint64_t> pages;
+  for (MediaAddress row : config_.quarantined_rows) {
+    // Every 4 KiB page holding any cache line of the repaired row.
+    for (uint32_t column = 0; column < geometry.row_bytes; column += kCacheLineBytes) {
+      row.column = column;
+      Result<uint64_t> phys = decoder_.MediaToPhys(row);
+      SILOZ_RETURN_IF_ERROR(phys);
+      pages.insert(AlignDown(*phys, kPage4K));
+    }
+  }
+  for (uint64_t page : pages) {
+    Result<uint32_t> group = group_map_->GroupOfPhys(page);
+    SILOZ_RETURN_IF_ERROR(group);
+    Result<NumaNode*> node = NodeFor(*group);
+    SILOZ_RETURN_IF_ERROR(node);
+    SILOZ_RETURN_IF_ERROR((*node)->allocator().OfflinePage(page));
+    quarantined_bytes_ += kPage4K;
+  }
+  SILOZ_LOG(kInfo) << "quarantined " << config_.quarantined_rows.size() << " repaired row(s): "
+                   << pages.size() << " pages offlined";
+  return Status::Ok();
+}
+
+Result<PhysRange> SilozHypervisor::RowGroupExtent(uint32_t socket, uint32_t cluster,
+                                                  uint32_t row) const {
+  const DramGeometry& geometry = decoder_.geometry();
+  const uint32_t clusters = group_map_->clusters_per_socket();
+  const uint64_t row_group_bytes =
+      static_cast<uint64_t>(geometry.banks_per_socket() / clusters) * geometry.row_bytes;
+  const uint32_t group = (socket * clusters + cluster) * group_map_->groups_per_cluster() +
+                         row / effective_rows_per_subarray_;
+  for (const PhysRange& range : group_map_->RangesOf(group)) {
+    for (uint64_t start = range.begin; start + row_group_bytes <= range.end;
+         start += row_group_bytes) {
+      Result<MediaAddress> first = decoder_.PhysToMedia(start);
+      SILOZ_RETURN_IF_ERROR(first);
+      if (first->row != row) {
+        continue;
+      }
+      // Verify the block really is one row group: its last line must map to
+      // the same row (true for interleaving decoders; not for linear ones).
+      Result<MediaAddress> last = decoder_.PhysToMedia(start + row_group_bytes - kCacheLineBytes);
+      SILOZ_RETURN_IF_ERROR(last);
+      Result<MediaAddress> mid = decoder_.PhysToMedia(start + row_group_bytes / 2);
+      SILOZ_RETURN_IF_ERROR(mid);
+      if (last->row != row || mid->row != row) {
+        return MakeError(ErrorCode::kUnsupported,
+                         "decoder does not keep row groups physically contiguous");
+      }
+      return PhysRange{start, start + row_group_bytes};
+    }
+  }
+  return MakeError(ErrorCode::kNotFound, "row group not found in group extents");
+}
+
+Result<NumaNode*> SilozHypervisor::NodeFor(uint32_t group) {
+  if (group >= node_of_group_.size()) {
+    return MakeError(ErrorCode::kOutOfRange, "no group " + std::to_string(group));
+  }
+  return nodes_.Get(node_of_group_[group]);
+}
+
+Status SilozHypervisor::OfflineArtificialBoundaryGuards() {
+  // §6: artificial subarray boundaries do not coincide with silicon
+  // isolation, so n guard rows are reserved at each boundary. The guards
+  // live at *internal* rows [boundary, boundary+n); their media images
+  // differ per rank (mirroring) and half-row side (inversion), so every
+  // transform image must be offlined — this is the paper's "accounting for
+  // mappings on different ranks and sides" that yields ~1.56% (512 rows) to
+  // ~0.39% (2048 rows) of DRAM.
+  const uint32_t guard_rows = config_.artificial_boundary_guard_rows;
+  for (uint32_t group = 0; group < group_map_->total_groups(); ++group) {
+    const uint32_t socket = group_map_->SocketOfGroup(group);
+    const uint32_t cluster = group_map_->ClusterOfGroup(group);
+    const uint32_t start_row = group_map_->IndexInCluster(group) * effective_rows_per_subarray_;
+    std::set<uint32_t> media_rows;
+    for (uint32_t r = 0; r < guard_rows; ++r) {
+      const uint32_t internal = start_row + r;
+      for (uint32_t rank : {0u, 1u}) {
+        for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+          // Mirroring and inversion are involutions: the media row whose
+          // internal image is `internal` is the transform of `internal`.
+          uint32_t media = RowRemapper::ApplyInversion(internal, side);
+          media = RowRemapper::ApplyMirroring(media, rank);
+          media_rows.insert(media);
+        }
+      }
+    }
+    for (uint32_t media_row : media_rows) {
+      // A transform image may land in a neighbouring group's row range (e.g.
+      // b9 inversion with 512-row groups); offline from the owning node.
+      const uint32_t owning_group =
+          (socket * group_map_->clusters_per_socket() + cluster) *
+              group_map_->groups_per_cluster() +
+          media_row / effective_rows_per_subarray_;
+      Result<NumaNode*> node = NodeFor(owning_group);
+      SILOZ_RETURN_IF_ERROR(node);
+      Result<PhysRange> extent = RowGroupExtent(socket, cluster, media_row);
+      SILOZ_RETURN_IF_ERROR(extent);
+      for (uint64_t page = extent->begin; page < extent->end; page += kPage4K) {
+        SILOZ_RETURN_IF_ERROR((*node)->allocator().OfflinePage(page));
+        artificial_guard_bytes_ += kPage4K;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SilozHypervisor::ReserveEptBlocks() {
+  // §5.4: a contiguous block of b row groups in the first host group of each
+  // socket; the row group at offset o holds EPT pages, the other b-1 are
+  // guard rows (offlined).
+  const uint32_t b = config_.ept_block_row_groups;
+  const uint32_t o = config_.ept_row_group_offset;
+  if (o >= b) {
+    return MakeError(ErrorCode::kInvalidArgument, "ept_row_group_offset must be < block size");
+  }
+  const uint32_t skip = using_artificial_groups_ ? config_.artificial_boundary_guard_rows : 0;
+  for (uint32_t socket = 0; socket < decoder_.geometry().sockets; ++socket) {
+    Result<NumaNode*> host = nodes_.Get(host_node_by_socket_[socket]);
+    SILOZ_RETURN_IF_ERROR(host);
+    for (uint32_t r = 0; r < b; ++r) {
+      Result<PhysRange> extent = RowGroupExtent(socket, /*cluster=*/0, skip + r);
+      SILOZ_RETURN_IF_ERROR(extent);
+      if (r == o) {
+        // EPT row group: pull its pages out of general allocation and seed
+        // the per-socket EPT pool.
+        for (uint64_t page = extent->begin; page < extent->end; page += kPage4K) {
+          SILOZ_RETURN_IF_ERROR((*host)->allocator().AllocateAt(page, kOrder4K));
+          ept_pool_[socket].push_back(page);
+        }
+        ept_pool_ranges_[socket].push_back(*extent);
+      } else {
+        for (uint64_t page = extent->begin; page < extent->end; page += kPage4K) {
+          SILOZ_RETURN_IF_ERROR((*host)->allocator().OfflinePage(page));
+        }
+      }
+      ept_reserved_bytes_ += extent->size();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> SilozHypervisor::AllocatePages(const ControlGroup& group, uint32_t node_id,
+                                                uint32_t order, bool unmediated) {
+  if (!booted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not booted");
+  }
+  Result<NumaNode*> node = nodes_.Get(node_id);
+  SILOZ_RETURN_IF_ERROR(node);
+  if ((*node)->kind() == NodeKind::kGuestReserved) {
+    // §5.3: guest-reserved nodes serve only UNMEDIATED requests from
+    // KVM-privileged processes whose cgroup includes the node.
+    if (!unmediated) {
+      return MakeError(ErrorCode::kPermissionDenied,
+                       "mediated allocation from guest-reserved node " + std::to_string(node_id));
+    }
+    if (!group.MayAllocateFrom(node_id)) {
+      return MakeError(ErrorCode::kPermissionDenied,
+                       "cgroup '" + group.name() + "' lacks node " + std::to_string(node_id));
+    }
+    if (!group.kvm_privileged()) {
+      return MakeError(ErrorCode::kPermissionDenied,
+                       "cgroup '" + group.name() + "' lacks KVM privileges");
+    }
+  }
+  return (*node)->allocator().Allocate(order);
+}
+
+Status SilozHypervisor::FreePages(uint32_t node_id, uint64_t phys, uint32_t order) {
+  Result<NumaNode*> node = nodes_.Get(node_id);
+  SILOZ_RETURN_IF_ERROR(node);
+  return (*node)->allocator().Free(phys, order);
+}
+
+Result<uint64_t> SilozHypervisor::AllocateContiguous(NumaNode& node, uint64_t bytes,
+                                                     uint32_t order) {
+  const uint64_t block = OrderBytes(order);
+  SILOZ_CHECK_EQ(bytes % block, 0u);
+  for (const PhysRange& range : node.ranges()) {
+    uint64_t start = AlignUp(range.begin, block);
+    while (start + bytes <= range.end) {
+      uint64_t cursor = start;
+      bool complete = true;
+      for (; cursor < start + bytes; cursor += block) {
+        if (!node.allocator().AllocateAt(cursor, order).ok()) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        return start;
+      }
+      // Roll back the partial run and restart past the obstruction.
+      for (uint64_t undo = start; undo < cursor; undo += block) {
+        SILOZ_CHECK(node.allocator().Free(undo, order).ok());
+      }
+      start = cursor + block;
+    }
+  }
+  return MakeError(ErrorCode::kNoMemory,
+                   "no contiguous run of " + std::to_string(bytes) + " bytes in node " +
+                       std::to_string(node.id()));
+}
+
+Result<std::vector<PhysRange>> SilozHypervisor::AllocateRuns(NumaNode& node, uint64_t bytes,
+                                                             uint32_t order) {
+  const uint64_t block = OrderBytes(order);
+  SILOZ_CHECK_EQ(bytes % block, 0u);
+  std::vector<PhysRange> runs;
+  uint64_t remaining = bytes;
+  for (const PhysRange& range : node.ranges()) {
+    for (uint64_t cursor = AlignUp(range.begin, block);
+         remaining > 0 && cursor + block <= range.end; cursor += block) {
+      if (!node.allocator().AllocateAt(cursor, order).ok()) {
+        continue;  // offlined or already-used block; skip past it
+      }
+      remaining -= block;
+      if (!runs.empty() && runs.back().end == cursor) {
+        runs.back().end = cursor + block;
+      } else {
+        runs.push_back(PhysRange{cursor, cursor + block});
+      }
+    }
+    if (remaining == 0) {
+      break;
+    }
+  }
+  if (remaining != 0) {
+    for (const PhysRange& run : runs) {
+      for (uint64_t p = run.begin; p < run.end; p += block) {
+        SILOZ_CHECK(node.allocator().Free(p, order).ok());
+      }
+    }
+    return MakeError(ErrorCode::kNoMemory,
+                     "node " + std::to_string(node.id()) + " lacks " + std::to_string(bytes) +
+                         " free bytes at order " + std::to_string(order));
+  }
+  return runs;
+}
+
+std::vector<uint32_t> SilozHypervisor::AvailableGuestNodes(uint32_t socket) const {
+  std::vector<uint32_t> available;
+  for (const auto& node : const_cast<NodeRegistry&>(nodes_).NodesOnSocket(socket)) {
+    if (node->kind() == NodeKind::kGuestReserved && node_owner_.count(node->id()) == 0) {
+      available.push_back(node->id());
+    }
+  }
+  return available;
+}
+
+Result<uint32_t> SilozHypervisor::HostNode(uint32_t socket) const {
+  if (socket >= host_node_by_socket_.size()) {
+    return MakeError(ErrorCode::kOutOfRange, "no socket " + std::to_string(socket));
+  }
+  return host_node_by_socket_[socket];
+}
+
+EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
+                                                   std::vector<uint64_t>* pages_out) {
+  if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+    // The GFP_EPT path (§5.4): pages come from the protected row group.
+    return [this, socket, pages_out]() -> Result<uint64_t> {
+      if (ept_pool_[socket].empty()) {
+        return MakeError(ErrorCode::kNoMemory, "EPT pool exhausted");
+      }
+      const uint64_t page = ept_pool_[socket].back();
+      ept_pool_[socket].pop_back();
+      pages_out->push_back(page);
+      return page;
+    };
+  }
+  // Baseline / secure-EPT: ordinary host-node memory.
+  const uint32_t host_node = host_node_by_socket_[socket];
+  return [this, host_node, pages_out]() -> Result<uint64_t> {
+    Result<NumaNode*> node = nodes_.Get(host_node);
+    SILOZ_RETURN_IF_ERROR(node);
+    Result<uint64_t> page = (*node)->allocator().Allocate(kOrder4K);
+    SILOZ_RETURN_IF_ERROR(page);
+    pages_out->push_back(*page);
+    return *page;
+  };
+}
+
+Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
+  if (!booted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not booted");
+  }
+  const uint64_t backing_bytes = OrderBytes(OrderOf(vm_config.backing));
+  if (vm_config.memory_bytes == 0 || vm_config.memory_bytes % backing_bytes != 0 ||
+      vm_config.rom_bytes % backing_bytes != 0) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "VM memory/rom must be nonzero multiples of the backing page size");
+  }
+  if (vm_config.socket >= decoder_.geometry().sockets) {
+    return MakeError(ErrorCode::kOutOfRange, "no such socket");
+  }
+  const uint64_t unmediated_bytes = vm_config.memory_bytes + vm_config.rom_bytes;
+
+  const VmId id = next_vm_id_++;
+  const std::string cgroup_name = config_.enabled ? ("vm-" + vm_config.name) : "host";
+  auto vm = std::make_unique<Vm>(id, vm_config, cgroup_name);
+  std::vector<Backing>& backing_log = vm_backing_[id];
+  std::vector<uint64_t>& ept_pages = vm_ept_pages_[id];
+
+  // --- Reserve nodes and allocate unmediated backing ---
+  uint64_t gpa_cursor = 0;
+  // Adds unmediated regions for one contiguous host run, splitting at the
+  // RAM/ROM boundary in guest-physical space.
+  auto add_unmediated_regions = [&](uint64_t hpa, uint64_t bytes) {
+    uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const bool is_ram = gpa_cursor < vm_config.memory_bytes;
+      const uint64_t limit = is_ram ? vm_config.memory_bytes - gpa_cursor : remaining;
+      const uint64_t piece = std::min(remaining, limit);
+      vm->AddRegion(VmRegion{is_ram ? MemoryType::kGuestRam : MemoryType::kGuestRom, gpa_cursor,
+                             hpa, piece, vm_config.backing});
+      gpa_cursor += piece;
+      hpa += piece;
+      remaining -= piece;
+    }
+  };
+
+  if (config_.enabled) {
+    // Whole subarray groups, same socket (§5.2-§5.3). Select enough free
+    // guest nodes by their actual free capacity (guard offlining can shave a
+    // few rows off a group).
+    const std::vector<uint32_t> available = AvailableGuestNodes(vm_config.socket);
+    std::vector<uint32_t> selected;
+    uint64_t capacity = 0;
+    for (uint32_t node_id : available) {
+      if (capacity >= unmediated_bytes) {
+        break;
+      }
+      NumaNode& node = *nodes_.Get(node_id).value();
+      selected.push_back(node_id);
+      capacity += AlignDown(node.allocator().free_bytes(), backing_bytes);
+    }
+    if (capacity < unmediated_bytes) {
+      vm_backing_.erase(id);
+      vm_ept_pages_.erase(id);
+      return MakeError(ErrorCode::kNoMemory,
+                       "socket " + std::to_string(vm_config.socket) + " has only " +
+                           std::to_string(capacity) + " free guest-node bytes of " +
+                           std::to_string(unmediated_bytes) + " needed");
+    }
+    std::set<uint32_t> mems(selected.begin(), selected.end());
+    Result<ControlGroup*> cgroup = cgroups_.Create(cgroup_name, mems, /*kvm_privileged=*/true);
+    if (!cgroup.ok()) {
+      vm_backing_.erase(id);
+      vm_ept_pages_.erase(id);
+      return cgroup.error();
+    }
+    uint64_t remaining = unmediated_bytes;
+    for (uint32_t node_id : selected) {
+      node_owner_[node_id] = cgroup_name;
+      NumaNode& node = *nodes_.Get(node_id).value();
+      vm->AddGuestNode(node_id, node.first_group());
+      const uint64_t chunk =
+          std::min(remaining, AlignDown(node.allocator().free_bytes(), backing_bytes));
+      if (chunk == 0) {
+        continue;
+      }
+      Result<std::vector<PhysRange>> runs =
+          AllocateRuns(node, chunk, OrderOf(vm_config.backing));
+      SILOZ_RETURN_IF_ERROR(runs);
+      for (const PhysRange& run : *runs) {
+        backing_log.push_back(
+            Backing{node_id, run.begin, run.size(), OrderOf(vm_config.backing)});
+        add_unmediated_regions(run.begin, run.size());
+      }
+      remaining -= chunk;
+    }
+    SILOZ_CHECK_EQ(remaining, 0u);
+  } else {
+    // Baseline: contiguous run from the socket's single node.
+    NumaNode& node = *nodes_.Get(host_node_by_socket_[vm_config.socket]).value();
+    Result<uint64_t> start =
+        AllocateContiguous(node, unmediated_bytes, OrderOf(vm_config.backing));
+    SILOZ_RETURN_IF_ERROR(start);
+    backing_log.push_back(
+        Backing{node.id(), *start, unmediated_bytes, OrderOf(vm_config.backing)});
+    add_unmediated_regions(*start, unmediated_bytes);
+  }
+
+  // --- Mediated MMIO window: host memory, never mapped in the EPT ---
+  if (vm_config.mmio_bytes > 0) {
+    NumaNode& host = *nodes_.Get(host_node_by_socket_[vm_config.socket]).value();
+    const uint64_t mmio_bytes = AlignUp(vm_config.mmio_bytes, kPage4K);
+    Result<uint64_t> mmio = AllocateContiguous(host, mmio_bytes, kOrder4K);
+    SILOZ_RETURN_IF_ERROR(mmio);
+    backing_log.push_back(Backing{host.id(), *mmio, mmio_bytes, kOrder4K});
+    vm->AddRegion(VmRegion{MemoryType::kMmio, gpa_cursor, *mmio, mmio_bytes, PageSize::k4K});
+  }
+
+  // --- Build the EPT (§5.4) ---
+  // Unwinds every reservation made so far if the EPT cannot be built (e.g.
+  // the per-socket protected pool is exhausted: a real capacity limit — one
+  // row group per socket bounds the EPT working set, §5.4).
+  auto unwind = [&]() {
+    for (const Backing& backing : backing_log) {
+      NumaNode& node = *nodes_.Get(backing.node).value();
+      const uint64_t block = OrderBytes(backing.order);
+      for (uint64_t p = backing.phys; p < backing.phys + backing.bytes; p += block) {
+        SILOZ_CHECK(node.allocator().Free(p, backing.order).ok());
+      }
+    }
+    for (uint64_t page : ept_pages) {
+      if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+        ept_pool_[vm_config.socket].push_back(page);
+      } else {
+        SILOZ_CHECK(FreePages(host_node_by_socket_[vm_config.socket], page, kOrder4K).ok());
+      }
+    }
+    for (uint32_t node_id : vm->guest_nodes()) {
+      node_owner_.erase(node_id);
+    }
+    if (config_.enabled) {
+      (void)cgroups_.Destroy(cgroup_name);
+    }
+    vm_backing_.erase(id);
+    vm_ept_pages_.erase(id);
+  };
+
+  Result<std::unique_ptr<ExtendedPageTable>> ept = ExtendedPageTable::Create(
+      memory_, MakeEptAllocator(vm_config.socket, &ept_pages),
+      /*secure=*/config_.ept_protection == EptProtection::kSecureEpt);
+  if (!ept.ok()) {
+    unwind();
+    return ept.error();
+  }
+  for (const VmRegion& region : vm->regions()) {
+    if (!IsUnmediated(region.type)) {
+      continue;  // mediated accesses exit; no EPT mapping
+    }
+    const uint64_t step = OrderBytes(OrderOf(region.page_size));
+    for (uint64_t offset = 0; offset < region.bytes; offset += step) {
+      Status mapped = (*ept)->Map(region.gpa + offset, region.hpa + offset, region.page_size);
+      if (!mapped.ok()) {
+        unwind();
+        return mapped.error();
+      }
+    }
+  }
+  vm->SetEpt(std::move(*ept));
+
+  Vm* raw = vm.get();
+  vms_[id] = std::move(vm);
+  SILOZ_LOG(kInfo) << "created VM " << raw->config().name << " (" << id << ") with "
+                   << raw->guest_nodes().size() << " guest node(s)";
+  return id;
+}
+
+Result<Vm*> SilozHypervisor::GetVm(VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
+  }
+  return it->second.get();
+}
+
+Status SilozHypervisor::DestroyVm(VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
+  }
+  Vm& vm = *it->second;
+  if (destroyed_vms_.count(id) != 0) {
+    return MakeError(ErrorCode::kFailedPrecondition, "VM already destroyed");
+  }
+  // Free backing memory to its nodes (§5.3: pages return to the nodes' free
+  // pools; the node reservation itself survives until ReleaseVmNodes).
+  for (const Backing& backing : vm_backing_[id]) {
+    NumaNode& node = *nodes_.Get(backing.node).value();
+    const uint64_t block = OrderBytes(backing.order);
+    for (uint64_t p = backing.phys; p < backing.phys + backing.bytes; p += block) {
+      SILOZ_RETURN_IF_ERROR(node.allocator().Free(p, backing.order));
+    }
+  }
+  vm_backing_.erase(id);
+  // EPT pages: back to the pool (guard mode) or the host node.
+  const uint32_t socket = vm.config().socket;
+  for (uint64_t page : vm_ept_pages_[id]) {
+    if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+      ept_pool_[socket].push_back(page);
+    } else {
+      SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
+    }
+  }
+  vm_ept_pages_.erase(id);
+  destroyed_vms_.insert(id);
+  return Status::Ok();
+}
+
+Status SilozHypervisor::ReleaseVmNodes(VmId id) {
+  if (destroyed_vms_.count(id) == 0) {
+    return MakeError(ErrorCode::kFailedPrecondition,
+                     "VM " + std::to_string(id) + " must be destroyed first");
+  }
+  auto it = vms_.find(id);
+  SILOZ_CHECK(it != vms_.end());
+  const std::string cgroup_name = it->second->cgroup_name();
+  for (uint32_t node : it->second->guest_nodes()) {
+    node_owner_.erase(node);
+  }
+  if (cgroup_name != "host") {
+    SILOZ_RETURN_IF_ERROR(cgroups_.Destroy(cgroup_name));
+  }
+  vms_.erase(it);
+  destroyed_vms_.erase(id);
+  return Status::Ok();
+}
+
+Status SilozHypervisor::AuditVmIsolation(VmId id) const {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
+  }
+  const Vm& vm = *it->second;
+  const ExtendedPageTable* ept = vm.ept();
+  SILOZ_CHECK(ept != nullptr);
+
+  for (const VmRegion& region : vm.regions()) {
+    if (!IsUnmediated(region.type)) {
+      continue;
+    }
+    const uint64_t step = OrderBytes(OrderOf(region.page_size));
+    for (uint64_t offset = 0; offset < region.bytes; offset += step) {
+      Result<uint64_t> hpa = ept->Translate(region.gpa + offset);
+      SILOZ_RETURN_IF_ERROR(hpa);  // secure-EPT integrity failures surface here
+      if (*hpa != region.hpa + offset) {
+        return MakeError(ErrorCode::kIntegrityViolation,
+                         "EPT maps GPA " + std::to_string(region.gpa + offset) + " to HPA " +
+                             std::to_string(*hpa) + ", expected " +
+                             std::to_string(region.hpa + offset) +
+                             " — subarray group escape");
+      }
+    }
+  }
+  // Guard-row mode: every EPT table page must still live in the protected
+  // row group.
+  if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+    const auto& pool_ranges = ept_pool_ranges_[vm.config().socket];
+    for (uint64_t page : ept->table_pages()) {
+      bool inside = false;
+      for (const PhysRange& range : pool_ranges) {
+        inside |= range.Contains(page);
+      }
+      if (!inside) {
+        return MakeError(ErrorCode::kIntegrityViolation,
+                         "EPT table page outside the protected row group");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std::string& name) {
+  Result<Vm*> vm = GetVm(vm_id);
+  SILOZ_RETURN_IF_ERROR(vm);
+  if (destroyed_vms_.count(vm_id) != 0) {
+    return MakeError(ErrorCode::kFailedPrecondition, "VM is destroyed");
+  }
+  const uint32_t id = next_device_id_++;
+  PassthroughDevice device;
+  device.name = name;
+  device.vm = vm_id;
+  // IOMMU table pages come from the same protected path as EPT pages
+  // (requirement (2) of §5.1).
+  Result<std::unique_ptr<ExtendedPageTable>> iommu = ExtendedPageTable::Create(
+      memory_, MakeEptAllocator((*vm)->config().socket, &device.table_pages),
+      /*secure=*/config_.ept_protection == EptProtection::kSecureEpt);
+  SILOZ_RETURN_IF_ERROR(iommu);
+  device.iommu = std::move(*iommu);
+  // IOVA space mirrors the guest-physical layout of unmediated regions
+  // (requirement (1): the device can only reach the guest's groups).
+  for (const VmRegion& region : (*vm)->regions()) {
+    if (!IsUnmediated(region.type)) {
+      continue;
+    }
+    const uint64_t step = OrderBytes(OrderOf(region.page_size));
+    for (uint64_t offset = 0; offset < region.bytes; offset += step) {
+      Status mapped =
+          device.iommu->Map(region.gpa + offset, region.hpa + offset, region.page_size);
+      SILOZ_RETURN_IF_ERROR(mapped);
+    }
+  }
+  devices_.emplace(id, std::move(device));
+  return id;
+}
+
+Result<uint64_t> SilozHypervisor::DeviceDma(uint32_t device_id, uint64_t iova) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
+  }
+  const PassthroughDevice& device = it->second;
+  Result<uint64_t> hpa = device.iommu->Translate(iova);
+  if (!hpa.ok()) {
+    // Unmapped IOVA: the IOMMU blocks the DMA (no such window).
+    if (hpa.error().code == ErrorCode::kNotFound) {
+      return MakeError(ErrorCode::kPermissionDenied,
+                       "DMA to unmapped IOVA " + std::to_string(iova) + " blocked");
+    }
+    return hpa.error();  // secure-mode integrity violations surface as-is
+  }
+  // Defense in depth: the translated address must stay inside the owning
+  // VM's provisioned ranges, else the table was corrupted.
+  Result<Vm*> vm = GetVm(device.vm);
+  SILOZ_RETURN_IF_ERROR(vm);
+  for (const PhysRange& range : (*vm)->AllowedHpaRanges()) {
+    if (range.Contains(*hpa)) {
+      return *hpa;
+    }
+  }
+  return MakeError(ErrorCode::kIntegrityViolation,
+                   "IOMMU resolved IOVA " + std::to_string(iova) +
+                       " outside the VM's subarray groups");
+}
+
+Status SilozHypervisor::AuditDeviceIsolation(uint32_t device_id) const {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
+  }
+  const PassthroughDevice& device = it->second;
+  auto vm_it = vms_.find(device.vm);
+  SILOZ_CHECK(vm_it != vms_.end());
+  const Vm& vm = *vm_it->second;
+  for (const VmRegion& region : vm.regions()) {
+    if (!IsUnmediated(region.type)) {
+      continue;
+    }
+    const uint64_t step = OrderBytes(OrderOf(region.page_size));
+    for (uint64_t offset = 0; offset < region.bytes; offset += step) {
+      Result<uint64_t> hpa = device.iommu->Translate(region.gpa + offset);
+      SILOZ_RETURN_IF_ERROR(hpa);
+      if (*hpa != region.hpa + offset) {
+        return MakeError(ErrorCode::kIntegrityViolation,
+                         "IOMMU maps IOVA " + std::to_string(region.gpa + offset) +
+                             " to HPA " + std::to_string(*hpa) + ", expected " +
+                             std::to_string(region.hpa + offset));
+      }
+    }
+  }
+  if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+    const auto& pool_ranges = ept_pool_ranges_[vm.config().socket];
+    for (uint64_t page : device.iommu->table_pages()) {
+      bool inside = false;
+      for (const PhysRange& range : pool_ranges) {
+        inside |= range.Contains(page);
+      }
+      if (!inside) {
+        return MakeError(ErrorCode::kIntegrityViolation,
+                         "IOMMU table page outside the protected row group");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SilozHypervisor::RemovePassthroughDevice(uint32_t device_id) {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
+  }
+  const uint32_t socket = vms_.at(it->second.vm)->config().socket;
+  for (uint64_t page : it->second.table_pages) {
+    if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+      ept_pool_[socket].push_back(page);
+    } else {
+      SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
+    }
+  }
+  devices_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> SilozHypervisor::DeviceTablePages(uint32_t device_id) const {
+  auto it = devices_.find(device_id);
+  if (it == devices_.end()) {
+    return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
+  }
+  return it->second.table_pages;
+}
+
+Status SilozHypervisor::HostShutdown() {
+  // Privileged teardown: kill every VM and release every reservation,
+  // ignoring active subarray-group constraints (§5.3).
+  while (!devices_.empty()) {
+    SILOZ_RETURN_IF_ERROR(RemovePassthroughDevice(devices_.begin()->first));
+  }
+  std::vector<VmId> ids;
+  for (const auto& [id, vm] : vms_) {
+    ids.push_back(id);
+  }
+  for (VmId id : ids) {
+    if (destroyed_vms_.count(id) == 0) {
+      SILOZ_RETURN_IF_ERROR(DestroyVm(id));
+    }
+    SILOZ_RETURN_IF_ERROR(ReleaseVmNodes(id));
+  }
+  return Status::Ok();
+}
+
+size_t SilozHypervisor::ept_pool_free(uint32_t socket) const {
+  SILOZ_CHECK_LT(socket, ept_pool_.size());
+  return ept_pool_[socket].size();
+}
+
+const std::vector<PhysRange>& SilozHypervisor::ept_pool_ranges(uint32_t socket) const {
+  SILOZ_CHECK_LT(socket, ept_pool_ranges_.size());
+  return ept_pool_ranges_[socket];
+}
+
+}  // namespace siloz

@@ -1,0 +1,33 @@
+#include "src/siloz/mediated_governor.h"
+
+namespace siloz {
+
+Status MediatedAccessGovernor::Charge(VmId vm, uint64_t now_ns) {
+  Bucket& bucket = buckets_[vm];
+  if (now_ns >= bucket.window_start_ns + kRefreshWindowNs) {
+    // New refresh window: every host row the VM could have disturbed has
+    // been refreshed since; reset the budget.
+    bucket.window_start_ns = now_ns - (now_ns % kRefreshWindowNs);
+    bucket.used = 0;
+  }
+  if (bucket.used >= config_.acts_per_refresh_window) {
+    ++bucket.throttled;
+    return MakeError(ErrorCode::kPermissionDenied,
+                     "exit-induced access budget exhausted for VM " + std::to_string(vm));
+  }
+  ++bucket.used;
+  ++bucket.admitted;
+  return Status::Ok();
+}
+
+uint64_t MediatedAccessGovernor::throttled(VmId vm) const {
+  auto it = buckets_.find(vm);
+  return it == buckets_.end() ? 0 : it->second.throttled;
+}
+
+uint64_t MediatedAccessGovernor::admitted(VmId vm) const {
+  auto it = buckets_.find(vm);
+  return it == buckets_.end() ? 0 : it->second.admitted;
+}
+
+}  // namespace siloz

@@ -1,0 +1,62 @@
+// Rate limiting for exit-induced host memory accesses (§5.1).
+//
+// Siloz's policy argument: host-mediated pages need no subarray isolation
+// because a VM can only drive host accesses through VM exits, and "should
+// such confused deputy hammering ever prove feasible, the required VM exit
+// means that the host could easily apply its own mitigation (e.g.,
+// rate-limiting exit-induced memory accesses)". This module is that
+// mitigation: a token bucket per VM over exit-induced host-row activations,
+// sized so the permitted ACT rate stays well under any Rowhammer threshold.
+#ifndef SILOZ_SRC_SILOZ_MEDIATED_GOVERNOR_H_
+#define SILOZ_SRC_SILOZ_MEDIATED_GOVERNOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/base/result.h"
+#include "src/base/units.h"
+#include "src/siloz/vm.h"
+
+namespace siloz {
+
+struct GovernorConfig {
+  // Exit-induced host activations allowed per VM per refresh window. A safe
+  // budget is far below Rowhammer thresholds (tens of thousands of ACTs):
+  // 4096 ACTs / 64 ms supports ordinary virtio rates while making
+  // confused-deputy hammering unwinnable.
+  uint64_t acts_per_refresh_window = 4096;
+};
+
+class MediatedAccessGovernor {
+ public:
+  explicit MediatedAccessGovernor(GovernorConfig config) : config_(config) {}
+
+  // Charge one exit-induced host access by `vm` at time `now_ns`.
+  // Ok => the host may perform the access now; kPermissionDenied => the
+  // exit is throttled (the hypervisor would defer or penalize the vCPU).
+  Status Charge(VmId vm, uint64_t now_ns);
+
+  // Accounting for diagnostics.
+  uint64_t throttled(VmId vm) const;
+  uint64_t admitted(VmId vm) const;
+
+  // Upper bound on the per-row activation rate any VM can induce in host
+  // memory through exits — compare against a Rowhammer threshold to prove
+  // the policy sound.
+  uint64_t max_acts_per_window() const { return config_.acts_per_refresh_window; }
+
+ private:
+  struct Bucket {
+    uint64_t window_start_ns = 0;
+    uint64_t used = 0;
+    uint64_t throttled = 0;
+    uint64_t admitted = 0;
+  };
+
+  GovernorConfig config_;
+  std::map<VmId, Bucket> buckets_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_SILOZ_MEDIATED_GOVERNOR_H_

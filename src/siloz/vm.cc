@@ -1,0 +1,13 @@
+#include "src/siloz/vm.h"
+
+namespace siloz {
+
+std::vector<PhysRange> Vm::AllowedHpaRanges() const {
+  std::vector<PhysRange> ranges;
+  for (const VmRegion& region : regions_) {
+    ranges.push_back(PhysRange{region.hpa, region.hpa + region.bytes});
+  }
+  return ranges;
+}
+
+}  // namespace siloz

@@ -1,0 +1,70 @@
+// A virtual machine as Siloz sees it: reserved logical nodes, memory
+// regions, and the EPT enforcing its isolation.
+#ifndef SILOZ_SRC_SILOZ_VM_H_
+#define SILOZ_SRC_SILOZ_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/addr/subarray_group.h"
+#include "src/ept/ept.h"
+#include "src/siloz/config.h"
+
+namespace siloz {
+
+using VmId = uint32_t;
+
+// One mapped memory region of a VM.
+struct VmRegion {
+  MemoryType type = MemoryType::kGuestRam;
+  uint64_t gpa = 0;
+  uint64_t hpa = 0;
+  uint64_t bytes = 0;
+  PageSize page_size = PageSize::k2M;
+};
+
+class Vm {
+ public:
+  Vm(VmId id, VmConfig config, std::string cgroup_name)
+      : id_(id), config_(std::move(config)), cgroup_name_(std::move(cgroup_name)) {}
+
+  VmId id() const { return id_; }
+  const VmConfig& config() const { return config_; }
+  const std::string& cgroup_name() const { return cgroup_name_; }
+
+  // Logical nodes reserved for this VM's unmediated memory.
+  const std::vector<uint32_t>& guest_nodes() const { return guest_nodes_; }
+  // Global subarray-group ids those nodes cover.
+  const std::vector<uint32_t>& guest_groups() const { return guest_groups_; }
+  const std::vector<VmRegion>& regions() const { return regions_; }
+
+  ExtendedPageTable* ept() { return ept_.get(); }
+  const ExtendedPageTable* ept() const { return ept_.get(); }
+
+  // Physical ranges the VM may legitimately reach through its EPT
+  // (unmediated regions only; mediated regions are host-owned but reachable).
+  std::vector<PhysRange> AllowedHpaRanges() const;
+
+  // --- Mutators used by the hypervisor during creation ---
+  void AddGuestNode(uint32_t node, uint32_t group) {
+    guest_nodes_.push_back(node);
+    guest_groups_.push_back(group);
+  }
+  void AddRegion(VmRegion region) { regions_.push_back(region); }
+  void SetEpt(std::unique_ptr<ExtendedPageTable> ept) { ept_ = std::move(ept); }
+
+ private:
+  VmId id_;
+  VmConfig config_;
+  std::string cgroup_name_;
+  std::vector<uint32_t> guest_nodes_;
+  std::vector<uint32_t> guest_groups_;
+  std::vector<VmRegion> regions_;
+  std::unique_ptr<ExtendedPageTable> ept_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_SILOZ_VM_H_

@@ -1,0 +1,48 @@
+// Co-located multi-VM execution: several tenants' request streams share the
+// machine's memory controllers, modeling the interference environment the
+// paper's introduction motivates (§1, §2.2).
+//
+// Used to show that (a) memory interference between neighbours exists and is
+// governed by bank/bus contention, and (b) Siloz placement neither adds to
+// nor removes it — subarray groups are a *security* boundary; performance
+// isolation needs the coarser units of §8.4.
+#ifndef SILOZ_SRC_SIM_COLOCATED_H_
+#define SILOZ_SRC_SIM_COLOCATED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/sim/experiment.h"
+#include "src/workload/workloads.h"
+
+namespace siloz {
+
+struct TenantSpec {
+  std::string vm_name;
+  uint64_t memory_bytes = 3ull << 30;
+  uint32_t socket = 0;
+  WorkloadSpec workload;
+  // Background tenants replay their trace cyclically until every foreground
+  // tenant finishes (a noisy neighbour that never goes idle).
+  bool background = false;
+};
+
+struct TenantResult {
+  std::string vm_name;
+  double elapsed_ns = 0.0;
+  double bandwidth_gibs = 0.0;
+  uint64_t requests = 0;
+};
+
+// Boots a machine+hypervisor per `config`, creates one VM per tenant, and
+// replays all tenants' traces through the shared controllers with a global
+// round-robin issue order (each tenant keeps its own MLP window). Returns
+// per-tenant results.
+Result<std::vector<TenantResult>> RunColocated(const RunnerConfig& config,
+                                               const std::vector<TenantSpec>& tenants);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_SIM_COLOCATED_H_

@@ -1,0 +1,60 @@
+#include "src/sim/experiment.h"
+
+#include "src/base/rng.h"
+#include "src/memctl/engine.h"
+
+namespace siloz {
+
+Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+  MachineConfig machine_config;
+  machine_config.geometry = config.geometry;
+  machine_config.decoder = config.decoder;
+  machine_config.timings = config.timings;
+  machine_config.fault_tracking = false;  // timing fidelity (DESIGN.md §4)
+  Machine machine(machine_config);
+
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), config.hypervisor);
+  SILOZ_RETURN_IF_ERROR(hypervisor.Boot());
+  Result<VmId> vm_id = hypervisor.CreateVm(config.vm);
+  SILOZ_RETURN_IF_ERROR(vm_id);
+  Result<Vm*> vm = hypervisor.GetVm(*vm_id);
+  SILOZ_RETURN_IF_ERROR(vm);
+
+  // System jitter is independent across kernels and workloads: mix the
+  // hypervisor variant and workload identity into the noise stream so the
+  // baseline and Siloz runs of one workload draw different (deterministic)
+  // jitter, exactly like back-to-back runs on a real host.
+  uint64_t variant_tag = 0xCBF29CE484222325ull;
+  for (char c : spec.name) {
+    variant_tag = (variant_tag ^ static_cast<uint8_t>(c)) * 0x100000001B3ull;
+  }
+  variant_tag ^= (static_cast<uint64_t>(config.hypervisor.enabled) << 40) ^
+                 (static_cast<uint64_t>(config.hypervisor.rows_per_subarray) << 8) ^
+                 static_cast<uint64_t>(config.hypervisor.ept_protection);
+  Rng noise_rng(config.seed ^ variant_tag);
+
+  RunMeasurement measurement;
+  const std::vector<MemoryController*> controllers = machine.controllers();
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    const std::vector<MemRequest> trace =
+        GenerateTrace(spec, machine.decoder(), (*vm)->regions(), config.vm.socket,
+                      config.seed + trial * 7919);
+    for (MemoryController* controller : controllers) {
+      controller->ResetState();
+    }
+    EngineConfig engine;
+    engine.max_outstanding = spec.mlp;
+    engine.compute_ns_per_access = spec.compute_ns_per_access;
+    const EngineResult result = RunClosedLoop(trace, controllers, engine);
+
+    const double jitter = 1.0 + config.os_noise_frac * noise_rng.NextGaussian();
+    const double elapsed = result.elapsed_ns * jitter;
+    measurement.elapsed_ns.Add(elapsed);
+    measurement.bandwidth_gibs.Add(static_cast<double>(result.requests) * 64.0 / elapsed *
+                                   (1e9 / (1024.0 * 1024.0 * 1024.0)));
+    measurement.row_hit_rate = controllers[config.vm.socket]->stats().row_hit_rate();
+  }
+  return measurement;
+}
+
+}  // namespace siloz

@@ -1,0 +1,91 @@
+#include "src/sim/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace siloz {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Escape(const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JoinCsv(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      line += ',';
+    }
+    line += Escape(fields[i]);
+  }
+  return line;
+}
+
+}  // namespace
+
+CsvReporter::CsvReporter(std::string experiment, std::string directory)
+    : experiment_(std::move(experiment)), directory_(std::move(directory)) {
+  if (directory_.empty()) {
+    const char* env = std::getenv("SILOZ_RESULTS_DIR");
+    if (env != nullptr && env[0] != '\0') {
+      directory_ = env;
+    }
+  }
+}
+
+std::string CsvReporter::path() const {
+  return directory_.empty() ? "" : directory_ + "/" + experiment_ + ".csv";
+}
+
+Status CsvReporter::Append(const std::vector<std::string>& columns,
+                           const std::vector<std::string>& fields) {
+  if (!enabled()) {
+    return Status::Ok();
+  }
+  if (fields.size() != columns.size()) {
+    return MakeError(ErrorCode::kInvalidArgument, "field count does not match columns");
+  }
+  const std::string file = path();
+  bool fresh = false;
+  {
+    std::ifstream probe(file);
+    fresh = !probe.good();
+  }
+  std::ofstream out(file, std::ios::app);
+  if (!out.good()) {
+    return MakeError(ErrorCode::kFailedPrecondition, "cannot open " + file);
+  }
+  if (fresh) {
+    out << JoinCsv(columns) << '\n';
+  }
+  out << JoinCsv(fields) << '\n';
+  return Status::Ok();
+}
+
+std::string CsvNumber(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace siloz

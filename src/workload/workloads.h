@@ -1,0 +1,77 @@
+// Workload models for the performance evaluation (§7.2-§7.3).
+//
+// The paper measures execution time (redis+YCSB A-F, Hadoop terasort, SPEC
+// CPU 2017, PARSEC 3.0) and throughput (memcached, SysBench mySQL, Intel MLC
+// variants). We model each as a parameterized memory-access-trace generator:
+// what distinguishes the workloads for a *memory-placement* study is their
+// row-buffer locality, read:write mix, memory-level parallelism, compute
+// intensity, and footprint — not their instruction streams. Parameters are
+// drawn from the workloads' published memory characterizations; the paper's
+// claim under test (placement into subarray groups is performance-neutral)
+// depends only on these axes.
+#ifndef SILOZ_SRC_WORKLOAD_WORKLOADS_H_
+#define SILOZ_SRC_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/addr/decoder.h"
+#include "src/base/result.h"
+#include "src/memctl/controller.h"
+#include "src/siloz/vm.h"
+
+namespace siloz {
+
+enum class MetricKind : uint8_t {
+  kExecutionTime,  // Fig 4 / Fig 6: lower elapsed is better
+  kThroughput,     // Fig 5 / Fig 7: higher bandwidth is better
+};
+
+struct WorkloadSpec {
+  std::string name;
+  MetricKind metric = MetricKind::kExecutionTime;
+  // Probability the next access is the sequentially-next cache line (row
+  // buffer friendliness); otherwise it jumps within the footprint.
+  double sequential_locality = 0.5;
+  // Skew of jump targets: 0 = uniform; 0 < theta < 1 = scrambled-Zipfian
+  // (YCSB's request distribution uses theta ~ 0.99 over hot keys).
+  double zipf_theta = 0.0;
+  double read_fraction = 0.8;
+  // Outstanding requests the workload sustains (threads x per-core MLP,
+  // saturated for bandwidth probes).
+  uint32_t mlp = 8;
+  // Compute between consecutive accesses (0 = pure bandwidth probe).
+  double compute_ns_per_access = 10.0;
+  // Guest-physical working set (clamped to the VM's RAM).
+  uint64_t footprint_bytes = 2ull << 30;
+  // Accesses generated per trial.
+  uint64_t accesses = 400'000;
+};
+
+// Fig 4 workload set: redis+YCSB A-F, terasort, SPEC CPU 2017 (speed),
+// PARSEC 3.0 (suite aggregates).
+const std::vector<WorkloadSpec>& ExecutionTimeWorkloads();
+
+// Fig 5 workload set: memcached, SysBench mySQL, and the Intel MLC
+// variants (reads, 3:1, 2:1, 1:1, stream).
+const std::vector<WorkloadSpec>& ThroughputWorkloads();
+
+// Individual-benchmark profiles behind the suite aggregates: a
+// memory-characterized subset of SPEC CPU 2017 (speed) and PARSEC 3.0.
+// Used by the extended Fig 4 breakdown and available by name everywhere.
+const std::vector<WorkloadSpec>& SpecCpuWorkloads();
+const std::vector<WorkloadSpec>& ParsecWorkloads();
+
+Result<WorkloadSpec> FindWorkload(const std::string& name);
+
+// Generates a request trace over the VM's unmediated regions: the guest
+// walks its own GPA space; addresses translate through the region list (the
+// static GPA->HPA layout its EPT encodes) and then the platform decoder.
+std::vector<MemRequest> GenerateTrace(const WorkloadSpec& spec, const AddressDecoder& decoder,
+                                      const std::vector<VmRegion>& regions,
+                                      uint32_t source_socket, uint64_t seed);
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_WORKLOAD_WORKLOADS_H_

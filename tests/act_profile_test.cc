@@ -1,0 +1,79 @@
+// Tests for the row-activation profiler (src/memctl/act_profile.h).
+#include <gtest/gtest.h>
+
+#include "src/addr/decoder.h"
+#include "src/base/units.h"
+#include "src/memctl/act_profile.h"
+
+namespace siloz {
+namespace {
+
+MemRequest At(const AddressDecoder& decoder, uint64_t phys) {
+  MemRequest request;
+  request.address = *decoder.PhysToMedia(phys);
+  return request;
+}
+
+TEST(ActProfileTest, RowBufferHitsAreNotActivations) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  RowActivationProfiler profiler(geometry, 1000);
+  // 100 accesses to the same line: 1 ACT.
+  for (int i = 0; i < 100; ++i) {
+    profiler.Observe(At(decoder, 0), i * 10.0);
+  }
+  const ActProfile profile = profiler.Finish();
+  EXPECT_EQ(profile.total_activations, 1u);
+  EXPECT_EQ(profile.max_row_acts_per_window, 1u);
+  EXPECT_EQ(profile.rows_over_threshold, 0u);
+}
+
+TEST(ActProfileTest, AlternatingRowsCountEveryActivation) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  RowActivationProfiler profiler(geometry, 1000);
+  const uint64_t stride = geometry.row_group_bytes() * 32;  // same bank, other row
+  for (int i = 0; i < 5000; ++i) {
+    profiler.Observe(At(decoder, (i % 2) * stride), i * 10.0);
+  }
+  const ActProfile profile = profiler.Finish();
+  EXPECT_EQ(profile.total_activations, 5000u);
+  EXPECT_EQ(profile.max_row_acts_per_window, 2500u);
+  EXPECT_EQ(profile.rows_over_threshold, 2u);
+}
+
+TEST(ActProfileTest, WindowsResetCounts) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  RowActivationProfiler profiler(geometry, 1000);
+  const uint64_t stride = geometry.row_group_bytes() * 32;
+  // 600 ACTs per window across 4 windows: never crosses 1000 in a window.
+  double t = 0.0;
+  for (int window = 0; window < 4; ++window) {
+    for (int i = 0; i < 600; ++i) {
+      profiler.Observe(At(decoder, (i % 2) * stride), t);
+      t += static_cast<double>(kRefreshWindowNs) / 600.0;
+    }
+  }
+  const ActProfile profile = profiler.Finish();
+  EXPECT_EQ(profile.total_activations, 2400u);
+  EXPECT_LE(profile.max_row_acts_per_window, 1000u);
+  EXPECT_EQ(profile.rows_over_threshold, 0u);
+  EXPECT_GE(profile.windows, 4u);
+}
+
+TEST(ActProfileTest, DistinctBanksTrackedIndependently) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  RowActivationProfiler profiler(geometry, 10);
+  // Interleave across 6 channels: each access opens a different bank once.
+  for (uint64_t i = 0; i < 6; ++i) {
+    profiler.Observe(At(decoder, i * kCacheLineBytes), static_cast<double>(i));
+  }
+  const ActProfile profile = profiler.Finish();
+  EXPECT_EQ(profile.total_activations, 6u);
+  EXPECT_EQ(profile.max_row_acts_per_window, 1u);
+}
+
+}  // namespace
+}  // namespace siloz

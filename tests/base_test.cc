@@ -1,0 +1,255 @@
+// Unit tests for src/base: Result, Rng, stats, bitops, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/base/bitops.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+// --- Result / Status ---
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return MakeError(ErrorCode::kInvalidArgument, "not positive");
+  }
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_NE(r.error().ToString().find("INVALID_ARGUMENT"), std::string::npos);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = MakeError(ErrorCode::kNoMemory, "pool empty");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kNoMemory);
+}
+
+TEST(ErrorCodeTest, AllCodesHaveNames) {
+  for (ErrorCode code : {ErrorCode::kInvalidArgument, ErrorCode::kOutOfRange,
+                         ErrorCode::kNoMemory, ErrorCode::kPermissionDenied, ErrorCode::kNotFound,
+                         ErrorCode::kAlreadyExists, ErrorCode::kFailedPrecondition,
+                         ErrorCode::kIntegrityViolation, ErrorCode::kUnsupported}) {
+    EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.NextBernoulli(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(31);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (child_a.NextU64() == child_b.NextU64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- Stats ---
+
+TEST(StatsTest, MeanAndStddev) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.stddev(), 2.138, 0.001);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(StatsTest, CiShrinksWithSamples) {
+  RunningStat small;
+  RunningStat large;
+  Rng rng(37);
+  for (int i = 0; i < 5; ++i) {
+    small.Add(rng.NextGaussian());
+  }
+  for (int i = 0; i < 500; ++i) {
+    large.Add(rng.NextGaussian());
+  }
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(StatsTest, CiZeroForSingleSample) {
+  RunningStat stat;
+  stat.Add(1.0);
+  EXPECT_DOUBLE_EQ(stat.ci95_halfwidth(), 0.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(GeometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(StatsTest, TCriticalMonotone) {
+  EXPECT_GT(TCritical95(1), TCritical95(5));
+  EXPECT_GT(TCritical95(5), TCritical95(30));
+  EXPECT_DOUBLE_EQ(TCritical95(1000), 1.96);
+}
+
+// --- Bitops ---
+
+TEST(BitopsTest, GetSetBit) {
+  EXPECT_EQ(GetBit(0b1010, 1), 1u);
+  EXPECT_EQ(GetBit(0b1010, 0), 0u);
+  EXPECT_EQ(SetBit(0b1010, 0, 1), 0b1011u);
+  EXPECT_EQ(SetBit(0b1010, 1, 0), 0b1000u);
+}
+
+TEST(BitopsTest, GetBits) {
+  EXPECT_EQ(GetBits(0b110100, 4, 2), 0b101u);
+  EXPECT_EQ(GetBits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(BitopsTest, SwapBits) {
+  EXPECT_EQ(SwapBits(0b10, 0, 1), 0b01u);
+  EXPECT_EQ(SwapBits(0b11, 0, 1), 0b11u);
+  // Paper example (§6): 0b10000 with <b4,b3> mirrored becomes 0b01000.
+  EXPECT_EQ(SwapBits(0b10000, 3, 4), 0b01000u);
+}
+
+TEST(BitopsTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(768));
+  EXPECT_EQ(NextPowerOfTwo(768), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(Log2(1024), 10u);
+}
+
+TEST(BitopsTest, Align) {
+  EXPECT_EQ(AlignDown(1000, 256), 768u);
+  EXPECT_EQ(AlignUp(1000, 256), 1024u);
+  EXPECT_EQ(AlignUp(1024, 256), 1024u);
+}
+
+// --- Units ---
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(32_GiB, 32ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(8_KiB, 8192ull);
+  EXPECT_EQ(24_MiB, 24ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,122 @@
+// Tests for the Blacksmith-style fuzzer (src/attack).
+#include <gtest/gtest.h>
+
+#include "src/attack/blacksmith.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+MachineConfig FaultConfig(bool trr_enabled = false) {
+  MachineConfig config;
+  config.fault_tracking = true;
+  DimmProfile profile;
+  profile.disturbance.threshold_mean = 2500.0;
+  profile.disturbance.threshold_spread = 0.15;
+  profile.trr.enabled = trr_enabled;
+  profile.trr.act_threshold = 400;
+  config.dimm_profiles = {profile};
+  return config;
+}
+
+BlacksmithConfig FastFuzz(uint64_t seed = 7) {
+  BlacksmithConfig config;
+  config.patterns = 4;
+  config.rounds = 1200;
+  config.min_pairs = 6;
+  config.max_pairs = 12;
+  config.seed = seed;
+  return config;
+}
+
+TEST(BlacksmithTest, FindsFlipsWithinAccessibleRegion) {
+  Machine machine(FaultConfig());
+  // Attacker owns subarray group 3 of socket 0: phys [4.5 GiB, 6 GiB).
+  const uint64_t group_bytes = machine.decoder().geometry().subarray_group_bytes();
+  const PhysRange region{3 * group_bytes, 4 * group_bytes};
+  BlacksmithFuzzer fuzzer(FastFuzz());
+  const FuzzReport report = fuzzer.Run(machine, {&region, 1});
+  EXPECT_GT(report.patterns_run, 0u);
+  EXPECT_GT(report.activations, 0u);
+  ASSERT_FALSE(report.flips.empty());
+  // Physics: all flips stay inside the attacker's subarray group.
+  for (const PhysFlip& flip : report.flips) {
+    EXPECT_TRUE(region.Contains(flip.phys))
+        << "flip at phys " << flip.phys << " escaped the subarray group";
+  }
+}
+
+TEST(BlacksmithTest, DefeatsTrr) {
+  // Many-sided patterns must produce flips even with TRR enabled (the
+  // paper's premise: deployed mitigations are insufficient, §2.5).
+  Machine machine(FaultConfig(/*trr_enabled=*/true));
+  const uint64_t group_bytes = machine.decoder().geometry().subarray_group_bytes();
+  const PhysRange region{3 * group_bytes, 4 * group_bytes};
+  BlacksmithConfig config = FastFuzz(11);
+  config.min_pairs = 10;  // enough sides to exhaust the tracker
+  config.max_pairs = 16;
+  config.patterns = 6;
+  BlacksmithFuzzer fuzzer(config);
+  const FuzzReport report = fuzzer.Run(machine, {&region, 1});
+  EXPECT_FALSE(report.flips.empty()) << "fuzzer failed to bypass TRR";
+}
+
+TEST(BlacksmithTest, RowPressProducesFlips) {
+  Machine machine(FaultConfig());
+  const uint64_t group_bytes = machine.decoder().geometry().subarray_group_bytes();
+  const PhysRange region{0, group_bytes};
+  BlacksmithFuzzer fuzzer(FastFuzz(13));
+  const FuzzReport report = fuzzer.RunRowPress(machine, {&region, 1});
+  EXPECT_FALSE(report.flips.empty());
+  for (const PhysFlip& flip : report.flips) {
+    EXPECT_TRUE(region.Contains(flip.phys));
+  }
+}
+
+TEST(BlacksmithTest, CensusClassifiesInsideOutside) {
+  Machine machine(FaultConfig());
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(machine.decoder(), 1024);
+  std::vector<PhysFlip> flips(3);
+  flips[0].phys = 100;  // group 0
+  flips[0].dimm_name = "A";
+  flips[1].phys = 100 + map.group_bytes();  // group 1
+  flips[1].dimm_name = "B";
+  flips[2].phys = 200;  // group 0
+  flips[2].dimm_name = "A";
+  const PhysRange inside{0, map.group_bytes()};
+  const FlipCensus census = ClassifyFlips(flips, map, {&inside, 1});
+  EXPECT_EQ(census.inside, 2u);
+  EXPECT_EQ(census.outside, 1u);
+  EXPECT_EQ(census.per_dimm.at("A"), 2u);
+  EXPECT_EQ(census.per_dimm.at("B"), 1u);
+  EXPECT_EQ(census.groups_hit.size(), 2u);
+}
+
+TEST(BlacksmithTest, DeterministicForSeed) {
+  const uint64_t group_bytes = DramGeometry{}.subarray_group_bytes();
+  const PhysRange region{3 * group_bytes, 4 * group_bytes};
+  auto run = [&](uint64_t seed) {
+    Machine machine(FaultConfig());
+    BlacksmithFuzzer fuzzer(FastFuzz(seed));
+    return fuzzer.Run(machine, {&region, 1});
+  };
+  const FuzzReport a = run(21);
+  const FuzzReport b = run(21);
+  EXPECT_EQ(a.activations, b.activations);
+  ASSERT_EQ(a.flips.size(), b.flips.size());
+  for (size_t i = 0; i < a.flips.size(); ++i) {
+    EXPECT_EQ(a.flips[i].phys, b.flips[i].phys);
+  }
+  const FuzzReport c = run(22);
+  EXPECT_NE(a.activations, c.activations);
+}
+
+TEST(BlacksmithTest, HammerPhysAddressesCountsActs) {
+  Machine machine(FaultConfig());
+  const uint64_t stride = machine.decoder().geometry().row_group_bytes() * 32;
+  const uint64_t aggressors[] = {0, stride};
+  EXPECT_EQ(HammerPhysAddresses(machine, aggressors, 100), 200u);
+}
+
+}  // namespace
+}  // namespace siloz

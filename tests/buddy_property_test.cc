@@ -1,0 +1,137 @@
+// Randomized model-checking stress for the buddy allocator.
+//
+// A reference model tracks the set of allocated [begin, end) intervals.
+// After every operation the allocator must agree with the model on:
+//   - no allocation overlaps another or leaves the seeded ranges,
+//   - natural alignment of every returned block,
+//   - exact free_bytes accounting,
+//   - full coalescing back to the seeded maximal blocks after drain.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/hostmem/buddy.h"
+
+namespace siloz {
+namespace {
+
+struct Allocation {
+  uint64_t begin;
+  uint32_t order;
+};
+
+class BuddyStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyStress, RandomAllocFreeAgainstModel) {
+  const std::vector<PhysRange> ranges = {PhysRange{0, 64_MiB},
+                                         PhysRange{256_MiB, 256_MiB + 16_MiB}};
+  BuddyAllocator buddy(ranges);
+  const uint64_t total = 64_MiB + 16_MiB;
+  ASSERT_EQ(buddy.total_bytes(), total);
+
+  Rng rng(GetParam());
+  std::map<uint64_t, Allocation> live;  // begin -> allocation
+  uint64_t live_bytes = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = live.empty() || rng.NextBernoulli(0.55);
+    if (do_alloc) {
+      const uint32_t order = static_cast<uint32_t>(rng.NextBelow(10));  // up to 2 MiB
+      Result<uint64_t> block = buddy.Allocate(order);
+      if (!block.ok()) {
+        // The model can confirm plausibility: free_bytes may still exceed
+        // the request (fragmentation), but never the other way around.
+        ASSERT_LT(buddy.free_bytes(), buddy.total_bytes());
+        continue;
+      }
+      const uint64_t begin = *block;
+      const uint64_t size = OrderBytes(order);
+      // Alignment.
+      ASSERT_EQ(begin % size, 0u);
+      // Inside seeded ranges.
+      bool inside = false;
+      for (const PhysRange& range : ranges) {
+        inside |= (begin >= range.begin && begin + size <= range.end);
+      }
+      ASSERT_TRUE(inside) << "block " << begin << " outside seeded ranges";
+      // No overlap with any live allocation.
+      auto next = live.lower_bound(begin);
+      if (next != live.end()) {
+        ASSERT_LE(begin + size, next->second.begin);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->second.begin + OrderBytes(prev->second.order), begin);
+      }
+      live[begin] = Allocation{begin, order};
+      live_bytes += size;
+    } else {
+      // Free a random live allocation.
+      auto it = live.begin();
+      std::advance(it, rng.NextBelow(live.size()));
+      ASSERT_TRUE(buddy.Free(it->second.begin, it->second.order).ok());
+      live_bytes -= OrderBytes(it->second.order);
+      live.erase(it);
+    }
+    ASSERT_EQ(buddy.free_bytes(), buddy.total_bytes() - live_bytes) << "at step " << step;
+  }
+
+  // Drain and verify full coalescing.
+  for (const auto& [begin, allocation] : live) {
+    ASSERT_TRUE(buddy.Free(allocation.begin, allocation.order).ok());
+  }
+  EXPECT_EQ(buddy.free_bytes(), total);
+  EXPECT_EQ(buddy.LargestFreeOrder(), 14);  // the 64 MiB block is whole again
+  // And the allocator can hand out the maximal blocks.
+  EXPECT_TRUE(buddy.AllocateAt(0, 14).ok());
+  EXPECT_TRUE(buddy.AllocateAt(256_MiB, 12).ok());  // 16 MiB block
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyStress, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(BuddyStressTest, MixedAllocateAtAndOffline) {
+  BuddyAllocator buddy({PhysRange{0, 32_MiB}});
+  Rng rng(99);
+  std::map<uint64_t, Allocation> live;
+  std::set<uint64_t> offlined;
+  for (int step = 0; step < 2000; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const uint32_t order = static_cast<uint32_t>(rng.NextBelow(6));
+      Result<uint64_t> block = buddy.Allocate(order);
+      if (block.ok()) {
+        live[*block] = Allocation{*block, order};
+        // Never hand out an offlined page.
+        for (uint64_t page = *block; page < *block + OrderBytes(order); page += kPage4K) {
+          ASSERT_EQ(offlined.count(page), 0u);
+        }
+      }
+    } else if (dice < 0.7 && !live.empty()) {
+      auto it = live.begin();
+      std::advance(it, rng.NextBelow(live.size()));
+      ASSERT_TRUE(buddy.Free(it->second.begin, it->second.order).ok());
+      live.erase(it);
+    } else if (dice < 0.85) {
+      const uint64_t page = rng.NextBelow(32_MiB / kPage4K) * kPage4K;
+      if (buddy.OfflinePage(page).ok()) {
+        offlined.insert(page);
+      }
+    } else {
+      const uint64_t begin = rng.NextBelow(32_MiB / kPage2M) * kPage2M;
+      if (buddy.AllocateAt(begin, kOrder2M).ok()) {
+        live[begin] = Allocation{begin, kOrder2M};
+        for (uint64_t page = begin; page < begin + kPage2M; page += kPage4K) {
+          ASSERT_EQ(offlined.count(page), 0u);
+        }
+      }
+    }
+    ASSERT_EQ(buddy.offlined_bytes(), offlined.size() * kPage4K);
+  }
+  // Accounting closes: total shrank by offlined bytes.
+  EXPECT_EQ(buddy.total_bytes(), 32_MiB - offlined.size() * kPage4K);
+}
+
+}  // namespace
+}  // namespace siloz

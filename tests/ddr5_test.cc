@@ -1,0 +1,102 @@
+// Tests for the DDR5-generation support (§8.2): bigger bank counts, larger
+// subarray groups, and interface-level undoing of mirroring/inversion.
+#include <gtest/gtest.h>
+
+#include "src/addr/subarray_group.h"
+#include "src/base/units.h"
+#include "src/dram/remap.h"
+#include "src/ept/phys_memory.h"
+#include "src/siloz/hypervisor.h"
+
+namespace siloz {
+namespace {
+
+TEST(Ddr5Test, GeometryScalesGroups) {
+  const DramGeometry ddr5 = Ddr5Geometry();
+  ASSERT_TRUE(ddr5.Validate().ok());
+  EXPECT_EQ(ddr5.banks_per_rank, 32u);
+  EXPECT_EQ(ddr5.banks_per_socket(), 384u);
+  // §8.2: group size grows proportionally with banks per node: 3 GiB.
+  EXPECT_EQ(ddr5.subarray_group_bytes(), 3_GiB);
+  EXPECT_EQ(ddr5.socket_bytes(), 384_GiB);
+}
+
+TEST(Ddr5Test, RemapConfigIsIdentityOnRows) {
+  const DramGeometry ddr5 = Ddr5Geometry();
+  RowRemapper remapper(ddr5, Ddr5RemapConfig());
+  for (uint32_t rank : {0u, 1u}) {
+    for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+      for (uint32_t row = 0; row < 4096; ++row) {
+        EXPECT_EQ(remapper.ToInternal(row, rank, 0, side), row);
+      }
+    }
+  }
+}
+
+TEST(Ddr5Test, NonPowerOfTwoSizesNeedNoArtificialGroups) {
+  // §8.2: with mirroring/inversion undone at each device, any subarray size
+  // preserves isolation blocks.
+  DramGeometry ddr5 = Ddr5Geometry();
+  ddr5.rows_per_bank = 129024;  // divisible by 768 and 1536
+  for (uint32_t rows : {512u, 768u, 1024u, 1536u, 2048u}) {
+    EXPECT_TRUE(TransformsPreserveSubarrayBlocks(ddr5, Ddr5RemapConfig(), rows))
+        << "rows " << rows;
+  }
+}
+
+TEST(Ddr5Test, SkylakeStyleDecoderWorksOnDdr5Geometry) {
+  const DramGeometry ddr5 = Ddr5Geometry();
+  SkylakeDecoder decoder(ddr5);
+  // Round-trip and group math hold on the larger geometry.
+  const uint64_t probes[] = {0, 100_GiB, 383_GiB, 768_GiB - 64};
+  for (uint64_t phys : probes) {
+    const MediaAddress media = *decoder.PhysToMedia(phys);
+    EXPECT_EQ(*decoder.MediaToPhys(media), phys);
+  }
+  Result<SubarrayGroupMap> map = SubarrayGroupMap::Build(decoder, 1024);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->group_bytes(), 3_GiB);
+  EXPECT_EQ(map->groups_per_socket(), 128u);
+}
+
+TEST(Ddr5Test, HypervisorBootsAndPlacesVms) {
+  const DramGeometry ddr5 = Ddr5Geometry();
+  SkylakeDecoder decoder(ddr5);
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(decoder, memory, SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  // 128 groups per socket, 2 host groups -> 126 guest nodes of 3 GiB each.
+  EXPECT_EQ(hypervisor.AvailableGuestNodes(0).size(), 126u);
+  Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 6_GiB, .socket = 0});
+  ASSERT_TRUE(id.ok()) << id.error().ToString();
+  EXPECT_EQ((*hypervisor.GetVm(*id))->guest_nodes().size(), 2u);
+  EXPECT_TRUE(hypervisor.AuditVmIsolation(*id).ok());
+}
+
+TEST(Ddr5Test, NonPowerOfTwoBootWithoutArtificialGroups) {
+  // On DDR5 Siloz manages a 768-row subarray natively (no rounding, no
+  // guard offlining) as long as the size divides the bank.
+  DramGeometry ddr5 = Ddr5Geometry();
+  ddr5.rows_per_bank = 86016;  // 768 * 112, and 512 | 86016 for the decoder
+  ddr5.rows_per_subarray = 768;
+  EXPECT_TRUE(TransformsPreserveSubarrayBlocks(ddr5, Ddr5RemapConfig(), 768));
+
+  SkylakeDecoder decoder(ddr5);
+  FlatPhysMemory memory;
+  SilozConfig config;
+  config.rows_per_subarray = 768;
+  config.uniform_internal_addressing = true;  // platform attestation (§8.2)
+  SilozHypervisor hypervisor(decoder, memory, config);
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  EXPECT_FALSE(hypervisor.using_artificial_groups());
+  EXPECT_EQ(hypervisor.effective_rows_per_subarray(), 768u);
+  EXPECT_EQ(hypervisor.artificial_guard_bytes(), 0u);
+  // Group size: 384 banks * 768 rows * 8 KiB = 2.25 GiB.
+  EXPECT_EQ(hypervisor.group_map().group_bytes(), 2304_MiB);
+  Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 2_GiB, .socket = 0});
+  ASSERT_TRUE(id.ok()) << id.error().ToString();
+  EXPECT_TRUE(hypervisor.AuditVmIsolation(*id).ok());
+}
+
+}  // namespace
+}  // namespace siloz

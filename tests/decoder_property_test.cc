@@ -1,0 +1,218 @@
+// Property tests for address decoders across a family of geometries.
+//
+// For every (geometry, decoder) combination:
+//   P1  PhysToMedia is total on [0, total_bytes) and MediaToPhys inverts it.
+//   P2  distinct line addresses map to distinct media lines (injectivity).
+//   P3  every 2 MiB-aligned page maps into a single subarray group (§4.2).
+//   P4  every 4 KiB page maps into a single subarray group.
+//   P5  SubarrayGroupMap extents exactly tile the address space.
+//   P6  the cluster id is consistent between decoder and group map.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/addr/subarray_group.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+struct GeometryCase {
+  const char* name;
+  DramGeometry geometry;
+};
+
+const std::vector<GeometryCase>& GeometryCases() {
+  static const std::vector<GeometryCase>& cases = *new std::vector<GeometryCase>([] {
+    std::vector<GeometryCase> result;
+    {
+      DramGeometry g;  // evaluation server
+      result.push_back({"skylake_default", g});
+    }
+    {
+      DramGeometry g = Ddr5Geometry();
+      result.push_back({"ddr5", g});
+    }
+    {
+      DramGeometry g;
+      g.sockets = 1;
+      g.channels_per_socket = 4;
+      g.banks_per_rank = 8;
+      g.rows_per_bank = 16384;
+      g.rows_per_subarray = 512;
+      result.push_back({"small_4ch", g});
+    }
+    {
+      DramGeometry g;
+      g.sockets = 2;
+      g.channels_per_socket = 2;
+      g.dimms_per_channel = 2;
+      g.ranks_per_dimm = 2;
+      g.banks_per_rank = 16;
+      g.rows_per_bank = 8192;
+      g.rows_per_subarray = 2048;
+      result.push_back({"two_ch_two_dimm", g});
+    }
+    {
+      DramGeometry g;
+      g.sockets = 1;
+      g.channels_per_socket = 3;  // odd channel count exercises mod-3 paths
+      g.banks_per_rank = 4;
+      g.rows_per_bank = 4096;
+      g.rows_per_subarray = 1024;
+      result.push_back({"three_ch_odd", g});
+    }
+    return result;
+  }());
+  return cases;
+}
+
+enum class Kind { kSkylake, kLinear, kSnc };
+
+std::unique_ptr<AddressDecoder> MakeDecoder(Kind kind, const DramGeometry& geometry) {
+  switch (kind) {
+    case Kind::kSkylake:
+      return std::make_unique<SkylakeDecoder>(geometry);
+    case Kind::kLinear:
+      return std::make_unique<LinearDecoder>(geometry);
+    case Kind::kSnc:
+      return std::make_unique<SncDecoder>(geometry, 2);
+  }
+  return nullptr;
+}
+
+class DecoderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, Kind>> {
+ protected:
+  const GeometryCase& geometry_case() const { return GeometryCases()[std::get<0>(GetParam())]; }
+  Kind kind() const { return std::get<1>(GetParam()); }
+  bool Applicable() const {
+    // SNC needs an even channel count.
+    return kind() != Kind::kSnc || geometry_case().geometry.channels_per_socket % 2 == 0;
+  }
+};
+
+TEST_P(DecoderPropertyTest, P1RoundTrip) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  Rng rng(101);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t phys = rng.NextBelow(geometry.total_bytes());
+    Result<MediaAddress> media = decoder->PhysToMedia(phys);
+    ASSERT_TRUE(media.ok());
+    ASSERT_TRUE(ValidateAddress(geometry, *media).ok()) << media->ToString();
+    ASSERT_EQ(*decoder->MediaToPhys(*media), phys);
+  }
+  EXPECT_FALSE(decoder->PhysToMedia(geometry.total_bytes()).ok());
+}
+
+TEST_P(DecoderPropertyTest, P2Injectivity) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  Rng rng(103);
+  std::set<uint64_t> phys_seen;
+  std::set<std::string> media_seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t phys = rng.NextBelow(geometry.total_bytes() / 64) * 64;
+    if (!phys_seen.insert(phys).second) {
+      continue;
+    }
+    ASSERT_TRUE(media_seen.insert(decoder->PhysToMedia(phys)->ToString()).second);
+  }
+}
+
+TEST_P(DecoderPropertyTest, P3TwoMiBPagesContained) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(*decoder, geometry.rows_per_subarray);
+  Rng rng(107);
+  for (int i = 0; i < 12; ++i) {
+    const uint64_t page = rng.NextBelow(geometry.total_bytes() / kPage2M) * kPage2M;
+    ASSERT_TRUE(*map.PageIsContained(*decoder, page, kPage2M))
+        << geometry_case().name << " page " << page;
+  }
+}
+
+TEST_P(DecoderPropertyTest, P4FourKiBPagesContained) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(*decoder, geometry.rows_per_subarray);
+  Rng rng(109);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t page = rng.NextBelow(geometry.total_bytes() / kPage4K) * kPage4K;
+    ASSERT_TRUE(*map.PageIsContained(*decoder, page, kPage4K))
+        << geometry_case().name << " page " << page;
+  }
+}
+
+TEST_P(DecoderPropertyTest, P5ExtentsTileAddressSpace) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(*decoder, geometry.rows_per_subarray);
+  uint64_t covered = 0;
+  std::vector<PhysRange> all;
+  for (uint32_t group = 0; group < map.total_groups(); ++group) {
+    for (const PhysRange& range : map.RangesOf(group)) {
+      covered += range.size();
+      all.push_back(range);
+    }
+  }
+  EXPECT_EQ(covered, geometry.total_bytes());
+  // Non-overlap: sort and check adjacency.
+  std::sort(all.begin(), all.end(),
+            [](const PhysRange& a, const PhysRange& b) { return a.begin < b.begin; });
+  for (size_t i = 1; i < all.size(); ++i) {
+    ASSERT_GE(all[i].begin, all[i - 1].end);
+  }
+}
+
+TEST_P(DecoderPropertyTest, P6ClusterConsistency) {
+  if (!Applicable()) {
+    GTEST_SKIP();
+  }
+  const DramGeometry& geometry = geometry_case().geometry;
+  auto decoder = MakeDecoder(kind(), geometry);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(*decoder, geometry.rows_per_subarray);
+  EXPECT_EQ(map.clusters_per_socket(), decoder->clusters_per_socket());
+  Rng rng(113);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t phys = rng.NextBelow(geometry.total_bytes());
+    const MediaAddress media = *decoder->PhysToMedia(phys);
+    const uint32_t group = *map.GroupOfPhys(phys);
+    EXPECT_EQ(map.ClusterOfGroup(group), decoder->ClusterOf(media));
+    EXPECT_EQ(map.SocketOfGroup(group), media.socket);
+    EXPECT_EQ(map.IndexInCluster(group), media.row / geometry.rows_per_subarray);
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::tuple<int, Kind>>& param_info) {
+  static const char* const kKindNames[] = {"skylake", "linear", "snc2"};
+  return std::string(GeometryCases()[std::get<0>(param_info.param)].name) + "_" +
+         kKindNames[static_cast<int>(std::get<1>(param_info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecoders, DecoderPropertyTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(Kind::kSkylake, Kind::kLinear, Kind::kSnc)),
+    CaseName);
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,221 @@
+// Tests for physical-to-media decoders (src/addr/decoder.h).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/addr/decoder.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+// Small geometry for exhaustive scans: 16 banks/socket, 256 MiB/socket.
+DramGeometry SmallGeometry() {
+  DramGeometry geometry;
+  geometry.sockets = 2;
+  geometry.channels_per_socket = 2;
+  geometry.ranks_per_dimm = 2;
+  geometry.banks_per_rank = 4;
+  geometry.rows_per_bank = 2048;
+  geometry.rows_per_subarray = 512;
+  return geometry;
+}
+
+template <typename Decoder>
+void ExpectRoundTrip(const Decoder& decoder, uint64_t phys) {
+  Result<MediaAddress> media = decoder.PhysToMedia(phys);
+  ASSERT_TRUE(media.ok()) << media.error().ToString();
+  ASSERT_TRUE(ValidateAddress(decoder.geometry(), *media).ok()) << media->ToString();
+  Result<uint64_t> back = decoder.MediaToPhys(*media);
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(*back, phys) << media->ToString();
+}
+
+class DecoderRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderRoundTripTest, RandomAddressesRoundTrip) {
+  const DramGeometry full;  // evaluation-server geometry, 384 GiB
+  SkylakeDecoder skylake(full);
+  LinearDecoder linear(full);
+  SncDecoder snc(full, 2);
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t phys = rng.NextBelow(full.total_bytes());
+    ExpectRoundTrip(skylake, phys);
+    ExpectRoundTrip(linear, phys);
+    ExpectRoundTrip(snc, phys);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderRoundTripTest, ::testing::Range(0, 8));
+
+TEST(SkylakeDecoderTest, ExhaustiveBijectionOnSmallGeometry) {
+  const DramGeometry geometry = SmallGeometry();
+  SkylakeDecoder decoder(geometry);
+  // Every cache line must round-trip; bijectivity follows from totality.
+  for (uint64_t phys = 0; phys < geometry.total_bytes(); phys += kCacheLineBytes) {
+    Result<MediaAddress> media = decoder.PhysToMedia(phys);
+    ASSERT_TRUE(media.ok());
+    Result<uint64_t> back = decoder.MediaToPhys(*media);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(*back, phys);
+  }
+}
+
+TEST(SkylakeDecoderTest, RejectsOutOfRange) {
+  const DramGeometry geometry = SmallGeometry();
+  SkylakeDecoder decoder(geometry);
+  EXPECT_FALSE(decoder.PhysToMedia(geometry.total_bytes()).ok());
+  MediaAddress bad;
+  bad.row = geometry.rows_per_bank;
+  EXPECT_FALSE(decoder.MediaToPhys(bad).ok());
+}
+
+TEST(SkylakeDecoderTest, SocketsAreContiguous) {
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  EXPECT_EQ(decoder.PhysToMedia(0)->socket, 0u);
+  EXPECT_EQ(decoder.PhysToMedia(full.socket_bytes() - 1)->socket, 0u);
+  EXPECT_EQ(decoder.PhysToMedia(full.socket_bytes())->socket, 1u);
+  EXPECT_EQ(decoder.PhysToMedia(full.total_bytes() - 1)->socket, 1u);
+}
+
+TEST(SkylakeDecoderTest, ConsecutiveLinesInterleaveAcrossChannels) {
+  // §2.4: sequential cache lines spread across the socket's channels.
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  for (uint64_t line = 0; line < 12; ++line) {
+    const MediaAddress media = *decoder.PhysToMedia(line * kCacheLineBytes);
+    EXPECT_EQ(media.channel, line % full.channels_per_socket);
+  }
+}
+
+TEST(SkylakeDecoderTest, TwoMiBPageTouchesAllBanks) {
+  // §4.1: a page interleaves across every bank in the physical node,
+  // preserving bank-level parallelism.
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  std::set<uint32_t> banks;
+  for (uint64_t offset = 0; offset < kPage2M; offset += kCacheLineBytes) {
+    banks.insert(SocketBankIndex(full, *decoder.PhysToMedia(offset)));
+  }
+  EXPECT_EQ(banks.size(), full.banks_per_socket());
+}
+
+TEST(SkylakeDecoderTest, TwoMiBPageStaysInOneSubarrayGroup) {
+  // §4.2: every 2 MiB page maps to a single subarray group. Check pages
+  // around every kind of boundary: chunk (24 MiB), half (384 MiB), region
+  // (768 MiB), subarray group (1.5 GiB).
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  const uint64_t starts[] = {0,
+                             22_MiB,
+                             24_MiB,
+                             382_MiB,
+                             384_MiB,
+                             766_MiB,
+                             768_MiB,
+                             1534_MiB,
+                             1536_MiB,
+                             (192_GiB) - 2_MiB,
+                             192_GiB};
+  for (const uint64_t start : starts) {
+    std::set<uint32_t> groups;
+    for (uint64_t offset = 0; offset < kPage2M; offset += kCacheLineBytes) {
+      const MediaAddress media = *decoder.PhysToMedia(start + offset);
+      groups.insert(media.socket * full.subarray_groups_per_socket() +
+                    media.row / full.rows_per_subarray);
+    }
+    EXPECT_EQ(groups.size(), 1u) << "page at " << (start >> 20) << " MiB straddles groups";
+  }
+}
+
+TEST(SkylakeDecoderTest, AscendingChunksAlternateAbRanges) {
+  // §4.2: row groups [0,16) come from range A's first chunk, [16,32) from
+  // range B's first chunk, [32,48) from A's second chunk, ...
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  // Row 0 is fed by phys 0 (range A chunk 0).
+  EXPECT_EQ(decoder.PhysToMedia(0)->row, 0u);
+  // Row 16 is fed by the start of range B (384 MiB).
+  EXPECT_EQ(decoder.PhysToMedia(384_MiB)->row, 16u);
+  // Row 32 is fed by range A's second chunk (24 MiB).
+  EXPECT_EQ(decoder.PhysToMedia(24_MiB)->row, 32u);
+  // The 768 MiB mapping jump: rows [512, ...) start a fresh region.
+  EXPECT_EQ(decoder.PhysToMedia(768_MiB)->row, 512u);
+}
+
+TEST(SkylakeDecoderTest, SubarrayGroupsAreContiguousPhysRanges)
+{
+  // Consequence of the layout: subarray group g covers phys
+  // [g*1.5 GiB, (g+1)*1.5 GiB) within its socket.
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  const uint64_t group_bytes = full.subarray_group_bytes();
+  const uint64_t probes[] = {0, group_bytes - 64, group_bytes, 3 * group_bytes + 12345 * 64,
+                             127 * group_bytes};
+  for (uint64_t probe : probes) {
+    const MediaAddress media = *decoder.PhysToMedia(probe);
+    EXPECT_EQ(media.row / full.rows_per_subarray, probe / group_bytes);
+  }
+}
+
+TEST(LinearDecoderTest, PageConfinedToOneBank) {
+  // The anti-pattern of §4.1: linear mapping keeps a page in one bank.
+  const DramGeometry full;
+  LinearDecoder decoder(full);
+  std::set<uint32_t> banks;
+  for (uint64_t offset = 0; offset < kPage2M; offset += kCacheLineBytes) {
+    banks.insert(SocketBankIndex(full, *decoder.PhysToMedia(offset)));
+  }
+  EXPECT_EQ(banks.size(), 1u);
+}
+
+TEST(LinearDecoderTest, ExhaustiveBijectionOnSmallGeometry) {
+  const DramGeometry geometry = SmallGeometry();
+  LinearDecoder decoder(geometry);
+  for (uint64_t phys = 0; phys < geometry.total_bytes(); phys += kCacheLineBytes) {
+    ASSERT_EQ(*decoder.MediaToPhys(*decoder.PhysToMedia(phys)), phys);
+  }
+}
+
+TEST(SncDecoderTest, HalvesSubarrayGroupSpan) {
+  // §8.1: sub-NUMA clustering touches half the banks per page, halving the
+  // effective group size.
+  const DramGeometry full;
+  SncDecoder decoder(full, 2);
+  std::set<uint32_t> banks;
+  std::set<uint32_t> channels;
+  for (uint64_t offset = 0; offset < kPage2M; offset += kCacheLineBytes) {
+    const MediaAddress media = *decoder.PhysToMedia(offset);
+    banks.insert(SocketBankIndex(full, media));
+    channels.insert(media.channel);
+  }
+  EXPECT_EQ(banks.size(), full.banks_per_socket() / 2);
+  EXPECT_EQ(channels.size(), full.channels_per_socket / 2);
+}
+
+TEST(SncDecoderTest, ExhaustiveBijectionOnSmallGeometry) {
+  const DramGeometry geometry = SmallGeometry();
+  SncDecoder decoder(geometry, 2);
+  for (uint64_t phys = 0; phys < geometry.total_bytes(); phys += kCacheLineBytes) {
+    ASSERT_EQ(*decoder.MediaToPhys(*decoder.PhysToMedia(phys)), phys);
+  }
+}
+
+TEST(DecoderTest, DistinctPhysMapToDistinctMedia) {
+  // Injectivity spot-check at row granularity on the full geometry.
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  Rng rng(99);
+  std::set<std::string> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t phys = rng.NextBelow(full.total_bytes() / 64) * 64;
+    const MediaAddress media = *decoder.PhysToMedia(phys);
+    EXPECT_TRUE(seen.insert(media.ToString()).second) << media.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace siloz

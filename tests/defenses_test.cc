@@ -1,0 +1,232 @@
+// Tests for the comparison-baseline defenses (src/defenses): SoftTRR-style
+// software refresh, Copy-on-Flip detection/migration, ZebRAM guard striping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/attack/blacksmith.h"
+#include "src/base/units.h"
+#include "src/defenses/copy_on_flip.h"
+#include "src/defenses/soft_trr.h"
+#include "src/defenses/zebram.h"
+#include "src/sim/machine.h"
+
+namespace siloz {
+namespace {
+
+MachineConfig FaultConfig() {
+  MachineConfig config;
+  config.fault_tracking = true;
+  DimmProfile profile;
+  profile.disturbance.threshold_mean = 2500.0;
+  profile.disturbance.threshold_spread = 0.15;
+  profile.trr.enabled = false;
+  config.dimm_profiles = {profile};
+  return config;
+}
+
+// Hammers rows adjacent to `page` in every bank the page touches.
+void HammerPageNeighbours(Machine& machine, uint64_t page, uint32_t rounds,
+                          SoftTrrDefender* defender = nullptr) {
+  std::vector<uint64_t> aggressors;
+  std::set<std::string> seen;
+  for (uint64_t offset = 0; offset < kPage4K; offset += kCacheLineBytes) {
+    MediaAddress line = *machine.decoder().PhysToMedia(page + offset);
+    line.column = 0;
+    MediaAddress key = line;
+    key.row = 0;
+    if (!seen.insert(key.ToString()).second) {
+      continue;
+    }
+    for (int32_t delta : {-1, 1}) {
+      MediaAddress aggressor = line;
+      aggressor.row = static_cast<uint32_t>(static_cast<int64_t>(line.row) + delta);
+      aggressors.push_back(*machine.decoder().MediaToPhys(aggressor));
+    }
+  }
+  for (uint32_t round = 0; round < rounds; ++round) {
+    for (uint64_t phys : aggressors) {
+      machine.ActivatePhys(phys);
+    }
+    if (defender != nullptr) {
+      defender->CatchUp();
+    }
+  }
+}
+
+// --- SoftTRR ---
+
+TEST(SoftTrrTest, ReliableRefreshPreventsFlips) {
+  // With an ideal scheduler (no stalls), 1 ms refreshes protect the rows.
+  Machine machine(FaultConfig());
+  const uint64_t page = 10_GiB;
+  SoftTrrConfig config;
+  config.stall_probability = 0.0;
+  config.jitter_mean_ms = 0.01;
+  SoftTrrDefender defender(machine, {page}, config);
+  EXPECT_GT(defender.protected_row_count(), 0u);
+
+  HammerPageNeighbours(machine, page, 20000, &defender);
+  EXPECT_GT(defender.refreshes_fired(), 0u);
+
+  const MediaAddress media = *machine.decoder().PhysToMedia(page);
+  for (const PhysFlip& flip : machine.DrainFlips()) {
+    EXPECT_NE(flip.record.media_row, media.row) << "flip hit a SoftTRR-protected row";
+  }
+}
+
+TEST(SoftTrrTest, SchedulingStallsLeaveWindows) {
+  // With the measured Linux behaviour (stalls up to ~34 ms), a fast attacker
+  // lands flips in protected rows during a stall.
+  Machine machine(FaultConfig());
+  const uint64_t page = 10_GiB;
+  SoftTrrConfig config;
+  config.stall_probability = 0.02;  // aggressive but bounded, for test speed
+  SoftTrrDefender defender(machine, {page}, config);
+
+  HammerPageNeighbours(machine, page, 60000, &defender);
+  EXPECT_GT(defender.deadline_misses(), 0u);
+  EXPECT_GT(defender.max_gap_ms(), 1.5);
+
+  const MediaAddress media = *machine.decoder().PhysToMedia(page);
+  uint64_t protected_row_flips = 0;
+  for (const PhysFlip& flip : machine.DrainFlips()) {
+    protected_row_flips += (flip.record.media_row == media.row);
+  }
+  EXPECT_GT(protected_row_flips, 0u) << "expected flips during stall windows";
+}
+
+TEST(SoftTrrTest, GapStatisticsTracked) {
+  Machine machine(FaultConfig());
+  SoftTrrConfig config;
+  config.stall_probability = 0.0;
+  SoftTrrDefender defender(machine, {1_GiB}, config);
+  machine.AdvanceClock(100 * 1'000'000);  // 100 ms
+  defender.CatchUp();
+  EXPECT_GE(defender.refreshes_fired(), 90u);
+  EXPECT_GE(defender.max_gap_ms(), 1.0);  // never early
+  EXPECT_EQ(defender.deadline_misses(), 0u);
+}
+
+// --- Copy-on-Flip ---
+
+TEST(CopyOnFlipTest, DetectsAndMigratesMovablePages) {
+  Machine machine(FaultConfig());
+  CopyOnFlipConfig config;
+  config.movable_fraction = 1.0;  // everything movable
+  CopyOnFlipDefender defender(machine, config);
+
+  // Store data so flips are ECC-visible, then hammer.
+  machine.phys_memory().WriteU64(10_GiB, 0x1234567890ABCDEFull);
+  HammerPageNeighbours(machine, 10_GiB, 8000);
+  const CopyOnFlipDefender::Report report = defender.ProcessPendingFlips();
+  EXPECT_GT(report.flips_on_live_pages, 0u);
+  EXPECT_GT(report.migrations, 0u);
+  EXPECT_EQ(report.unmovable_victim_pages, 0u);
+  EXPECT_GT(defender.migrated_pages(), 0u);
+}
+
+TEST(CopyOnFlipTest, DetectionEventsAreLeaks) {
+  // The §3 critique: every corrected-flip detection already leaked a bit.
+  Machine machine(FaultConfig());
+  machine.phys_memory().WriteU64(10_GiB, 0xFFFFFFFFFFFFFFFFull);
+  CopyOnFlipDefender defender(machine, CopyOnFlipConfig{});
+  HammerPageNeighbours(machine, 10_GiB, 8000);
+  const auto report = defender.ProcessPendingFlips();
+  EXPECT_GT(report.corrected_detections, 0u);
+}
+
+TEST(CopyOnFlipTest, UnmovablePagesStayExposed) {
+  Machine machine(FaultConfig());
+  CopyOnFlipConfig config;
+  config.movable_fraction = 0.0;  // kernel-like: nothing movable
+  CopyOnFlipDefender defender(machine, config);
+  HammerPageNeighbours(machine, 10_GiB, 8000);
+  const auto report = defender.ProcessPendingFlips();
+  EXPECT_EQ(report.migrations, 0u);
+  EXPECT_GT(report.unmovable_victim_pages, 0u);
+}
+
+TEST(CopyOnFlipTest, MigratedPagesNoLongerCharged) {
+  Machine machine(FaultConfig());
+  CopyOnFlipConfig config;
+  config.movable_fraction = 1.0;
+  CopyOnFlipDefender defender(machine, config);
+  HammerPageNeighbours(machine, 10_GiB, 8000);
+  const auto first = defender.ProcessPendingFlips();
+  ASSERT_GT(first.migrations, 0u);
+  // Same attack again: the victim frames were vacated.
+  HammerPageNeighbours(machine, 10_GiB, 8000);
+  const auto second = defender.ProcessPendingFlips();
+  EXPECT_EQ(second.flips_on_live_pages, 0u);
+  EXPECT_EQ(second.migrations, 0u);
+}
+
+// --- ZebRAM ---
+
+TEST(ZebramTest, OverheadMatchesGuardRatio) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  const uint64_t row_group = geometry.row_group_bytes();
+  const PhysRange region{0, 1024 * row_group};
+  ZebramRegion one_guard(decoder, region, 1);
+  EXPECT_NEAR(one_guard.overhead(), 0.5, 0.01);  // §3: 50% at 1 guard/normal
+  ZebramRegion four_guards(decoder, region, 4);
+  EXPECT_NEAR(four_guards.overhead(), 0.8, 0.01);  // 80% at 4 guards/normal
+}
+
+TEST(ZebramTest, SafeAndGuardAlternate) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  const uint64_t row_group = geometry.row_group_bytes();
+  ZebramRegion zebra(decoder, PhysRange{0, 64 * row_group}, 1);
+  // Stripe starts with a guard: group 0 guard, group 1 safe, ...
+  EXPECT_FALSE(zebra.IsSafePhys(0));
+  EXPECT_TRUE(zebra.IsSafePhys(row_group));
+  EXPECT_FALSE(zebra.IsSafePhys(2 * row_group));
+  EXPECT_FALSE(zebra.IsSafePhys(64 * row_group));  // outside region
+}
+
+TEST(ZebramTest, HammeringSafeRowsOnlyFlipsGuards) {
+  Machine machine(FaultConfig());
+  const DramGeometry& geometry = machine.decoder().geometry();
+  const uint64_t row_group = geometry.row_group_bytes();
+  // 4 guards per safe row: the modern server requirement (§3).
+  ZebramRegion zebra(machine.decoder(), PhysRange{0, 256 * row_group}, 4);
+  ASSERT_FALSE(zebra.safe_extents().empty());
+
+  // Hammer data in two safe row groups of one bank (they are 5 groups
+  // apart, so they conflict in the row buffer and generate real ACTs).
+  const uint64_t safe_a = zebra.safe_extents()[0].begin;
+  const uint64_t safe_b = zebra.safe_extents()[1].begin;
+  const uint64_t aggressors[] = {safe_a, safe_b};
+  HammerPhysAddresses(machine, aggressors, 15000);
+
+  const auto flips = machine.DrainFlips();
+  ASSERT_FALSE(flips.empty());
+  for (const PhysFlip& flip : flips) {
+    EXPECT_FALSE(zebra.IsSafePhys(flip.phys)) << "flip hit ZebRAM-protected data";
+  }
+}
+
+TEST(ZebramTest, InsufficientGuardsLeakAcross) {
+  // One guard row between data rows does not stop distance-2 disturbance
+  // (Half-Double): the modern requirement is larger (§3).
+  Machine machine(FaultConfig());
+  const uint64_t row_group = machine.decoder().geometry().row_group_bytes();
+  ZebramRegion zebra(machine.decoder(), PhysRange{0, 256 * row_group}, 1);
+  const uint64_t safe_a = zebra.safe_extents()[0].begin;
+  const uint64_t safe_b = zebra.safe_extents()[1].begin;
+  const uint64_t aggressors[] = {safe_a, safe_b};
+  HammerPhysAddresses(machine, aggressors, 40000);
+  uint64_t safe_flips = 0;
+  for (const PhysFlip& flip : machine.DrainFlips()) {
+    safe_flips += zebra.IsSafePhys(flip.phys);
+  }
+  EXPECT_GT(safe_flips, 0u) << "distance-2 disturbance should cross a single guard";
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,122 @@
+// Tests for the SEC-DED Hamming(72,64) codec (src/dram/ecc.h).
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/dram/ecc.h"
+
+namespace siloz {
+namespace {
+
+TEST(EccTest, ZeroWordEncodesToZeroCheck) {
+  // The device model relies on this: never-written rows read as all-zero
+  // data with all-zero check bytes and must decode clean.
+  EXPECT_EQ(EccEncode(0), 0u);
+  const EccDecodeResult r = EccDecode(0, 0);
+  EXPECT_EQ(r.outcome, EccOutcome::kClean);
+  EXPECT_EQ(r.data, 0u);
+}
+
+TEST(EccTest, CleanRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    const EccDecodeResult r = EccDecode(data, check);
+    EXPECT_EQ(r.outcome, EccOutcome::kClean);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(EccTest, CorrectsEverySingleDataBitError) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      const EccDecodeResult r = EccDecode(data ^ (1ull << bit), check);
+      EXPECT_EQ(r.outcome, EccOutcome::kCorrected);
+      EXPECT_EQ(r.data, data) << "bit " << bit;
+    }
+  }
+}
+
+TEST(EccTest, CorrectsEverySingleCheckBitError) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const EccDecodeResult r = EccDecode(data, static_cast<uint8_t>(check ^ (1u << bit)));
+      EXPECT_EQ(r.outcome, EccOutcome::kCorrected);
+      EXPECT_EQ(r.data, data) << "check bit " << bit;
+    }
+  }
+}
+
+TEST(EccTest, DetectsEveryDoubleDataBitError) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    for (unsigned a = 0; a < 64; a += 3) {
+      for (unsigned b = a + 1; b < 64; b += 5) {
+        const EccDecodeResult r = EccDecode(data ^ (1ull << a) ^ (1ull << b), check);
+        EXPECT_EQ(r.outcome, EccOutcome::kUncorrectable) << "bits " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(EccTest, DetectsMixedDataCheckDoubleError) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    const unsigned data_bit = static_cast<unsigned>(rng.NextBelow(64));
+    const unsigned check_bit = static_cast<unsigned>(rng.NextBelow(8));
+    const EccDecodeResult r =
+        EccDecode(data ^ (1ull << data_bit), static_cast<uint8_t>(check ^ (1u << check_bit)));
+    EXPECT_EQ(r.outcome, EccOutcome::kUncorrectable);
+  }
+}
+
+TEST(EccTest, TripleErrorsCanMiscorrect) {
+  // The security-relevant property (§3): >=2 aliased flips escape SEC-DED's
+  // guarantees, and triples typically decode as "corrected" with wrong data.
+  Rng rng(6);
+  int miscorrected = 0;
+  int detected = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t data = rng.NextU64();
+    const uint8_t check = EccEncode(data);
+    uint64_t corrupted = data;
+    // Three distinct data-bit flips.
+    unsigned bits[3];
+    bits[0] = static_cast<unsigned>(rng.NextBelow(64));
+    do {
+      bits[1] = static_cast<unsigned>(rng.NextBelow(64));
+    } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<unsigned>(rng.NextBelow(64));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (unsigned b : bits) {
+      corrupted ^= 1ull << b;
+    }
+    const EccDecodeResult r = EccDecode(corrupted, check);
+    if (r.outcome == EccOutcome::kCorrected && r.data != data) {
+      ++miscorrected;
+    } else if (r.outcome == EccOutcome::kUncorrectable) {
+      ++detected;
+    }
+    // A triple error must never decode as clean with correct data.
+    EXPECT_FALSE(r.outcome == EccOutcome::kClean);
+  }
+  // The odd-weight syndrome always claims "single-bit error": every triple is
+  // either miscorrected or hits an impossible position.
+  EXPECT_GT(miscorrected, trials / 2);
+  EXPECT_EQ(miscorrected + detected, trials);
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,204 @@
+// Tests for the EPT walker and secure-EPT integrity (src/ept).
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/ept/ept.h"
+#include "src/ept/phys_memory.h"
+
+namespace siloz {
+namespace {
+
+// Allocator handing out consecutive 4 KiB frames starting at 1 GiB.
+EptPageAllocator BumpAllocator(uint64_t* cursor) {
+  return [cursor]() -> Result<uint64_t> {
+    const uint64_t page = *cursor;
+    *cursor += kPage4K;
+    return page;
+  };
+}
+
+TEST(PhysMemoryTest, ReadWriteRoundTrip) {
+  FlatPhysMemory memory;
+  const uint8_t data[] = {1, 2, 3, 4};
+  memory.WritePhys(12345, data);
+  uint8_t out[4] = {};
+  memory.ReadPhys(12345, out);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(PhysMemoryTest, UntouchedReadsZero) {
+  FlatPhysMemory memory;
+  uint8_t out[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  memory.ReadPhys(77_MiB, out);
+  for (uint8_t byte : out) {
+    EXPECT_EQ(byte, 0);
+  }
+}
+
+TEST(PhysMemoryTest, CrossFrameAccess) {
+  FlatPhysMemory memory;
+  std::vector<uint8_t> data(kPage4K + 100, 0xAB);
+  memory.WritePhys(kPage4K - 50, data);
+  std::vector<uint8_t> out(data.size());
+  memory.ReadPhys(kPage4K - 50, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(memory.frame_count(), 3u);
+}
+
+TEST(PhysMemoryTest, U64Helpers) {
+  FlatPhysMemory memory;
+  memory.WriteU64(640, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(memory.ReadU64(640), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(EptTest, TranslateUnmappedFails) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  EXPECT_FALSE(ept.Translate(0).ok());
+}
+
+TEST(EptTest, Map4KAndTranslate) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  ASSERT_TRUE(ept.Map(0x7000, 0x123456000, PageSize::k4K).ok());
+  EXPECT_EQ(*ept.Translate(0x7000), 0x123456000u);
+  EXPECT_EQ(*ept.Translate(0x7ABC), 0x123456ABCu);  // offset passes through
+  EXPECT_FALSE(ept.Translate(0x8000).ok());
+  // 4 table pages: PML4, PDPT, PD, PT.
+  EXPECT_EQ(ept.table_page_count(), 4u);
+}
+
+TEST(EptTest, Map2MLargePage) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  ASSERT_TRUE(ept.Map(4_MiB, 512_MiB, PageSize::k2M).ok());
+  EXPECT_EQ(*ept.Translate(4_MiB), 512_MiB);
+  EXPECT_EQ(*ept.Translate(4_MiB + 123456), 512_MiB + 123456);
+  // 3 table pages: PML4, PDPT, PD (leaf at PD level).
+  EXPECT_EQ(ept.table_page_count(), 3u);
+}
+
+TEST(EptTest, Map1GHugePage) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  ASSERT_TRUE(ept.Map(2_GiB, 8_GiB, PageSize::k1G).ok());
+  EXPECT_EQ(*ept.Translate(2_GiB + 777), 8_GiB + 777);
+  EXPECT_EQ(ept.table_page_count(), 2u);  // PML4, PDPT
+}
+
+TEST(EptTest, MisalignedMapRejected) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  EXPECT_FALSE(ept.Map(4_KiB, 0, PageSize::k2M).ok());
+  EXPECT_FALSE(ept.Map(2_MiB, 4_KiB, PageSize::k2M).ok());
+}
+
+TEST(EptTest, DoubleMapRejected) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  ASSERT_TRUE(ept.Map(0, 2_MiB, PageSize::k2M).ok());
+  EXPECT_FALSE(ept.Map(0, 4_MiB, PageSize::k2M).ok());
+  EXPECT_FALSE(ept.Map(0, 4_MiB, PageSize::k4K).ok());  // covered by large page
+}
+
+TEST(EptTest, SharedIntermediateTables) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  // 512 consecutive 2 MiB mappings share one PD: 3 + 0 extra pages.
+  for (uint64_t i = 0; i < 512; ++i) {
+    ASSERT_TRUE(ept.Map(i * kPage2M, 8_GiB + i * kPage2M, PageSize::k2M).ok());
+  }
+  EXPECT_EQ(ept.table_page_count(), 3u);
+  EXPECT_EQ(*ept.Translate(511 * kPage2M + 5), 8_GiB + 511 * kPage2M + 5);
+}
+
+TEST(EptTest, EptFootprintMatchesPaperBound) {
+  // §5.4: with 2 MiB backing and contiguous placement, each last-level EPT
+  // page maps ~1 GiB, so a 160 GiB VM needs ~163 table pages (< one row
+  // group of 384 pages).
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  const uint64_t vm_bytes = 160_GiB;
+  for (uint64_t gpa = 0; gpa < vm_bytes; gpa += kPage2M) {
+    ASSERT_TRUE(ept.Map(gpa, 200_GiB + gpa, PageSize::k2M).ok());
+  }
+  // 160 PDs + 1 PDPT + 1 PML4 = 162.
+  EXPECT_EQ(ept.table_page_count(), 162u);
+  EXPECT_LT(ept.table_page_count(), 384u);
+}
+
+TEST(EptTest, BitFlipRedirectsTranslation) {
+  // The §5.4 threat: a flipped EPT bit silently retargets a mapping.
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor));
+  ASSERT_TRUE(ept.Map(0, 16_GiB, PageSize::k2M).ok());
+  const uint64_t before = *ept.Translate(0);
+  EXPECT_EQ(before, 16_GiB);
+
+  // Flip frame bit 34 of the PD's first entry (byte 4, bit 2). The PD is the
+  // 3rd table page allocated.
+  const uint64_t pd_page = ept.table_pages()[2];
+  memory.FlipBit(pd_page + 4, 2);
+
+  const Result<uint64_t> after = ept.Translate(0);
+  ASSERT_TRUE(after.ok());  // no integrity checking: walk "succeeds"
+  EXPECT_NE(*after, before);
+  EXPECT_EQ(*after, before ^ (1ull << 34));
+}
+
+TEST(SecureEptTest, DetectsCorruption) {
+  // §5.4 hardware-based protection: TDX/SNP-style checks detect (not
+  // prevent) EPT corruption; software cannot use the corrupted mapping.
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor), /*secure=*/true);
+  ASSERT_TRUE(ept.Map(0, 16_GiB, PageSize::k2M).ok());
+  ASSERT_TRUE(ept.Translate(0).ok());  // clean walk passes checks
+
+  const uint64_t pd_page = ept.table_pages()[2];
+  memory.FlipBit(pd_page + 4, 2);
+  const Result<uint64_t> after = ept.Translate(0);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.error().code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(SecureEptTest, LegitimateUpdatesKeepPassing) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  ExtendedPageTable ept(memory, BumpAllocator(&cursor), /*secure=*/true);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(ept.Map(i * kPage2M, 32_GiB + i * kPage2M, PageSize::k2M).ok());
+    ASSERT_TRUE(ept.Translate(i * kPage2M).ok());
+  }
+}
+
+TEST(EptTest, AllocatorFailurePropagates) {
+  FlatPhysMemory memory;
+  uint64_t cursor = 1_GiB;
+  int budget = 2;  // root + one level only
+  EptPageAllocator limited = [&]() -> Result<uint64_t> {
+    if (budget-- <= 0) {
+      return MakeError(ErrorCode::kNoMemory, "pool empty");
+    }
+    const uint64_t page = cursor;
+    cursor += kPage4K;
+    return page;
+  };
+  ExtendedPageTable ept(memory, limited);
+  const Status status = ept.Map(0, 0, PageSize::k2M);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ErrorCode::kNoMemory);
+}
+
+}  // namespace
+}  // namespace siloz

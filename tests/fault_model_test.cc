@@ -1,0 +1,242 @@
+// Tests for the Rowhammer/RowPress disturbance model (src/dram/fault_model.h).
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/dram/fault_model.h"
+
+namespace siloz {
+namespace {
+
+constexpr uint32_t kRowsPerBank = 8192;
+constexpr uint32_t kRowsPerSubarray = 1024;
+constexpr uint32_t kHalfRowBits = 4096 * 8;
+
+DisturbanceProfile FastProfile() {
+  DisturbanceProfile profile;
+  profile.threshold_mean = 1000.0;  // low threshold keeps tests fast
+  profile.threshold_spread = 0.1;
+  return profile;
+}
+
+DisturbanceModel MakeModel(DisturbanceProfile profile = FastProfile()) {
+  return DisturbanceModel(profile, kRowsPerBank, kRowsPerSubarray, kHalfRowBits);
+}
+
+// Hammers `aggressor` with `acts` activations in a tight loop well inside one
+// refresh window; returns all flips.
+std::vector<InternalFlip> Hammer(DisturbanceModel& model, uint32_t aggressor, uint32_t acts,
+                                 uint32_t bank = 0, uint64_t start_ns = 0) {
+  std::vector<InternalFlip> flips;
+  uint64_t t = start_ns;
+  for (uint32_t i = 0; i < acts; ++i) {
+    auto f = model.OnActivate(bank, HalfRowSide::kA, aggressor, t);
+    flips.insert(flips.end(), f.begin(), f.end());
+    t += 50;  // ~50 ns per ACT round-trip
+  }
+  return flips;
+}
+
+TEST(FaultModelTest, HammeringFlipsNeighbours) {
+  DisturbanceModel model = MakeModel();
+  const auto flips = Hammer(model, 500, 3000);
+  ASSERT_FALSE(flips.empty());
+  for (const InternalFlip& flip : flips) {
+    // Victims are within distance 2, never the aggressor itself.
+    EXPECT_NE(flip.victim_row, 500u);
+    EXPECT_LE(flip.victim_row, 502u);
+    EXPECT_GE(flip.victim_row, 498u);
+    EXPECT_LT(flip.bit, kHalfRowBits);
+  }
+}
+
+TEST(FaultModelTest, FewActivationsNeverFlip) {
+  DisturbanceModel model = MakeModel();
+  // Stay an order of magnitude under the threshold.
+  EXPECT_TRUE(Hammer(model, 500, 80).empty());
+}
+
+TEST(FaultModelTest, DisturbanceNeverCrossesSubarrayBoundary) {
+  // The core physics Siloz relies on (§2.5): rows 1023 and 1024 are in
+  // different subarrays; hammering one cannot flip the other.
+  DisturbanceModel model = MakeModel();
+  const auto flips_low = Hammer(model, 1023, 20000);
+  ASSERT_FALSE(flips_low.empty());
+  for (const InternalFlip& flip : flips_low) {
+    EXPECT_LT(flip.victim_row, 1024u) << "flip crossed subarray boundary";
+  }
+  const auto flips_high = Hammer(model, 1024, 20000);
+  ASSERT_FALSE(flips_high.empty());
+  for (const InternalFlip& flip : flips_high) {
+    EXPECT_GE(flip.victim_row, 1024u) << "flip crossed subarray boundary";
+  }
+}
+
+TEST(FaultModelTest, EdgeOfBankClipped) {
+  DisturbanceModel model = MakeModel();
+  const auto flips = Hammer(model, 0, 20000);
+  for (const InternalFlip& flip : flips) {
+    EXPECT_GE(flip.victim_row, 1u);
+    EXPECT_LE(flip.victim_row, 2u);
+  }
+}
+
+TEST(FaultModelTest, SlowHammeringIsRefreshedAway) {
+  // Spread the same number of ACTs across many refresh windows: the victim
+  // is refreshed between windows and never accumulates to the threshold.
+  DisturbanceModel model = MakeModel();
+  std::vector<InternalFlip> flips;
+  uint64_t t = 0;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    auto f = model.OnActivate(0, HalfRowSide::kA, 500, t);
+    flips.insert(flips.end(), f.begin(), f.end());
+    t += kRefreshWindowNs / 100;  // only ~100 ACTs land in any one window
+  }
+  EXPECT_TRUE(flips.empty());
+}
+
+TEST(FaultModelTest, ExplicitRefreshResetsDisturbance) {
+  DisturbanceModel model = MakeModel();
+  // Alternate hammering bursts with TRR-style refreshes of the victims.
+  uint64_t t = 0;
+  std::vector<InternalFlip> flips;
+  for (int burst = 0; burst < 60; ++burst) {
+    for (int i = 0; i < 100; ++i) {
+      auto f = model.OnActivate(0, HalfRowSide::kA, 500, t);
+      flips.insert(flips.end(), f.begin(), f.end());
+      t += 50;
+    }
+    for (uint32_t victim : {498u, 499u, 501u, 502u}) {
+      model.RefreshRow(0, HalfRowSide::kA, victim, t);
+    }
+  }
+  EXPECT_TRUE(flips.empty());
+}
+
+TEST(FaultModelTest, ActRefreshesAggressorItself) {
+  // Hammering rows 500 and 502 disturbs 501 from both sides, but activating
+  // 501 itself resets it. Alternate: hammer 500, and periodically ACT 501.
+  DisturbanceModel model = MakeModel();
+  uint64_t t = 0;
+  std::vector<InternalFlip> flips_at_501;
+  for (int burst = 0; burst < 60; ++burst) {
+    for (int i = 0; i < 100; ++i) {
+      for (const auto& f : model.OnActivate(0, HalfRowSide::kA, 500, t)) {
+        if (f.victim_row == 501) {
+          flips_at_501.push_back(f);
+        }
+      }
+      t += 50;
+    }
+    model.OnActivate(0, HalfRowSide::kA, 501, t);  // refreshes row 501
+    t += 50;
+  }
+  EXPECT_TRUE(flips_at_501.empty());
+}
+
+TEST(FaultModelTest, DoubleSidedHammerTwiceAsEffective) {
+  // Double-sided (aggressors on both sides of one victim) should flip with
+  // roughly half the per-aggressor ACT count of single-sided.
+  DisturbanceProfile profile = FastProfile();
+  profile.threshold_spread = 0.0;
+  profile.distance2_factor = 0.0;
+
+  auto acts_until_flip_single = [&]() {
+    DisturbanceModel model = MakeModel(profile);
+    uint64_t t = 0;
+    for (uint32_t act = 1; act <= 10000; ++act) {
+      if (!model.OnActivate(0, HalfRowSide::kA, 500, t).empty()) {
+        return act;
+      }
+      t += 50;
+    }
+    return 0u;
+  }();
+
+  auto acts_until_flip_double = [&]() {
+    DisturbanceModel model = MakeModel(profile);
+    uint64_t t = 0;
+    for (uint32_t act = 1; act <= 10000; ++act) {
+      const uint32_t aggressor = (act % 2 == 0) ? 499 : 501;
+      auto flips = model.OnActivate(0, HalfRowSide::kA, aggressor, t);
+      for (const auto& f : flips) {
+        if (f.victim_row == 500) {
+          return act;
+        }
+      }
+      t += 50;
+    }
+    return 0u;
+  }();
+
+  ASSERT_GT(acts_until_flip_single, 0u);
+  ASSERT_GT(acts_until_flip_double, 0u);
+  EXPECT_NEAR(static_cast<double>(acts_until_flip_double),
+              static_cast<double>(acts_until_flip_single),
+              static_cast<double>(acts_until_flip_single) * 0.2);
+  EXPECT_LT(acts_until_flip_double, acts_until_flip_single * 1.2);
+}
+
+TEST(FaultModelTest, RowPressFlipsWithLongOpenTimes) {
+  // Holding a row open accumulates disturbance without ACTs (§2.5).
+  DisturbanceModel model = MakeModel();
+  std::vector<InternalFlip> flips;
+  uint64_t t = 0;
+  for (int i = 0; i < 100 && flips.empty(); ++i) {
+    auto f = model.OnRowOpen(0, HalfRowSide::kA, 500, /*open_ns=*/60'000, t);
+    flips.insert(flips.end(), f.begin(), f.end());
+    t += 60'000;
+  }
+  EXPECT_FALSE(flips.empty());
+}
+
+TEST(FaultModelTest, ThresholdDeterministicAndSpread) {
+  DisturbanceModel model_a = MakeModel();
+  DisturbanceModel model_b = MakeModel();
+  bool saw_different = false;
+  double previous = -1.0;
+  for (uint32_t row = 0; row < 100; ++row) {
+    const double t_a = model_a.ThresholdFor(0, HalfRowSide::kA, row);
+    EXPECT_DOUBLE_EQ(t_a, model_b.ThresholdFor(0, HalfRowSide::kA, row));
+    EXPECT_GE(t_a, 1000.0 * 0.9 - 1e-6);
+    EXPECT_LE(t_a, 1000.0 * 1.1 + 1e-6);
+    if (previous >= 0 && t_a != previous) {
+      saw_different = true;
+    }
+    previous = t_a;
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(FaultModelTest, SidesAreIndependent) {
+  DisturbanceModel model = MakeModel();
+  const auto flips = Hammer(model, 500, 5000);
+  ASSERT_FALSE(flips.empty());
+  // Hammering only side A never flips side-B state: hammer side B's view of
+  // the same rows and confirm its victims start from zero disturbance (they
+  // flip only after the full single-sided count again).
+  uint64_t t_start = 1'000'000'000;
+  uint32_t acts_to_flip = 0;
+  uint64_t t = t_start;
+  DisturbanceModel fresh = MakeModel();
+  for (uint32_t act = 1; act <= 5000; ++act) {
+    if (!fresh.OnActivate(0, HalfRowSide::kB, 500, t).empty()) {
+      acts_to_flip = act;
+      break;
+    }
+    t += 50;
+  }
+  EXPECT_GT(acts_to_flip, 500u);
+}
+
+TEST(FaultModelTest, FlipEventCountMonotone) {
+  DisturbanceModel model = MakeModel();
+  EXPECT_EQ(model.total_flip_events(), 0u);
+  Hammer(model, 500, 5000);
+  const uint64_t after_first = model.total_flip_events();
+  EXPECT_GT(after_first, 0u);
+  Hammer(model, 3000, 5000);
+  EXPECT_GT(model.total_flip_events(), after_first);
+}
+
+}  // namespace
+}  // namespace siloz

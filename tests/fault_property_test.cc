@@ -1,0 +1,169 @@
+// Property tests for the disturbance model across subarray sizes, blast
+// radii, and thresholds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/dram/fault_model.h"
+
+namespace siloz {
+namespace {
+
+constexpr uint32_t kRowsPerBank = 16384;
+constexpr uint32_t kHalfRowBits = 4096 * 8;
+
+// P1: flips never cross the silicon subarray boundary, for any subarray
+// size and aggressor position.
+class SubarraySizeProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SubarraySizeProperty, FlipsConfinedToAggressorSubarray) {
+  const uint32_t rows_per_subarray = GetParam();
+  DisturbanceProfile profile;
+  profile.threshold_mean = 500.0;
+  DisturbanceModel model(profile, kRowsPerBank, rows_per_subarray, kHalfRowBits);
+  Rng rng(31 + rows_per_subarray);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Bias toward boundary rows, where violations would appear.
+    uint32_t aggressor;
+    if (trial % 2 == 0) {
+      const uint32_t boundary =
+          static_cast<uint32_t>(rng.NextBelow(kRowsPerBank / rows_per_subarray)) *
+          rows_per_subarray;
+      aggressor = boundary + (rng.NextBelow(2) ? 0 : rows_per_subarray - 1);
+    } else {
+      aggressor = static_cast<uint32_t>(rng.NextBelow(kRowsPerBank));
+    }
+    uint64_t t = trial * 10 * kRefreshWindowNs;
+    for (int i = 0; i < 1500; ++i) {
+      for (const InternalFlip& flip :
+           model.OnActivate(trial, HalfRowSide::kA, aggressor, t)) {
+        ASSERT_EQ(flip.victim_row / rows_per_subarray, aggressor / rows_per_subarray)
+            << "aggressor " << aggressor;
+        ASSERT_NE(flip.victim_row, aggressor);
+      }
+      t += 50;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubarraySizeProperty,
+                         ::testing::Values(128u, 512u, 1024u, 2048u, 4096u));
+
+// P2: more activations never produce fewer flip events (monotonicity).
+TEST(FaultPropertyTest, FlipEventsMonotoneInActivations) {
+  DisturbanceProfile profile;
+  profile.threshold_mean = 800.0;
+  uint64_t previous = 0;
+  for (uint32_t acts : {500u, 1000u, 2000u, 4000u, 8000u}) {
+    DisturbanceModel model(profile, kRowsPerBank, 1024, kHalfRowBits);
+    uint64_t t = 0;
+    for (uint32_t i = 0; i < acts; ++i) {
+      model.OnActivate(0, HalfRowSide::kA, 700, t);
+      t += 50;
+    }
+    EXPECT_GE(model.total_flip_events(), previous) << acts;
+    previous = model.total_flip_events();
+  }
+}
+
+// P3: higher thresholds mean strictly no-more flips for the same attack.
+TEST(FaultPropertyTest, FlipsAntitoneInThreshold) {
+  uint64_t previous = ~0ull;
+  for (double threshold : {400.0, 1000.0, 3000.0, 9000.0}) {
+    DisturbanceProfile profile;
+    profile.threshold_mean = threshold;
+    profile.threshold_spread = 0.0;
+    DisturbanceModel model(profile, kRowsPerBank, 1024, kHalfRowBits);
+    uint64_t t = 0;
+    for (uint32_t i = 0; i < 6000; ++i) {
+      model.OnActivate(0, HalfRowSide::kA, 700, t);
+      t += 50;
+    }
+    EXPECT_LE(model.total_flip_events(), previous) << threshold;
+    previous = model.total_flip_events();
+  }
+}
+
+// P4: distance-2 weight 0 means victims at distance 2 never flip.
+TEST(FaultPropertyTest, ZeroDistanceTwoFactorConfinesToImmediateNeighbours) {
+  DisturbanceProfile profile;
+  profile.threshold_mean = 300.0;
+  profile.distance2_factor = 0.0;
+  DisturbanceModel model(profile, kRowsPerBank, 1024, kHalfRowBits);
+  uint64_t t = 0;
+  std::set<uint32_t> victims;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    for (const InternalFlip& flip : model.OnActivate(0, HalfRowSide::kA, 700, t)) {
+      victims.insert(flip.victim_row);
+    }
+    t += 50;
+  }
+  ASSERT_FALSE(victims.empty());
+  for (uint32_t victim : victims) {
+    EXPECT_TRUE(victim == 699 || victim == 701) << victim;
+  }
+}
+
+// P5: flip bit positions are within the half-row and vary.
+TEST(FaultPropertyTest, FlipBitsInRangeAndDispersed) {
+  DisturbanceProfile profile;
+  profile.threshold_mean = 200.0;
+  DisturbanceModel model(profile, kRowsPerBank, 1024, kHalfRowBits);
+  uint64_t t = 0;
+  std::set<uint32_t> bits;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    for (const InternalFlip& flip : model.OnActivate(0, HalfRowSide::kA, 700, t)) {
+      ASSERT_LT(flip.bit, kHalfRowBits);
+      bits.insert(flip.bit);
+    }
+    t += 50;
+  }
+  EXPECT_GT(bits.size(), 5u);
+}
+
+// P6: per-row thresholds are deterministic across model instances but vary
+// across banks/sides/rows.
+TEST(FaultPropertyTest, ThresholdFieldProperties) {
+  DisturbanceProfile profile;
+  DisturbanceModel a(profile, kRowsPerBank, 1024, kHalfRowBits);
+  DisturbanceModel b(profile, kRowsPerBank, 1024, kHalfRowBits);
+  std::set<uint64_t> distinct;
+  for (uint32_t bank = 0; bank < 4; ++bank) {
+    for (uint32_t row = 1000; row < 1020; ++row) {
+      const double ta = a.ThresholdFor(bank, HalfRowSide::kA, row);
+      EXPECT_DOUBLE_EQ(ta, b.ThresholdFor(bank, HalfRowSide::kA, row));
+      EXPECT_NE(ta, a.ThresholdFor(bank, HalfRowSide::kB, row));
+      distinct.insert(static_cast<uint64_t>(ta * 1000));
+    }
+  }
+  EXPECT_GT(distinct.size(), 50u);
+}
+
+// P7: RowPress equivalent-activation accounting scales linearly with open
+// time: double the open time, roughly halve the holds to first flip.
+TEST(FaultPropertyTest, RowPressScalesWithOpenTime) {
+  auto holds_until_flip = [](uint64_t open_ns) {
+    DisturbanceProfile profile;
+    profile.threshold_mean = 1000.0;
+    profile.threshold_spread = 0.0;
+    DisturbanceModel model(profile, kRowsPerBank, 1024, kHalfRowBits);
+    uint64_t t = 0;
+    for (uint32_t hold = 1; hold <= 100000; ++hold) {
+      if (!model.OnRowOpen(0, HalfRowSide::kA, 700, open_ns, t).empty()) {
+        return hold;
+      }
+      t += 1000;
+    }
+    return 0u;
+  };
+  const uint32_t slow = holds_until_flip(6000);
+  const uint32_t fast = holds_until_flip(12000);
+  ASSERT_GT(slow, 0u);
+  ASSERT_GT(fast, 0u);
+  EXPECT_NEAR(static_cast<double>(slow) / fast, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,104 @@
+// Unit tests for DramGeometry and MediaAddress (src/dram/geometry.h).
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/dram/geometry.h"
+
+namespace siloz {
+namespace {
+
+TEST(GeometryTest, EvaluationServerDefaults) {
+  // Table 2: per-socket 192 GiB across 6 channels of 32 GiB 2Rx4 DIMMs,
+  // 192 banks, 1024 8 KiB rows per subarray.
+  DramGeometry geometry;
+  ASSERT_TRUE(geometry.Validate().ok());
+  EXPECT_EQ(geometry.banks_per_socket(), 192u);
+  EXPECT_EQ(geometry.total_banks(), 384u);
+  EXPECT_EQ(geometry.bank_bytes(), 1_GiB);
+  EXPECT_EQ(geometry.socket_bytes(), 192_GiB);
+  EXPECT_EQ(geometry.total_bytes(), 384_GiB);
+  EXPECT_EQ(geometry.subarrays_per_bank(), 128u);
+  // §4.1: 192 banks * 1024 rows * 8 KiB = 1.5 GiB subarray groups.
+  EXPECT_EQ(geometry.subarray_group_bytes(), 1536_MiB);
+  EXPECT_EQ(geometry.subarray_groups_per_socket(), 128u);
+  // §4.2: 16 row groups = 24 MiB.
+  EXPECT_EQ(16 * geometry.row_group_bytes(), 24_MiB);
+}
+
+TEST(GeometryTest, SubarraySizeSweep) {
+  // §7.4: group size scales linearly with subarray size, 0.75 GiB - 3 GiB.
+  DramGeometry geometry;
+  geometry.rows_per_subarray = 512;
+  EXPECT_EQ(geometry.subarray_group_bytes(), 768_MiB);
+  geometry.rows_per_subarray = 2048;
+  EXPECT_EQ(geometry.subarray_group_bytes(), 3_GiB);
+}
+
+TEST(GeometryTest, ValidateRejectsZeroDimension) {
+  DramGeometry geometry;
+  geometry.channels_per_socket = 0;
+  EXPECT_FALSE(geometry.Validate().ok());
+}
+
+TEST(GeometryTest, ValidateRejectsNonDividingSubarray) {
+  DramGeometry geometry;
+  geometry.rows_per_subarray = 768;  // does not divide 131072
+  EXPECT_FALSE(geometry.Validate().ok());
+}
+
+TEST(GeometryTest, SocketBankIndexIsDense) {
+  DramGeometry geometry;
+  // Every (channel, dimm, rank, bank) combination maps to a distinct index
+  // in [0, banks_per_socket).
+  std::vector<bool> seen(geometry.banks_per_socket(), false);
+  MediaAddress addr;
+  for (addr.channel = 0; addr.channel < geometry.channels_per_socket; ++addr.channel) {
+    for (addr.dimm = 0; addr.dimm < geometry.dimms_per_channel; ++addr.dimm) {
+      for (addr.rank = 0; addr.rank < geometry.ranks_per_dimm; ++addr.rank) {
+        for (addr.bank = 0; addr.bank < geometry.banks_per_rank; ++addr.bank) {
+          const uint32_t index = SocketBankIndex(geometry, addr);
+          ASSERT_LT(index, seen.size());
+          EXPECT_FALSE(seen[index]);
+          seen[index] = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(GeometryTest, SubarrayOfRow) {
+  DramGeometry geometry;
+  EXPECT_EQ(SubarrayOfRow(geometry, 0), 0u);
+  EXPECT_EQ(SubarrayOfRow(geometry, 1023), 0u);
+  EXPECT_EQ(SubarrayOfRow(geometry, 1024), 1u);
+  EXPECT_EQ(SubarrayOfRow(geometry, 131071), 127u);
+}
+
+TEST(GeometryTest, ValidateAddressBounds) {
+  DramGeometry geometry;
+  MediaAddress ok{.socket = 1, .channel = 5, .dimm = 0, .rank = 1, .bank = 15,
+                  .row = 131071, .column = 8191};
+  EXPECT_TRUE(ValidateAddress(geometry, ok).ok());
+  MediaAddress bad_row = ok;
+  bad_row.row = 131072;
+  EXPECT_FALSE(ValidateAddress(geometry, bad_row).ok());
+  MediaAddress bad_socket = ok;
+  bad_socket.socket = 2;
+  EXPECT_FALSE(ValidateAddress(geometry, bad_socket).ok());
+  MediaAddress bad_column = ok;
+  bad_column.column = 8192;
+  EXPECT_FALSE(ValidateAddress(geometry, bad_column).ok());
+}
+
+TEST(GeometryTest, ToStringMentionsKeyFacts) {
+  DramGeometry geometry;
+  const std::string s = geometry.ToString();
+  EXPECT_NE(s.find("2 socket"), std::string::npos);
+  EXPECT_NE(s.find("1536 MiB"), std::string::npos);
+  const MediaAddress addr{.socket = 1, .channel = 2, .dimm = 0, .rank = 1, .bank = 7,
+                          .row = 42, .column = 128};
+  EXPECT_EQ(addr.ToString(), "s1.ch2.d0.r1.b7.row42.col128");
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,193 @@
+// Tests for the buddy allocator, NUMA nodes, and control groups (src/hostmem).
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/hostmem/buddy.h"
+#include "src/hostmem/cgroup.h"
+#include "src/hostmem/numa.h"
+
+namespace siloz {
+namespace {
+
+// --- BuddyAllocator ---
+
+TEST(BuddyTest, AllocateAndFreeRestoresPool) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  EXPECT_EQ(buddy.total_bytes(), 64_MiB);
+  EXPECT_EQ(buddy.free_bytes(), 64_MiB);
+
+  Result<uint64_t> page = buddy.Allocate(kOrder4K);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(buddy.free_bytes(), 64_MiB - 4_KiB);
+  ASSERT_TRUE(buddy.Free(*page, kOrder4K).ok());
+  EXPECT_EQ(buddy.free_bytes(), 64_MiB);
+  // Coalescing restored a maximal block.
+  EXPECT_EQ(buddy.LargestFreeOrder(), 14);  // 64 MiB = order 14
+}
+
+TEST(BuddyTest, BlocksAreNaturallyAligned) {
+  BuddyAllocator buddy({PhysRange{0, 256_MiB}});
+  for (uint32_t order : {kOrder4K, kOrder2M, kOrder2M + 3, kOrder1G - 4}) {
+    Result<uint64_t> block = buddy.Allocate(order);
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ(*block % OrderBytes(order), 0u) << "order " << order;
+  }
+}
+
+TEST(BuddyTest, ExhaustionReturnsNoMemory) {
+  BuddyAllocator buddy({PhysRange{0, 4_MiB}});
+  ASSERT_TRUE(buddy.Allocate(kOrder2M).ok());
+  ASSERT_TRUE(buddy.Allocate(kOrder2M).ok());
+  EXPECT_FALSE(buddy.Allocate(kOrder2M).ok());
+  EXPECT_FALSE(buddy.Allocate(kOrder4K).ok());
+  EXPECT_EQ(buddy.free_bytes(), 0u);
+}
+
+TEST(BuddyTest, AllocateAtSpecificBlock) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  ASSERT_TRUE(buddy.AllocateAt(6_MiB, kOrder2M).ok());
+  EXPECT_FALSE(buddy.IsFree(6_MiB));
+  EXPECT_TRUE(buddy.IsFree(4_MiB));
+  // Double allocation fails.
+  EXPECT_FALSE(buddy.AllocateAt(6_MiB, kOrder2M).ok());
+  // Freeing restores.
+  ASSERT_TRUE(buddy.Free(6_MiB, kOrder2M).ok());
+  EXPECT_TRUE(buddy.IsFree(6_MiB));
+  EXPECT_EQ(buddy.free_bytes(), 64_MiB);
+}
+
+TEST(BuddyTest, AllocateAtRejectsMisaligned) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  EXPECT_FALSE(buddy.AllocateAt(3_MiB, kOrder2M).ok());
+  EXPECT_FALSE(buddy.Free(3_MiB, kOrder2M).ok());
+}
+
+TEST(BuddyTest, OfflinePageRemovesPermanently) {
+  BuddyAllocator buddy({PhysRange{0, 8_MiB}});
+  ASSERT_TRUE(buddy.OfflinePage(2_MiB).ok());
+  EXPECT_EQ(buddy.offlined_bytes(), 4_KiB);
+  EXPECT_EQ(buddy.total_bytes(), 8_MiB - 4_KiB);
+  EXPECT_FALSE(buddy.IsFree(2_MiB));
+  // The containing 2 MiB block can no longer be allocated whole.
+  EXPECT_FALSE(buddy.AllocateAt(2_MiB, kOrder2M).ok());
+  // But its other pages still can.
+  EXPECT_TRUE(buddy.AllocateAt(2_MiB + 4_KiB, kOrder4K).ok());
+  // Offlining an allocated page fails.
+  EXPECT_FALSE(buddy.OfflinePage(2_MiB + 4_KiB).ok());
+}
+
+TEST(BuddyTest, DisjointRangesSupported) {
+  BuddyAllocator buddy({PhysRange{0, 4_MiB}, PhysRange{1_GiB, 1_GiB + 4_MiB}});
+  EXPECT_EQ(buddy.total_bytes(), 8_MiB);
+  // Allocate everything; blocks come from both ranges.
+  bool saw_high = false;
+  for (int i = 0; i < 4; ++i) {
+    Result<uint64_t> block = buddy.Allocate(kOrder2M);
+    ASSERT_TRUE(block.ok());
+    saw_high |= (*block >= 1_GiB);
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_FALSE(buddy.Allocate(kOrder4K).ok());
+}
+
+TEST(BuddyTest, UnalignedRangeCarvedCorrectly) {
+  // A range starting at an odd 4 KiB offset still seeds correctly.
+  BuddyAllocator buddy({PhysRange{4_KiB, 2_MiB}});
+  EXPECT_EQ(buddy.total_bytes(), 2_MiB - 4_KiB);
+  uint64_t allocated = 0;
+  while (buddy.Allocate(kOrder4K).ok()) {
+    allocated += 4_KiB;
+  }
+  EXPECT_EQ(allocated, 2_MiB - 4_KiB);
+}
+
+TEST(BuddyTest, SplitAndCoalesceStress) {
+  BuddyAllocator buddy({PhysRange{0, 32_MiB}});
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < 1000; ++i) {
+    Result<uint64_t> page = buddy.Allocate(kOrder4K);
+    ASSERT_TRUE(page.ok());
+    pages.push_back(*page);
+  }
+  for (uint64_t page : pages) {
+    ASSERT_TRUE(buddy.Free(page, kOrder4K).ok());
+  }
+  EXPECT_EQ(buddy.free_bytes(), 32_MiB);
+  EXPECT_EQ(buddy.LargestFreeOrder(), 13);  // fully coalesced to 32 MiB
+}
+
+// --- NumaNode / NodeRegistry ---
+
+TEST(NumaTest, NodeProperties) {
+  NodeRegistry registry;
+  NumaNode& host = registry.AddNode(NodeKind::kHostReserved, 0, 0,
+                                    {PhysRange{0, 1536_MiB}}, true);
+  NumaNode& guest = registry.AddNode(NodeKind::kGuestReserved, 0, 1,
+                                     {PhysRange{1536_MiB, 3_GiB}}, false);
+  EXPECT_EQ(host.id(), 0u);
+  EXPECT_EQ(guest.id(), 1u);
+  EXPECT_TRUE(host.has_cpus());
+  EXPECT_FALSE(guest.has_cpus());
+  EXPECT_EQ(guest.allocator().total_bytes(), 1536_MiB);
+  EXPECT_NE(guest.ToString().find("guest-reserved"), std::string::npos);
+  EXPECT_NE(host.ToString().find("cpus"), std::string::npos);
+}
+
+TEST(NumaTest, RegistryQueries) {
+  NodeRegistry registry;
+  registry.AddNode(NodeKind::kHostReserved, 0, 0, {PhysRange{0, 2_MiB}}, true);
+  registry.AddNode(NodeKind::kGuestReserved, 0, 1, {PhysRange{2_MiB, 4_MiB}}, false);
+  registry.AddNode(NodeKind::kGuestReserved, 1, 2, {PhysRange{4_MiB, 6_MiB}}, false);
+  EXPECT_EQ(registry.node_count(), 3u);
+  EXPECT_EQ(registry.NodesOfKind(NodeKind::kGuestReserved).size(), 2u);
+  EXPECT_EQ(registry.NodesOnSocket(0).size(), 2u);
+  EXPECT_FALSE(registry.Get(7).ok());
+  ASSERT_TRUE(registry.Get(2).ok());
+}
+
+TEST(NumaTest, StatSweepSkipsGuestNodes) {
+  // §5.3: Siloz avoids iterating guest-reserved nodes in periodic updates.
+  NodeRegistry registry;
+  registry.AddNode(NodeKind::kHostReserved, 0, 0, {PhysRange{0, 2_MiB}}, true);
+  for (int i = 0; i < 126; ++i) {
+    registry.AddNode(NodeKind::kGuestReserved, 0, i + 1,
+                     {PhysRange{2_MiB + i * 2_MiB, 4_MiB + i * 2_MiB}}, false);
+  }
+  EXPECT_EQ(registry.StatSweepNodeCount(false), 127u);
+  EXPECT_EQ(registry.StatSweepNodeCount(true), 1u);
+}
+
+// --- Control groups ---
+
+TEST(CgroupTest, CreateLookupDestroy) {
+  CgroupRegistry registry;
+  Result<ControlGroup*> group = registry.Create("vm-a", {1, 2, 3}, true);
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE((*group)->kvm_privileged());
+  EXPECT_TRUE((*group)->MayAllocateFrom(2));
+  EXPECT_FALSE((*group)->MayAllocateFrom(4));
+  ASSERT_TRUE(registry.Get("vm-a").ok());
+  EXPECT_FALSE(registry.Get("vm-b").ok());
+  ASSERT_TRUE(registry.Destroy("vm-a").ok());
+  EXPECT_FALSE(registry.Get("vm-a").ok());
+  EXPECT_FALSE(registry.Destroy("vm-a").ok());
+}
+
+TEST(CgroupTest, DuplicateNameRejected) {
+  CgroupRegistry registry;
+  ASSERT_TRUE(registry.Create("vm-a", {1}, true).ok());
+  EXPECT_FALSE(registry.Create("vm-a", {2}, true).ok());
+}
+
+TEST(CgroupTest, ExclusiveNodeReservation) {
+  // §5.3: a guest-reserved node belongs to at most one control group.
+  CgroupRegistry registry;
+  ASSERT_TRUE(registry.Create("vm-a", {1, 2}, true).ok());
+  EXPECT_FALSE(registry.Create("vm-b", {2, 3}, true).ok());
+  // Destroying vm-a frees its nodes for reuse.
+  ASSERT_TRUE(registry.Destroy("vm-a").ok());
+  EXPECT_TRUE(registry.Create("vm-b", {2, 3}, true).ok());
+}
+
+}  // namespace
+}  // namespace siloz

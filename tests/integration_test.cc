@@ -1,0 +1,235 @@
+// End-to-end integration tests: the paper's security claims (§7.1) exercised
+// through the full stack — hypervisor placement, EPTs in DRAM-backed
+// memory, Blacksmith-grade hammering, flip census, isolation audit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/attack/blacksmith.h"
+#include "src/base/units.h"
+#include "src/sim/machine.h"
+#include "src/siloz/hypervisor.h"
+
+namespace siloz {
+namespace {
+
+// TRR stays on for fuzzer-driven tests (the fuzzer must defeat it); the
+// targeted double-sided hammers model a post-bypass attacker and disable it.
+MachineConfig FaultConfig(bool trr_enabled = true) {
+  MachineConfig config;
+  config.fault_tracking = true;
+  DimmProfile profile;
+  profile.disturbance.threshold_mean = 2500.0;  // scaled-down threshold for test speed
+  profile.disturbance.threshold_spread = 0.15;
+  profile.trr.enabled = trr_enabled;
+  profile.trr.act_threshold = 400;
+  config.dimm_profiles = {profile};
+  return config;
+}
+
+BlacksmithConfig FastFuzz(uint64_t seed) {
+  BlacksmithConfig config;
+  config.patterns = 5;
+  config.rounds = 1200;
+  config.min_pairs = 8;
+  config.max_pairs = 14;
+  config.seed = seed;
+  return config;
+}
+
+// All physical ranges of a VM's guest-reserved subarray groups.
+std::vector<PhysRange> GroupRanges(const SilozHypervisor& hypervisor, const Vm& vm) {
+  std::vector<PhysRange> ranges;
+  for (uint32_t group : vm.guest_groups()) {
+    const auto& extents = hypervisor.group_map().RangesOf(group);
+    ranges.insert(ranges.end(), extents.begin(), extents.end());
+  }
+  return ranges;
+}
+
+TEST(IntegrationTest, SilozContainsInterVmHammering) {
+  // The headline result (Table 3): a fuzzing VM flips bits, but never
+  // outside its own subarray groups.
+  Machine machine(FaultConfig());
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  Result<VmId> attacker = hypervisor.CreateVm({.name = "attacker", .memory_bytes = 3_GiB});
+  ASSERT_TRUE(attacker.ok()) << attacker.error().ToString();
+  Result<VmId> victim = hypervisor.CreateVm({.name = "victim", .memory_bytes = 3_GiB});
+  ASSERT_TRUE(victim.ok());
+
+  Vm& attacker_vm = **hypervisor.GetVm(*attacker);
+  const std::vector<PhysRange> attacker_ranges = GroupRanges(hypervisor, attacker_vm);
+
+  BlacksmithFuzzer fuzzer(FastFuzz(31));
+  const FuzzReport report = fuzzer.Run(machine, attacker_ranges);
+  ASSERT_FALSE(report.flips.empty()) << "fuzzer produced no flips; model too lenient";
+
+  const FlipCensus census =
+      ClassifyFlips(report.flips, hypervisor.group_map(), attacker_ranges);
+  EXPECT_GT(census.inside, 0u);
+  EXPECT_EQ(census.outside, 0u) << "inter-VM flip escaped the subarray group";
+  // Victim VM and both EPTs are intact.
+  EXPECT_TRUE(hypervisor.AuditVmIsolation(*attacker).ok());
+  EXPECT_TRUE(hypervisor.AuditVmIsolation(*victim).ok());
+}
+
+TEST(IntegrationTest, BaselinePermitsCrossVmFlips) {
+  // Without Siloz, two VMs can share a subarray: hammering the attacker's
+  // edge rows flips bits in the victim's memory.
+  Machine machine(FaultConfig(/*trr_enabled=*/false));
+  SilozConfig baseline;
+  baseline.enabled = false;
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), baseline);
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  Result<VmId> attacker = hypervisor.CreateVm({.name = "attacker", .memory_bytes = 2_GiB});
+  ASSERT_TRUE(attacker.ok());
+  Result<VmId> victim = hypervisor.CreateVm({.name = "victim", .memory_bytes = 2_GiB});
+  ASSERT_TRUE(victim.ok());
+
+  Vm& attacker_vm = **hypervisor.GetVm(*attacker);
+  Vm& victim_vm = **hypervisor.GetVm(*victim);
+  // Baseline placement is contiguous: the victim's run begins at (or just
+  // past, if the attacker's own EPT pages landed between) the attacker's end.
+  const uint64_t boundary = attacker_vm.regions()[0].hpa + attacker_vm.regions()[0].bytes;
+  ASSERT_GE(victim_vm.regions()[0].hpa, boundary);
+
+  // The attacker hammers its own topmost row in some bank; the next row of
+  // that bank belongs to the victim. A second own-row alternation forces
+  // real ACTs.
+  const MediaAddress edge = *machine.decoder().PhysToMedia(boundary - kCacheLineBytes);
+  MediaAddress decoy = edge;
+  decoy.row = edge.row - 20;
+  const uint64_t aggressors[] = {boundary - kCacheLineBytes,
+                                 *machine.decoder().MediaToPhys(decoy)};
+  HammerPhysAddresses(machine, aggressors, 15000);
+
+  const std::vector<PhysFlip> flips = machine.DrainFlips();
+  ASSERT_FALSE(flips.empty());
+  bool escaped_attacker = false;
+  for (const PhysFlip& flip : flips) {
+    escaped_attacker |= (flip.phys >= boundary);
+  }
+  EXPECT_TRUE(escaped_attacker) << "expected cross-VM corruption on the baseline";
+}
+
+TEST(IntegrationTest, GuardRowsProtectEptRowGroup) {
+  // §7.1 "EPT bit flip prevention": hammering the closest allocatable rows
+  // around the protected block cannot disturb the EPT row group, because
+  // the b-1 guard rows absorb the blast radius.
+  Machine machine(FaultConfig(/*trr_enabled=*/false));
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  Result<VmId> vm = hypervisor.CreateVm({.name = "tenant", .memory_bytes = 1536_MiB});
+  ASSERT_TRUE(vm.ok());
+
+  // The EPT block occupies rows [0, 32) of the first host group; the first
+  // allocatable row after it is row 32. Hammer rows 32/34 (the nearest
+  // attacker-reachable rows) hard.
+  const auto& pool_range = hypervisor.ept_pool_ranges(0)[0];
+  const MediaAddress ept_media = *machine.decoder().PhysToMedia(pool_range.begin);
+  MediaAddress above = ept_media;
+  above.row = 32;
+  MediaAddress above2 = ept_media;
+  above2.row = 34;
+  const uint64_t aggressors[] = {*machine.decoder().MediaToPhys(above),
+                                 *machine.decoder().MediaToPhys(above2)};
+  HammerPhysAddresses(machine, aggressors, 15000);
+
+  // Flips may appear around rows 32-36, but never inside the EPT row group.
+  const std::vector<PhysFlip> flips = machine.DrainFlips();
+  for (const PhysFlip& flip : flips) {
+    EXPECT_FALSE(pool_range.Contains(flip.phys)) << "flip reached the protected EPT row";
+  }
+  EXPECT_TRUE(hypervisor.AuditVmIsolation(*vm).ok());
+}
+
+TEST(IntegrationTest, UnprotectedEptRowsFlipOnBaseline) {
+  // Counterpart experiment: with EptProtection::kNone the EPT pages live in
+  // ordinary rows; hammering their neighbours corrupts them.
+  Machine machine(FaultConfig(/*trr_enabled=*/false));
+  SilozConfig config;
+  config.ept_protection = EptProtection::kNone;
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), config);
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  Result<VmId> vm = hypervisor.CreateVm({.name = "tenant", .memory_bytes = 1536_MiB});
+  ASSERT_TRUE(vm.ok());
+  Vm& tenant = **hypervisor.GetVm(*vm);
+
+  // Hammer the rows adjacent to a leaf EPT table page.
+  const uint64_t ept_page = tenant.ept()->table_pages().back();
+  const MediaAddress ept_media = *machine.decoder().PhysToMedia(ept_page);
+  MediaAddress below = ept_media;
+  below.row = ept_media.row - 1;
+  MediaAddress over = ept_media;
+  over.row = ept_media.row + 1;
+  const uint64_t aggressors[] = {*machine.decoder().MediaToPhys(below),
+                                 *machine.decoder().MediaToPhys(over)};
+  HammerPhysAddresses(machine, aggressors, 25000);
+
+  const std::vector<PhysFlip> flips = machine.DrainFlips();
+  bool hit_ept_row = false;
+  for (const PhysFlip& flip : flips) {
+    hit_ept_row |= (flip.media.row == ept_media.row &&
+                    flip.media.bank == ept_media.bank && flip.media.rank == ept_media.rank &&
+                    flip.media.channel == ept_media.channel &&
+                    flip.media.socket == ept_media.socket);
+  }
+  EXPECT_TRUE(hit_ept_row) << "expected flips in the unprotected EPT row";
+}
+
+TEST(IntegrationTest, MispresumedSubarraySizeBreaksContainment) {
+  // §7.4: artificial (smaller-than-true) subarray groups do NOT provide
+  // isolation. Presume 512-row subarrays on 1024-row silicon: two adjacent
+  // groups share a true subarray, so edge hammering crosses group bounds.
+  Machine machine(FaultConfig(/*trr_enabled=*/false));
+  SilozConfig config;
+  config.rows_per_subarray = 512;  // silicon truth is 1024 (DimmProfile default)
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), config);
+  ASSERT_TRUE(hypervisor.Boot().ok());
+
+  // Hammer the top rows of presumed-group 2 (rows [1024, 1536)): row 1535
+  // borders row 1536 within the same true subarray [1024, 2048).
+  const uint32_t group = 2;
+  const PhysRange range = hypervisor.group_map().RangesOf(group)[0];
+  const MediaAddress base = *machine.decoder().PhysToMedia(range.begin);
+  MediaAddress edge = base;
+  edge.row = 1535;
+  MediaAddress decoy = base;
+  decoy.row = 1500;
+  const uint64_t aggressors[] = {*machine.decoder().MediaToPhys(edge),
+                                 *machine.decoder().MediaToPhys(decoy)};
+  HammerPhysAddresses(machine, aggressors, 15000);
+
+  const std::vector<PhysFlip> flips = machine.DrainFlips();
+  ASSERT_FALSE(flips.empty());
+  const FlipCensus census = ClassifyFlips(flips, hypervisor.group_map(), {&range, 1});
+  EXPECT_GT(census.outside, 0u)
+      << "expected containment failure with a mispresumed subarray size";
+}
+
+TEST(IntegrationTest, PatrolScrubFindsNoHiddenEscapes) {
+  // The paper's 24-hour patrol-scrub check: after fuzzing, scrubbing the
+  // whole pool surfaces any latent flips; none lie outside the attacker's
+  // groups.
+  Machine machine(FaultConfig());
+  SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  Result<VmId> attacker = hypervisor.CreateVm({.name = "attacker", .memory_bytes = 1536_MiB});
+  ASSERT_TRUE(attacker.ok());
+  Vm& attacker_vm = **hypervisor.GetVm(*attacker);
+  const std::vector<PhysRange> ranges = GroupRanges(hypervisor, attacker_vm);
+
+  BlacksmithFuzzer fuzzer(FastFuzz(37));
+  FuzzReport report = fuzzer.Run(machine, ranges);
+  machine.AdvanceClock(24ull * 3600 * 1'000'000'000);  // 24 hours
+  machine.PatrolScrubAll();
+  std::vector<PhysFlip> late_flips = machine.DrainFlips();
+  report.flips.insert(report.flips.end(), late_flips.begin(), late_flips.end());
+
+  const FlipCensus census = ClassifyFlips(report.flips, hypervisor.group_map(), ranges);
+  EXPECT_EQ(census.outside, 0u);
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,0 +1,192 @@
+// Tests for the media-to-internal remap chain (§6, Table 1).
+#include <gtest/gtest.h>
+
+#include "src/base/bitops.h"
+#include "src/dram/remap.h"
+
+namespace siloz {
+namespace {
+
+DramGeometry TestGeometry() {
+  DramGeometry geometry;
+  geometry.rows_per_bank = 8192;  // small bank keeps exhaustive scans fast
+  geometry.rows_per_subarray = 1024;
+  return geometry;
+}
+
+// --- Individual transforms (Table 1) ---
+
+TEST(RemapTransformTest, MirroringSwapsDocumentedPairs) {
+  // Odd ranks swap <b3,b4>, <b5,b6>, <b7,b8>.
+  EXPECT_EQ(RowRemapper::ApplyMirroring(0b10000, 1), 0b01000u);   // paper's example
+  EXPECT_EQ(RowRemapper::ApplyMirroring(0b0100000, 1), 0b1000000u);
+  EXPECT_EQ(RowRemapper::ApplyMirroring(0b010000000, 1), 0b100000000u);
+  // b0..b2 and b9+ untouched.
+  EXPECT_EQ(RowRemapper::ApplyMirroring(0b111, 1), 0b111u);
+  EXPECT_EQ(RowRemapper::ApplyMirroring(0b11000000000, 1), 0b11000000000u);
+}
+
+TEST(RemapTransformTest, MirroringIdentityOnEvenRanks) {
+  for (uint32_t row = 0; row < 2048; ++row) {
+    EXPECT_EQ(RowRemapper::ApplyMirroring(row, 0), row);
+  }
+}
+
+TEST(RemapTransformTest, MirroringIsInvolution) {
+  for (uint32_t row = 0; row < 4096; ++row) {
+    EXPECT_EQ(RowRemapper::ApplyMirroring(RowRemapper::ApplyMirroring(row, 1), 1), row);
+  }
+}
+
+TEST(RemapTransformTest, InversionFlipsB3ToB9OnBSide) {
+  EXPECT_EQ(RowRemapper::ApplyInversion(0, HalfRowSide::kB), 0b1111111000u);
+  EXPECT_EQ(RowRemapper::ApplyInversion(0b1111111000, HalfRowSide::kB), 0u);
+  // b0..b2 and b10 untouched.
+  EXPECT_EQ(RowRemapper::ApplyInversion(0b10000000111, HalfRowSide::kB), 0b11111111111u);
+}
+
+TEST(RemapTransformTest, InversionIdentityOnASide) {
+  for (uint32_t row = 0; row < 4096; ++row) {
+    EXPECT_EQ(RowRemapper::ApplyInversion(row, HalfRowSide::kA), row);
+  }
+}
+
+TEST(RemapTransformTest, ScramblingXorsB1B2WithB3) {
+  // b3=1 flips b1 and b2; b3=0 is identity.
+  EXPECT_EQ(RowRemapper::ApplyScrambling(0b1000), 0b1110u);
+  EXPECT_EQ(RowRemapper::ApplyScrambling(0b1110), 0b1000u);
+  EXPECT_EQ(RowRemapper::ApplyScrambling(0b0110), 0b0110u);
+}
+
+TEST(RemapTransformTest, ScramblingPreservesEightRowBlocks) {
+  // §6: scrambling reorders within groups of 8 rows, never across.
+  for (uint32_t row = 0; row < 8192; ++row) {
+    EXPECT_EQ(RowRemapper::ApplyScrambling(row) / 8, row / 8);
+  }
+}
+
+TEST(RemapTransformTest, MirroringAndInversionCommute) {
+  for (uint32_t row = 0; row < 4096; ++row) {
+    const uint32_t a = RowRemapper::ApplyInversion(RowRemapper::ApplyMirroring(row, 1),
+                                                   HalfRowSide::kB);
+    const uint32_t b = RowRemapper::ApplyMirroring(RowRemapper::ApplyInversion(row, HalfRowSide::kB),
+                                                   1);
+    EXPECT_EQ(a, b);
+  }
+}
+
+// --- Full chain ---
+
+TEST(RowRemapperTest, RoundTripsAllConfigurations) {
+  const DramGeometry geometry = TestGeometry();
+  for (bool mirroring : {false, true}) {
+    for (bool inversion : {false, true}) {
+      for (bool scrambling : {false, true}) {
+        RemapConfig config{.address_mirroring = mirroring,
+                           .address_inversion = inversion,
+                           .vendor_scrambling = scrambling};
+        RowRemapper remapper(geometry, config);
+        for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+          for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+            for (uint32_t row = 0; row < geometry.rows_per_bank; row += 7) {
+              const uint32_t internal = remapper.ToInternal(row, rank, 0, side);
+              EXPECT_EQ(remapper.ToMedia(internal, rank, 0, side), row);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RowRemapperTest, ChainIsBijectivePerRankSide) {
+  const DramGeometry geometry = TestGeometry();
+  RemapConfig config{.vendor_scrambling = true};
+  RowRemapper remapper(geometry, config);
+  std::vector<bool> seen(geometry.rows_per_bank);
+  for (uint32_t rank = 0; rank < 2; ++rank) {
+    for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+      std::fill(seen.begin(), seen.end(), false);
+      for (uint32_t row = 0; row < geometry.rows_per_bank; ++row) {
+        const uint32_t internal = remapper.ToInternal(row, rank, 0, side);
+        ASSERT_LT(internal, seen.size());
+        EXPECT_FALSE(seen[internal]);
+        seen[internal] = true;
+      }
+    }
+  }
+}
+
+TEST(RowRemapperTest, RepairRedirectsRow) {
+  const DramGeometry geometry = TestGeometry();
+  RemapConfig config;
+  config.address_mirroring = false;
+  config.address_inversion = false;
+  config.repairs.push_back(RowRepair{.rank = 0, .bank = 3, .from_row = 100, .to_row = 7000});
+  RowRemapper remapper(geometry, config);
+  EXPECT_EQ(remapper.ToInternal(100, 0, 3, HalfRowSide::kA), 7000u);
+  EXPECT_EQ(remapper.ToMedia(7000, 0, 3, HalfRowSide::kA), 100u);
+  // Other banks unaffected.
+  EXPECT_EQ(remapper.ToInternal(100, 0, 4, HalfRowSide::kA), 100u);
+}
+
+TEST(RowRemapperTest, InterSubarrayRepairCrossesBoundary) {
+  // A repair to a spare row in another subarray is exactly the isolation
+  // threat §6 describes.
+  const DramGeometry geometry = TestGeometry();
+  RemapConfig config;
+  config.repairs.push_back(RowRepair{.rank = 0, .bank = 0, .from_row = 5, .to_row = 5000});
+  RowRemapper remapper(geometry, config);
+  const uint32_t internal = remapper.ToInternal(5, 0, 0, HalfRowSide::kA);
+  EXPECT_NE(internal / geometry.rows_per_subarray, 5u / geometry.rows_per_subarray);
+}
+
+// --- §6 soundness analysis ---
+
+TEST(SubarrayPreservationTest, PowerOfTwoSizesPreserved) {
+  DramGeometry geometry = TestGeometry();
+  RemapConfig standard;  // mirroring + inversion
+  for (uint32_t size : {512u, 1024u, 2048u}) {
+    geometry.rows_per_subarray = size;
+    EXPECT_TRUE(TransformsPreserveSubarrayBlocks(geometry, standard, size))
+        << "subarray size " << size;
+  }
+}
+
+TEST(SubarrayPreservationTest, PowerOfTwoWithScramblingPreserved) {
+  DramGeometry geometry = TestGeometry();
+  RemapConfig config{.vendor_scrambling = true};
+  EXPECT_TRUE(TransformsPreserveSubarrayBlocks(geometry, config, 1024));
+}
+
+TEST(SubarrayPreservationTest, NonPowerOfTwoViolated) {
+  // §6: for non-power-of-2 sizes, inversion/mirroring split media subarrays
+  // across internal subarray boundaries.
+  DramGeometry geometry = TestGeometry();
+  geometry.rows_per_bank = 7680;  // multiple of 768
+  RemapConfig standard;
+  EXPECT_FALSE(TransformsPreserveSubarrayBlocks(geometry, standard, 768));
+}
+
+TEST(SubarrayPreservationTest, NonPowerOfTwoFineWithoutTransforms) {
+  DramGeometry geometry = TestGeometry();
+  geometry.rows_per_bank = 7680;
+  RemapConfig none{.address_mirroring = false, .address_inversion = false};
+  EXPECT_TRUE(TransformsPreserveSubarrayBlocks(geometry, none, 768));
+}
+
+TEST(SubarrayPreservationTest, ScramblingBreaksNonMultipleOfEight) {
+  // §6: scrambling only matters if the subarray size is not a multiple of 8:
+  // a subarray boundary inside an 8-row scramble block gets rows shuffled
+  // across it.
+  DramGeometry geometry = TestGeometry();
+  geometry.rows_per_bank = 8192;
+  RemapConfig config{.address_mirroring = false, .address_inversion = false,
+                     .vendor_scrambling = true};
+  EXPECT_TRUE(TransformsPreserveSubarrayBlocks(geometry, config, 512));
+  geometry.rows_per_bank = 8184;  // multiple of 12
+  EXPECT_FALSE(TransformsPreserveSubarrayBlocks(geometry, config, 12));
+}
+
+}  // namespace
+}  // namespace siloz

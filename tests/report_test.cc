@@ -1,0 +1,81 @@
+// Tests for the CSV result reporter (src/sim/report.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/report.h"
+
+namespace siloz {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "siloz_report_test";
+    std::string command = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(command.c_str()), 0);
+  }
+  std::string dir_;
+};
+
+TEST_F(ReportTest, DisabledWithoutDirectory) {
+  ::unsetenv("SILOZ_RESULTS_DIR");
+  CsvReporter reporter("exp");
+  EXPECT_FALSE(reporter.enabled());
+  EXPECT_TRUE(reporter.Append({"a"}, {"1"}).ok());  // no-op, still ok
+  EXPECT_EQ(reporter.path(), "");
+}
+
+TEST_F(ReportTest, WritesHeaderOnceAndAppends) {
+  const std::string file = dir_ + "/run.csv";
+  std::remove(file.c_str());
+  CsvReporter reporter("run", dir_);
+  ASSERT_TRUE(reporter.enabled());
+  ASSERT_TRUE(reporter.Append({"workload", "value"}, {"redis-a", "1.5"}).ok());
+  ASSERT_TRUE(reporter.Append({"workload", "value"}, {"mysql", "2.5"}).ok());
+  EXPECT_EQ(ReadAll(file), "workload,value\nredis-a,1.5\nmysql,2.5\n");
+  // A second reporter instance appends without re-writing the header.
+  CsvReporter again("run", dir_);
+  ASSERT_TRUE(again.Append({"workload", "value"}, {"parsec", "3"}).ok());
+  EXPECT_EQ(ReadAll(file), "workload,value\nredis-a,1.5\nmysql,2.5\nparsec,3\n");
+}
+
+TEST_F(ReportTest, EscapesSpecialCharacters) {
+  const std::string file = dir_ + "/esc.csv";
+  std::remove(file.c_str());
+  CsvReporter reporter("esc", dir_);
+  ASSERT_TRUE(reporter.Append({"name"}, {"a,b \"quoted\""}).ok());
+  EXPECT_EQ(ReadAll(file), "name\n\"a,b \"\"quoted\"\"\"\n");
+}
+
+TEST_F(ReportTest, RejectsMismatchedRow) {
+  CsvReporter reporter("bad", dir_);
+  EXPECT_FALSE(reporter.Append({"a", "b"}, {"1"}).ok());
+}
+
+TEST_F(ReportTest, EnvironmentVariableEnables) {
+  ::setenv("SILOZ_RESULTS_DIR", dir_.c_str(), 1);
+  CsvReporter reporter("env_exp");
+  EXPECT_TRUE(reporter.enabled());
+  EXPECT_EQ(reporter.path(), dir_ + "/env_exp.csv");
+  ::unsetenv("SILOZ_RESULTS_DIR");
+}
+
+TEST_F(ReportTest, CsvNumberFormatting) {
+  EXPECT_EQ(CsvNumber(1.5), "1.5");
+  EXPECT_EQ(CsvNumber(-0.0493236), "-0.0493236");
+  EXPECT_EQ(CsvNumber(0.0), "0");
+}
+
+}  // namespace
+}  // namespace siloz

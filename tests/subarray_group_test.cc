@@ -1,0 +1,151 @@
+// Tests for SubarrayGroupMap (src/addr/subarray_group.h).
+#include <gtest/gtest.h>
+
+#include "src/addr/subarray_group.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+TEST(SubarrayGroupMapTest, EvaluationServerLayout) {
+  const DramGeometry full;  // 1024-row subarrays
+  SkylakeDecoder decoder(full);
+  Result<SubarrayGroupMap> map = SubarrayGroupMap::Build(decoder, 1024);
+  ASSERT_TRUE(map.ok()) << map.error().ToString();
+  EXPECT_EQ(map->groups_per_socket(), 128u);
+  EXPECT_EQ(map->total_groups(), 256u);
+  EXPECT_EQ(map->group_bytes(), 1536_MiB);  // §4.1
+}
+
+TEST(SubarrayGroupMapTest, GroupsAreContiguousUnderSkylakeDecoder) {
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, 1024);
+  // Each group resolves to exactly one extent of group_bytes.
+  for (uint32_t group = 0; group < map.total_groups(); ++group) {
+    const auto& ranges = map.RangesOf(group);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].size(), map.group_bytes());
+  }
+  // Group 0 starts at phys 0; groups tile the socket.
+  EXPECT_EQ(map.RangesOf(0)[0].begin, 0u);
+  EXPECT_EQ(map.RangesOf(1)[0].begin, map.group_bytes());
+  // First group of socket 1.
+  EXPECT_EQ(map.RangesOf(128)[0].begin, full.socket_bytes());
+  EXPECT_EQ(map.SocketOfGroup(128), 1u);
+  EXPECT_EQ(map.IndexInCluster(128), 0u);
+  EXPECT_EQ(map.ClusterOfGroup(128), 0u);
+}
+
+TEST(SubarrayGroupMapTest, GroupOfPhysMatchesRanges) {
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, 1024);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t phys = rng.NextBelow(full.total_bytes());
+    const uint32_t group = *map.GroupOfPhys(phys);
+    bool contained = false;
+    for (const PhysRange& range : map.RangesOf(group)) {
+      contained |= range.Contains(phys);
+    }
+    EXPECT_TRUE(contained) << "phys " << phys << " not in its group's extents";
+  }
+}
+
+class SubarraySizeSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SubarraySizeSweepTest, GroupSizeScalesLinearly) {
+  // §7.4: Siloz-512 manages twice the nodes of Siloz-1024; Siloz-2048 half.
+  const uint32_t rows = GetParam();
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, rows);
+  EXPECT_EQ(map.groups_per_socket(), full.rows_per_bank / rows);
+  EXPECT_EQ(map.group_bytes(),
+            static_cast<uint64_t>(full.banks_per_socket()) * rows * full.row_bytes);
+}
+
+TEST_P(SubarraySizeSweepTest, TwoMiBPagesContained) {
+  const uint32_t rows = GetParam();
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, rows);
+  Rng rng(7000 + rows);
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t page = rng.NextBelow(full.total_bytes() / kPage2M) * kPage2M;
+    Result<bool> contained = map.PageIsContained(decoder, page, kPage2M);
+    ASSERT_TRUE(contained.ok());
+    EXPECT_TRUE(*contained) << "2 MiB page at " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubarraySizeSweepTest, ::testing::Values(512u, 1024u, 2048u));
+
+TEST(SubarrayGroupMapTest, OneGiBPagesStraddleSomeGroups) {
+  // §4.2: 1 GiB pages do not all map to single subarray groups; with 3 GiB
+  // sets of consecutive groups, at least 1/3 of 1 GiB ranges are isolatable.
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, 1024);
+  uint32_t single_group = 0;
+  uint32_t single_3gib_set = 0;
+  const uint32_t pages = static_cast<uint32_t>(full.socket_bytes() / kPage1G);
+  for (uint32_t i = 0; i < pages; ++i) {
+    const uint64_t start = static_cast<uint64_t>(i) * kPage1G;
+    const uint32_t first = *map.GroupOfPhys(start);
+    const uint32_t last = *map.GroupOfPhys(start + kPage1G - 1);
+    if (first == last) {
+      ++single_group;
+    }
+    if (first / 2 == last / 2) {  // two consecutive 1.5 GiB groups = 3 GiB set
+      ++single_3gib_set;
+    }
+  }
+  EXPECT_LT(single_group, pages);                 // some pages straddle
+  EXPECT_GE(single_3gib_set * 3, pages);          // the paper's >= 1/3 bound
+  EXPECT_EQ(single_group, pages * 2 / 3);         // our decoder: exactly 2/3
+}
+
+TEST(SubarrayGroupMapTest, SncDecoderHalvesGroupBytes) {
+  // §8.1: SNC-2 halves the subarray-group size.
+  const DramGeometry full;
+  SncDecoder decoder(full, 2);
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, 1024);
+  EXPECT_EQ(map.group_bytes(), 768_MiB);
+  // Under SNC each group is still a single contiguous extent per cluster.
+  for (uint32_t group = 0; group < map.total_groups(); ++group) {
+    uint64_t covered = 0;
+    for (const PhysRange& range : map.RangesOf(group)) {
+      covered += range.size();
+    }
+    EXPECT_EQ(covered, map.group_bytes());
+  }
+}
+
+TEST(SubarrayGroupMapTest, RejectsNonDividingSubarraySize) {
+  const DramGeometry full;
+  SkylakeDecoder decoder(full);
+  EXPECT_FALSE(SubarrayGroupMap::Build(decoder, 768).ok());
+  EXPECT_FALSE(SubarrayGroupMap::Build(decoder, 0).ok());
+}
+
+TEST(SubarrayGroupMapTest, LinearDecoderGroupsAreStriped) {
+  // Under the linear decoder a subarray group is NOT contiguous: it is one
+  // stripe of rows per bank. The map must still cover it exactly.
+  DramGeometry small;
+  small.sockets = 1;
+  small.channels_per_socket = 2;
+  small.ranks_per_dimm = 2;
+  small.banks_per_rank = 4;
+  small.rows_per_bank = 2048;
+  small.rows_per_subarray = 512;
+  LinearDecoder decoder(small);
+  Result<SubarrayGroupMap> map = SubarrayGroupMap::Build(decoder, 512, /*probe_page=*/4_MiB);
+  ASSERT_TRUE(map.ok()) << map.error().ToString();
+  EXPECT_GT(map->RangesOf(0).size(), 1u);  // striped, not contiguous
+}
+
+}  // namespace
+}  // namespace siloz

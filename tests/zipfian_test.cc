@@ -1,0 +1,104 @@
+// Tests for the Zipfian sampler and its use in the trace generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/addr/decoder.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/workload/workloads.h"
+
+namespace siloz {
+namespace {
+
+TEST(ZipfianTest, SamplesInRange) {
+  ZipfianSampler sampler(1000, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(sampler.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHotItems) {
+  // With theta = 0.9 over 10K items, the hottest item draws a few percent of
+  // all samples and the top-10 a significant fraction; uniform would give
+  // 0.01% and 0.1%.
+  ZipfianSampler sampler(10000, 0.9);
+  Rng rng(2);
+  std::map<uint64_t, uint64_t> counts;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    counts[sampler.Next(rng)]++;
+  }
+  EXPECT_GT(counts[0], samples / 100);  // > 1% on the single hottest item
+  uint64_t top10 = 0;
+  for (uint64_t rank = 0; rank < 10; ++rank) {
+    top10 += counts[rank];
+  }
+  EXPECT_GT(top10, samples / 10);  // > 10% on the top-10
+  // But the tail is still populated.
+  EXPECT_GT(counts.size(), 3000u);
+}
+
+TEST(ZipfianTest, HigherThetaMoreSkew) {
+  Rng rng(3);
+  auto hottest_share = [&](double theta) {
+    ZipfianSampler sampler(10000, theta);
+    uint64_t hits = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) {
+      hits += (sampler.Next(rng) == 0);
+    }
+    return static_cast<double>(hits) / samples;
+  };
+  EXPECT_GT(hottest_share(0.99), hottest_share(0.5));
+}
+
+TEST(ZipfianTest, LargeFootprintConstructionIsFast) {
+  // Multi-GiB footprints = hundreds of millions of lines; the approximate
+  // zeta must keep construction cheap and sampling sane.
+  ZipfianSampler sampler(50'000'000, 0.9);
+  Rng rng(4);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    max_seen = std::max(max_seen, sampler.Next(rng));
+  }
+  EXPECT_LT(max_seen, 50'000'000u);
+  EXPECT_GT(max_seen, 1'000'000u);  // the tail is reachable
+}
+
+TEST(ZipfianTest, TraceGeneratorAppliesSkew) {
+  // redis-a (zipfian) revisits lines far more than mysql (uniform jumps).
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  const std::vector<VmRegion> regions = {
+      VmRegion{MemoryType::kGuestRam, 0, 3_GiB, 1536_MiB, PageSize::k2M}};
+  auto distinct_lines = [&](const char* name) {
+    WorkloadSpec spec = *FindWorkload(name);
+    spec.accesses = 30000;
+    spec.sequential_locality = 0.0;  // isolate the jump distribution
+    spec.footprint_bytes = 64_MiB;   // small key space makes the skew visible
+    const auto trace = GenerateTrace(spec, decoder, regions, 0, 5);
+    std::set<uint64_t> lines;
+    for (const MemRequest& request : trace) {
+      lines.insert(*decoder.MediaToPhys(request.address) / kCacheLineBytes);
+    }
+    return lines.size();
+  };
+  const size_t zipfian_distinct = distinct_lines("redis-a");
+  const size_t uniform_distinct = distinct_lines("mysql");
+  EXPECT_LT(zipfian_distinct, uniform_distinct * 3 / 4);
+}
+
+TEST(ZipfianTest, DeterministicAcrossInstances) {
+  ZipfianSampler a(5000, 0.8);
+  ZipfianSampler b(5000, 0.8);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(rng_a), b.Next(rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace siloz
