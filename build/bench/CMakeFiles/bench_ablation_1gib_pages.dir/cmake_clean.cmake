@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_1gib_pages.dir/bench_ablation_1gib_pages.cc.o"
+  "CMakeFiles/bench_ablation_1gib_pages.dir/bench_ablation_1gib_pages.cc.o.d"
+  "bench_ablation_1gib_pages"
+  "bench_ablation_1gib_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_1gib_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

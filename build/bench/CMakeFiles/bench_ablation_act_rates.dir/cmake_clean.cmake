@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_act_rates.dir/bench_ablation_act_rates.cc.o"
+  "CMakeFiles/bench_ablation_act_rates.dir/bench_ablation_act_rates.cc.o.d"
+  "bench_ablation_act_rates"
+  "bench_ablation_act_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_act_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ddr5.dir/bench_ablation_ddr5.cc.o"
+  "CMakeFiles/bench_ablation_ddr5.dir/bench_ablation_ddr5.cc.o.d"
+  "bench_ablation_ddr5"
+  "bench_ablation_ddr5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ddr5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

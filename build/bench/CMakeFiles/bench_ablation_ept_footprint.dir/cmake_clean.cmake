@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ept_footprint.dir/bench_ablation_ept_footprint.cc.o"
+  "CMakeFiles/bench_ablation_ept_footprint.dir/bench_ablation_ept_footprint.cc.o.d"
+  "bench_ablation_ept_footprint"
+  "bench_ablation_ept_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ept_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

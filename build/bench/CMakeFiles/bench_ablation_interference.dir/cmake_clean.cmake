@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interference.dir/bench_ablation_interference.cc.o"
+  "CMakeFiles/bench_ablation_interference.dir/bench_ablation_interference.cc.o.d"
+  "bench_ablation_interference"
+  "bench_ablation_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_vulnerable.dir/bench_baseline_vulnerable.cc.o"
+  "CMakeFiles/bench_baseline_vulnerable.dir/bench_baseline_vulnerable.cc.o.d"
+  "bench_baseline_vulnerable"
+  "bench_baseline_vulnerable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_vulnerable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

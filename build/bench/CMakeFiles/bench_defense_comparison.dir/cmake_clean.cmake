@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_comparison.dir/bench_defense_comparison.cc.o"
+  "CMakeFiles/bench_defense_comparison.dir/bench_defense_comparison.cc.o.d"
+  "bench_defense_comparison"
+  "bench_defense_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ept_protection.dir/bench_ept_protection.cc.o"
+  "CMakeFiles/bench_ept_protection.dir/bench_ept_protection.cc.o.d"
+  "bench_ept_protection"
+  "bench_ept_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ept_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ept_protection.
+# This may be replaced when dependencies are built.

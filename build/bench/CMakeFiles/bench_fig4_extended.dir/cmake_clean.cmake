@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_extended.dir/bench_fig4_extended.cc.o"
+  "CMakeFiles/bench_fig4_extended.dir/bench_fig4_extended.cc.o.d"
+  "bench_fig4_extended"
+  "bench_fig4_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

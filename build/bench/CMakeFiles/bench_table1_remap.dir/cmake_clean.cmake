@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_remap.dir/bench_table1_remap.cc.o"
+  "CMakeFiles/bench_table1_remap.dir/bench_table1_remap.cc.o.d"
+  "bench_table1_remap"
+  "bench_table1_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_platform.dir/bench_table2_platform.cc.o"
+  "CMakeFiles/bench_table2_platform.dir/bench_table2_platform.cc.o.d"
+  "bench_table2_platform"
+  "bench_table2_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

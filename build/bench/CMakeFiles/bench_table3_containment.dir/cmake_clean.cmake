@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_containment.dir/bench_table3_containment.cc.o"
+  "CMakeFiles/bench_table3_containment.dir/bench_table3_containment.cc.o.d"
+  "bench_table3_containment"
+  "bench_table3_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

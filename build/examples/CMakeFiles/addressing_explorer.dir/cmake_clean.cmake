@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addressing_explorer.dir/addressing_explorer.cpp.o"
+  "CMakeFiles/addressing_explorer.dir/addressing_explorer.cpp.o.d"
+  "addressing_explorer"
+  "addressing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addressing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_provisioning.dir/operator_provisioning.cpp.o"
+  "CMakeFiles/operator_provisioning.dir/operator_provisioning.cpp.o.d"
+  "operator_provisioning"
+  "operator_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

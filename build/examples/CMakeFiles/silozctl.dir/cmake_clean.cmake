@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silozctl.dir/silozctl.cpp.o"
+  "CMakeFiles/silozctl.dir/silozctl.cpp.o.d"
+  "silozctl"
+  "silozctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silozctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_addr.dir/decoder.cc.o"
+  "CMakeFiles/siloz_addr.dir/decoder.cc.o.d"
+  "CMakeFiles/siloz_addr.dir/subarray_group.cc.o"
+  "CMakeFiles/siloz_addr.dir/subarray_group.cc.o.d"
+  "libsiloz_addr.a"
+  "libsiloz_addr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

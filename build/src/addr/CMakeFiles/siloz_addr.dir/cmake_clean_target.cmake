@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsiloz_addr.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_attack.dir/blacksmith.cc.o"
+  "CMakeFiles/siloz_attack.dir/blacksmith.cc.o.d"
+  "CMakeFiles/siloz_attack.dir/drama.cc.o"
+  "CMakeFiles/siloz_attack.dir/drama.cc.o.d"
+  "libsiloz_attack.a"
+  "libsiloz_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

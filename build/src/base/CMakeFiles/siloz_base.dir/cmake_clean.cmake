@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_base.dir/log.cc.o"
+  "CMakeFiles/siloz_base.dir/log.cc.o.d"
+  "CMakeFiles/siloz_base.dir/result.cc.o"
+  "CMakeFiles/siloz_base.dir/result.cc.o.d"
+  "CMakeFiles/siloz_base.dir/rng.cc.o"
+  "CMakeFiles/siloz_base.dir/rng.cc.o.d"
+  "CMakeFiles/siloz_base.dir/stats.cc.o"
+  "CMakeFiles/siloz_base.dir/stats.cc.o.d"
+  "libsiloz_base.a"
+  "libsiloz_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_defenses.dir/copy_on_flip.cc.o"
+  "CMakeFiles/siloz_defenses.dir/copy_on_flip.cc.o.d"
+  "CMakeFiles/siloz_defenses.dir/soft_trr.cc.o"
+  "CMakeFiles/siloz_defenses.dir/soft_trr.cc.o.d"
+  "CMakeFiles/siloz_defenses.dir/zebram.cc.o"
+  "CMakeFiles/siloz_defenses.dir/zebram.cc.o.d"
+  "libsiloz_defenses.a"
+  "libsiloz_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

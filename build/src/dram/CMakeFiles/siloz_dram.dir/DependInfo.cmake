@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/siloz_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/ecc.cc" "src/dram/CMakeFiles/siloz_dram.dir/ecc.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/ecc.cc.o.d"
+  "/root/repo/src/dram/fault_model.cc" "src/dram/CMakeFiles/siloz_dram.dir/fault_model.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/fault_model.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/siloz_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/remap.cc" "src/dram/CMakeFiles/siloz_dram.dir/remap.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/remap.cc.o.d"
+  "/root/repo/src/dram/trr.cc" "src/dram/CMakeFiles/siloz_dram.dir/trr.cc.o" "gcc" "src/dram/CMakeFiles/siloz_dram.dir/trr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/siloz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_dram.dir/device.cc.o"
+  "CMakeFiles/siloz_dram.dir/device.cc.o.d"
+  "CMakeFiles/siloz_dram.dir/ecc.cc.o"
+  "CMakeFiles/siloz_dram.dir/ecc.cc.o.d"
+  "CMakeFiles/siloz_dram.dir/fault_model.cc.o"
+  "CMakeFiles/siloz_dram.dir/fault_model.cc.o.d"
+  "CMakeFiles/siloz_dram.dir/geometry.cc.o"
+  "CMakeFiles/siloz_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/siloz_dram.dir/remap.cc.o"
+  "CMakeFiles/siloz_dram.dir/remap.cc.o.d"
+  "CMakeFiles/siloz_dram.dir/trr.cc.o"
+  "CMakeFiles/siloz_dram.dir/trr.cc.o.d"
+  "libsiloz_dram.a"
+  "libsiloz_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_ept.dir/ept.cc.o"
+  "CMakeFiles/siloz_ept.dir/ept.cc.o.d"
+  "CMakeFiles/siloz_ept.dir/phys_memory.cc.o"
+  "CMakeFiles/siloz_ept.dir/phys_memory.cc.o.d"
+  "libsiloz_ept.a"
+  "libsiloz_ept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_ept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for siloz_ept.
+# This may be replaced when dependencies are built.

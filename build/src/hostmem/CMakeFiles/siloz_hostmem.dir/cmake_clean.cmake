@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_hostmem.dir/buddy.cc.o"
+  "CMakeFiles/siloz_hostmem.dir/buddy.cc.o.d"
+  "CMakeFiles/siloz_hostmem.dir/cgroup.cc.o"
+  "CMakeFiles/siloz_hostmem.dir/cgroup.cc.o.d"
+  "CMakeFiles/siloz_hostmem.dir/numa.cc.o"
+  "CMakeFiles/siloz_hostmem.dir/numa.cc.o.d"
+  "libsiloz_hostmem.a"
+  "libsiloz_hostmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_hostmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for siloz_hostmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_memctl.dir/act_profile.cc.o"
+  "CMakeFiles/siloz_memctl.dir/act_profile.cc.o.d"
+  "CMakeFiles/siloz_memctl.dir/controller.cc.o"
+  "CMakeFiles/siloz_memctl.dir/controller.cc.o.d"
+  "CMakeFiles/siloz_memctl.dir/engine.cc.o"
+  "CMakeFiles/siloz_memctl.dir/engine.cc.o.d"
+  "libsiloz_memctl.a"
+  "libsiloz_memctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_memctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_core.dir/config.cc.o"
+  "CMakeFiles/siloz_core.dir/config.cc.o.d"
+  "CMakeFiles/siloz_core.dir/hypervisor.cc.o"
+  "CMakeFiles/siloz_core.dir/hypervisor.cc.o.d"
+  "CMakeFiles/siloz_core.dir/mediated_governor.cc.o"
+  "CMakeFiles/siloz_core.dir/mediated_governor.cc.o.d"
+  "CMakeFiles/siloz_core.dir/vm.cc.o"
+  "CMakeFiles/siloz_core.dir/vm.cc.o.d"
+  "libsiloz_core.a"
+  "libsiloz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_sim.dir/colocated.cc.o"
+  "CMakeFiles/siloz_sim.dir/colocated.cc.o.d"
+  "CMakeFiles/siloz_sim.dir/experiment.cc.o"
+  "CMakeFiles/siloz_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/siloz_sim.dir/machine.cc.o"
+  "CMakeFiles/siloz_sim.dir/machine.cc.o.d"
+  "CMakeFiles/siloz_sim.dir/report.cc.o"
+  "CMakeFiles/siloz_sim.dir/report.cc.o.d"
+  "libsiloz_sim.a"
+  "libsiloz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

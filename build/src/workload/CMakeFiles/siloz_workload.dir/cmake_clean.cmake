@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siloz_workload.dir/workloads.cc.o"
+  "CMakeFiles/siloz_workload.dir/workloads.cc.o.d"
+  "libsiloz_workload.a"
+  "libsiloz_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siloz_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_profile_test.dir/act_profile_test.cc.o"
+  "CMakeFiles/act_profile_test.dir/act_profile_test.cc.o.d"
+  "act_profile_test"
+  "act_profile_test.pdb"
+  "act_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blacksmith_test.dir/blacksmith_test.cc.o"
+  "CMakeFiles/blacksmith_test.dir/blacksmith_test.cc.o.d"
+  "blacksmith_test"
+  "blacksmith_test.pdb"
+  "blacksmith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blacksmith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

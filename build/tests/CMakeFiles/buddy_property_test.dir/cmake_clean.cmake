@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buddy_property_test.dir/buddy_property_test.cc.o"
+  "CMakeFiles/buddy_property_test.dir/buddy_property_test.cc.o.d"
+  "buddy_property_test"
+  "buddy_property_test.pdb"
+  "buddy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buddy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

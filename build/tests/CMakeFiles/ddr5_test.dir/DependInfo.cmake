@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ddr5_test.cc" "tests/CMakeFiles/ddr5_test.dir/ddr5_test.cc.o" "gcc" "tests/CMakeFiles/ddr5_test.dir/ddr5_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/siloz/CMakeFiles/siloz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/siloz_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmem/CMakeFiles/siloz_hostmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/addr/CMakeFiles/siloz_addr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ept/CMakeFiles/siloz_ept.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/siloz_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

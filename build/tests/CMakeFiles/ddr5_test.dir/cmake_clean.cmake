@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr5_test.dir/ddr5_test.cc.o"
+  "CMakeFiles/ddr5_test.dir/ddr5_test.cc.o.d"
+  "ddr5_test"
+  "ddr5_test.pdb"
+  "ddr5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defenses_test.dir/defenses_test.cc.o"
+  "CMakeFiles/defenses_test.dir/defenses_test.cc.o.d"
+  "defenses_test"
+  "defenses_test.pdb"
+  "defenses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defenses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drama_test.dir/drama_test.cc.o"
+  "CMakeFiles/drama_test.dir/drama_test.cc.o.d"
+  "drama_test"
+  "drama_test.pdb"
+  "drama_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drama_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ept_test.dir/ept_test.cc.o"
+  "CMakeFiles/ept_test.dir/ept_test.cc.o.d"
+  "ept_test"
+  "ept_test.pdb"
+  "ept_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ept_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostmem_test.dir/hostmem_test.cc.o"
+  "CMakeFiles/hostmem_test.dir/hostmem_test.cc.o.d"
+  "hostmem_test"
+  "hostmem_test.pdb"
+  "hostmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypervisor_stress_test.dir/hypervisor_stress_test.cc.o"
+  "CMakeFiles/hypervisor_stress_test.dir/hypervisor_stress_test.cc.o.d"
+  "hypervisor_stress_test"
+  "hypervisor_stress_test.pdb"
+  "hypervisor_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypervisor_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passthrough_test.dir/passthrough_test.cc.o"
+  "CMakeFiles/passthrough_test.dir/passthrough_test.cc.o.d"
+  "passthrough_test"
+  "passthrough_test.pdb"
+  "passthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

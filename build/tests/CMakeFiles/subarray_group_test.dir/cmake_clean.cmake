@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subarray_group_test.dir/subarray_group_test.cc.o"
+  "CMakeFiles/subarray_group_test.dir/subarray_group_test.cc.o.d"
+  "subarray_group_test"
+  "subarray_group_test.pdb"
+  "subarray_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subarray_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
