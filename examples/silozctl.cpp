@@ -4,7 +4,7 @@
 // Usage:
 //   silozctl topology [--snc] [--ddr5] [--subarray-rows N]
 //   silozctl attack   [--baseline] [--patterns N] [--seed N]
-//   silozctl audit    [--flip-ept]
+//   silozctl audit    [--flip-ept] [--stride BYTES] [--json]
 //   silozctl groupof  <phys-address>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/attack/blacksmith.h"
+#include "src/audit/auditor.h"
 #include "src/base/units.h"
 #include "src/ept/phys_memory.h"
 #include "src/sim/machine.h"
@@ -137,9 +138,24 @@ int CmdAudit(int argc, char** argv) {
     memory.FlipBit(tenant.ept()->table_pages().back() + 4, 2);
     std::printf("injected a bit flip into an EPT table page\n");
   }
+
+  // Static pass first: prove the boot-time plan upholds the four isolation
+  // invariants, then check this VM's live EPT bytes against it.
+  audit::Options options;
+  options.probe_stride = FlagValue(argc, argv, "--stride", 4_MiB);
+  options.random_probes = 512;
+  audit::Auditor auditor(hypervisor, RemapConfig{}, options);
+  audit::Report report = auditor.Run();
+  auditor.CheckVmContainment(**hypervisor.GetVm(vm), report);
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+  }
+
   const Status audit = hypervisor.AuditVmIsolation(vm);
-  std::printf("audit: %s\n", audit.ok() ? "PASS" : audit.error().ToString().c_str());
-  return audit.ok() ? 0 : 2;
+  std::printf("EPT walk audit: %s\n", audit.ok() ? "PASS" : audit.error().ToString().c_str());
+  return (audit.ok() && report.ok()) ? 0 : 2;
 }
 
 int CmdGroupOf(int argc, char** argv) {
@@ -171,7 +187,7 @@ int main(int argc, char** argv) {
                  "usage: silozctl <command>\n"
                  "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
                  "  attack   [--baseline] [--patterns N] [--seed N]\n"
-                 "  audit    [--flip-ept]\n"
+                 "  audit    [--flip-ept] [--stride BYTES] [--json]\n"
                  "  groupof  <phys-address>\n");
     return 1;
   }

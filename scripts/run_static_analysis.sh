@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Static-analysis and sanitizer gate, runnable locally and from CI.
+#
+#   scripts/run_static_analysis.sh [--skip-sanitizers] [--skip-tidy]
+#
+# Stages:
+#   1. Plain build + full test suite (tier-1 gate).
+#   2. Static isolation audit of the default platform (siloz_audit must
+#      report zero findings) plus smoke checks that the corrupted-config
+#      modes DO produce findings.
+#   3. clang-tidy over src/ using the exported compilation database
+#      (skipped with a notice when clang-tidy is not installed).
+#   4. ASan+UBSan build + full test suite (sanitizer reports are fatal).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_SANITIZERS=0
+SKIP_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    --skip-tidy) SKIP_TIDY=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 1 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== [1/4] build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "=== [2/4] static isolation audit ==="
+./build/tools/siloz_audit --stride 0x100000
+# The audit must also FAIL when it should: each corruption class yields
+# findings for its invariant (exit code 2).
+for corrupt in shifted-jump broken-inverse; do
+  if ./build/tools/siloz_audit --stride 0x1000000 --random-probes 64 \
+      --corrupt "$corrupt" >/dev/null; then
+    echo "ERROR: audit passed a ${corrupt}-corrupted decoder" >&2
+    exit 1
+  fi
+done
+if ./build/tools/siloz_audit --stride 0x1000000 --random-probes 64 \
+    --ept-block 2 --ept-offset 1 >/dev/null; then
+  echo "ERROR: audit passed an undersized guard band" >&2
+  exit 1
+fi
+
+echo "=== [3/4] clang-tidy ==="
+if [ "$SKIP_TIDY" = 1 ]; then
+  echo "skipped (--skip-tidy)"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet "src/.*" || exit 1
+  else
+    find src -name '*.cc' -print0 |
+      xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet || exit 1
+  fi
+else
+  echo "clang-tidy not installed; skipping (checks still apply in CI)"
+fi
+
+echo "=== [4/4] sanitizers (ASan+UBSan) ==="
+if [ "$SKIP_SANITIZERS" = 1 ]; then
+  echo "skipped (--skip-sanitizers)"
+else
+  cmake -B build-asan -S . -DSILOZ_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure
+  ./build-asan/tools/siloz_audit --stride 0x1000000 --random-probes 256
+fi
+
+echo "=== all static analysis stages passed ==="

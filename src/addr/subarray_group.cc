@@ -66,6 +66,18 @@ Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
   return map;
 }
 
+Result<uint32_t> SubarrayGroupMap::GroupAt(uint32_t socket, uint32_t cluster,
+                                           uint32_t index_in_cluster) const {
+  if (socket >= sockets_ || cluster >= clusters_per_socket_ ||
+      index_in_cluster >= groups_per_cluster_) {
+    return MakeError(ErrorCode::kOutOfRange,
+                     "no group (socket " + std::to_string(socket) + ", cluster " +
+                         std::to_string(cluster) + ", subarray " +
+                         std::to_string(index_in_cluster) + ")");
+  }
+  return (socket * clusters_per_socket_ + cluster) * groups_per_cluster_ + index_in_cluster;
+}
+
 Result<uint32_t> SubarrayGroupMap::GroupOfPhys(uint64_t phys) const {
   Result<MediaAddress> media = decoder_->PhysToMedia(phys);
   SILOZ_RETURN_IF_ERROR(media);

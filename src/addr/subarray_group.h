@@ -55,6 +55,10 @@ class SubarrayGroupMap {
   //   (socket * clusters + cluster) * groups_per_cluster + subarray index.
   Result<uint32_t> GroupOfPhys(uint64_t phys) const;
 
+  // Global group id from decomposed coordinates (the inverse of
+  // SocketOfGroup/ClusterOfGroup/IndexInCluster).
+  Result<uint32_t> GroupAt(uint32_t socket, uint32_t cluster, uint32_t index_in_cluster) const;
+
   // Physical extents of a group, ascending and non-overlapping.
   const std::vector<PhysRange>& RangesOf(uint32_t group) const;
 

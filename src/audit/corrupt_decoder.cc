@@ -1,0 +1,59 @@
+#include "src/audit/corrupt_decoder.h"
+
+#include "src/base/check.h"
+#include "src/base/units.h"
+
+namespace siloz::audit {
+
+const char* CorruptionName(Corruption corruption) {
+  switch (corruption) {
+    case Corruption::kShiftedJump:
+      return "shifted-jump";
+    case Corruption::kBrokenInverse:
+      return "broken-inverse";
+  }
+  return "unknown";
+}
+
+CorruptedDecoder::CorruptedDecoder(const AddressDecoder& inner, Corruption corruption,
+                                   uint64_t region_bytes)
+    : inner_(inner), corruption_(corruption), region_bytes_(region_bytes) {
+  SILOZ_CHECK_GT(region_bytes_, 0u);
+  SILOZ_CHECK_EQ(inner_.geometry().socket_bytes() % region_bytes_, 0u)
+      << "mapping-jump period must divide the socket";
+}
+
+Result<MediaAddress> CorruptedDecoder::PhysToMedia(uint64_t phys) const {
+  if (corruption_ == Corruption::kBrokenInverse) {
+    return inner_.PhysToMedia(phys);
+  }
+  // kShiftedJump: the machine placed every jump one region early, i.e. the
+  // socket's layout is rotated by one region relative to the intact map.
+  const uint64_t socket_bytes = inner_.geometry().socket_bytes();
+  if (phys >= inner_.geometry().total_bytes()) {
+    return inner_.PhysToMedia(phys);  // let the inner decoder report the error
+  }
+  const uint64_t socket_base = phys - (phys % socket_bytes);
+  const uint64_t rotated = (phys - socket_base + region_bytes_) % socket_bytes;
+  return inner_.PhysToMedia(socket_base + rotated);
+}
+
+Result<uint64_t> CorruptedDecoder::MediaToPhys(const MediaAddress& media) const {
+  Result<uint64_t> phys = inner_.MediaToPhys(media);
+  SILOZ_RETURN_IF_ERROR(phys);
+  if (corruption_ == Corruption::kBrokenInverse) {
+    // Off by one 4 KiB page: the inverse disagrees with the forward map, but
+    // stays inside the physical space (total bytes is a multiple of 8 KiB).
+    return *phys ^ kPage4K;
+  }
+  const uint64_t socket_bytes = inner_.geometry().socket_bytes();
+  const uint64_t socket_base = *phys - (*phys % socket_bytes);
+  const uint64_t rotated = (*phys - socket_base + socket_bytes - region_bytes_) % socket_bytes;
+  return socket_base + rotated;
+}
+
+std::string CorruptedDecoder::name() const {
+  return inner_.name() + "+" + CorruptionName(corruption_);
+}
+
+}  // namespace siloz::audit

@@ -1,0 +1,55 @@
+// Deliberately wrong decoders for exercising the static audit.
+//
+// The auditor's value is that it *fails* on a machine whose real
+// physical-to-media mapping deviates from what Siloz assumed at boot. These
+// wrappers inject the two deviation classes the negative tests need:
+//
+//  - kShiftedJump: every mapping jump lands one 768 MiB region early — the
+//    physical offset within each socket is rotated by one region, so half of
+//    all pages silently belong to the neighbouring subarray group. Still a
+//    bijection: invariant 1 passes, invariant 2 (domain closure) fails.
+//  - kBrokenInverse: the forward map is correct but the inverse (the
+//    direction §5.3's translation drivers provide) disagrees by one 4 KiB
+//    page. Invariant 1 (invertibility) fails.
+#ifndef SILOZ_SRC_AUDIT_CORRUPT_DECODER_H_
+#define SILOZ_SRC_AUDIT_CORRUPT_DECODER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/addr/decoder.h"
+
+namespace siloz::audit {
+
+enum class Corruption : uint8_t {
+  kShiftedJump,    // rotate each socket's layout by one mapping-jump region
+  kBrokenInverse,  // MediaToPhys returns a different page than PhysToMedia
+};
+
+const char* CorruptionName(Corruption corruption);
+
+// Wraps an intact decoder and misdecodes per `corruption`. The wrapper keeps
+// the inner decoder's geometry and clustering, so it can stand in anywhere an
+// AddressDecoder is expected.
+class CorruptedDecoder final : public AddressDecoder {
+ public:
+  // `region_bytes` is the mapping-jump period to shift by (kShiftedJump);
+  // SkylakeDecoder::region_bytes() for the platform being modelled.
+  CorruptedDecoder(const AddressDecoder& inner, Corruption corruption, uint64_t region_bytes);
+
+  const DramGeometry& geometry() const override { return inner_.geometry(); }
+  Result<MediaAddress> PhysToMedia(uint64_t phys) const override;
+  Result<uint64_t> MediaToPhys(const MediaAddress& media) const override;
+  uint32_t clusters_per_socket() const override { return inner_.clusters_per_socket(); }
+  uint32_t ClusterOf(const MediaAddress& media) const override { return inner_.ClusterOf(media); }
+  std::string name() const override;
+
+ private:
+  const AddressDecoder& inner_;
+  Corruption corruption_;
+  uint64_t region_bytes_;
+};
+
+}  // namespace siloz::audit
+
+#endif  // SILOZ_SRC_AUDIT_CORRUPT_DECODER_H_

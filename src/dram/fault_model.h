@@ -48,6 +48,14 @@ struct DisturbanceProfile {
   uint64_t seed = 0x51102;
 };
 
+// Maximum internal-row distance over which a profile's disturbance reaches a
+// victim. Guard bands and the static isolation audit must fence at least this
+// many rows; keeping it derived from the profile ties them to the same
+// physics the dynamic model applies.
+inline constexpr uint32_t BlastRadiusRows(const DisturbanceProfile& profile) {
+  return profile.distance2_factor > 0.0 ? 2 : 1;
+}
+
 // A flip in internal coordinates: bit index within one half-row (the device
 // maps it back to a media row + byte).
 struct InternalFlip {

@@ -126,6 +126,45 @@ Status ExtendedPageTable::Map(uint64_t gpa, uint64_t hpa, PageSize size) {
   return Status::Ok();
 }
 
+Status ExtendedPageTable::VisitLeafMappings(
+    const std::function<void(const LeafMapping&)>& visit) const {
+  // Depth-first over the 4-level radix tree. GPA bits accumulate per level;
+  // 512 entries per table keeps the explicit stack tiny.
+  struct Frame {
+    uint64_t table;
+    uint64_t gpa_base;
+    uint32_t level;
+    uint32_t index;
+  };
+  std::vector<Frame> stack{{root_, 0, 0, 0}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.index == 0 && secure_) {
+      SILOZ_RETURN_IF_ERROR(VerifyChecksum(frame.table));
+    }
+    if (frame.index == 512) {
+      stack.pop_back();
+      continue;
+    }
+    const uint32_t index = frame.index++;
+    const unsigned shift = 39 - 9 * frame.level;
+    const uint64_t gpa = frame.gpa_base + (static_cast<uint64_t>(index) << shift);
+    const uint64_t entry = memory_.ReadU64(frame.table + index * 8);
+    if ((entry & kEptPresent) == 0) {
+      continue;
+    }
+    const bool is_leaf = frame.level == 3 || (entry & kEptLargePage) != 0;
+    if (is_leaf) {
+      const PageSize size =
+          frame.level == 3 ? PageSize::k4K : (frame.level == 2 ? PageSize::k2M : PageSize::k1G);
+      visit(LeafMapping{gpa, entry & kEptFrameMask, size});
+      continue;
+    }
+    stack.push_back(Frame{entry & kEptFrameMask, gpa, frame.level + 1, 0});
+  }
+  return Status::Ok();
+}
+
 Result<uint64_t> ExtendedPageTable::Translate(uint64_t gpa) const {
   uint64_t table = root_;
   for (uint32_t level = 0; level < 4; ++level) {

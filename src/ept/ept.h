@@ -60,6 +60,22 @@ class ExtendedPageTable {
   // first; a mismatch returns kIntegrityViolation (detected corruption).
   Result<uint64_t> Translate(uint64_t gpa) const;
 
+  // One present leaf mapping as found by walking the table bytes in memory.
+  struct LeafMapping {
+    uint64_t gpa = 0;
+    uint64_t hpa = 0;
+    PageSize size = PageSize::k4K;
+  };
+
+  // Enumerates every present leaf mapping by exhaustively walking the table
+  // pages (reading entries from physical memory, like Translate does), in
+  // ascending GPA order. This reports what the table *bytes* currently say —
+  // a hammered entry shows up with its corrupted HPA — which is what the
+  // static isolation audit needs to verify containment. In secure mode each
+  // visited table page's checksum is verified; the first failure aborts the
+  // walk and is returned.
+  Status VisitLeafMappings(const std::function<void(const LeafMapping&)>& visit) const;
+
   uint64_t root_hpa() const { return root_; }
   // HPAs of all table pages (root included): the working set §5.4 bounds.
   const std::vector<uint64_t>& table_pages() const { return table_pages_; }

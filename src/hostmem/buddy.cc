@@ -130,6 +130,7 @@ Status BuddyAllocator::OfflinePage(uint64_t phys) {
   free_bytes_ -= OrderBytes(0);
   offlined_bytes_ += OrderBytes(0);
   total_bytes_ -= OrderBytes(0);
+  offlined_.insert(phys);
   return Status::Ok();
 }
 
@@ -149,6 +150,10 @@ bool BuddyAllocator::IsFree(uint64_t phys) const {
     }
   }
   return false;
+}
+
+bool BuddyAllocator::IsOfflined(uint64_t phys) const {
+  return offlined_.count(AlignDown(phys, OrderBytes(0))) != 0;
 }
 
 }  // namespace siloz

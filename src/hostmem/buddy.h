@@ -55,6 +55,12 @@ class BuddyAllocator {
   // True if `phys` lies within a currently-free block (diagnostics/tests).
   bool IsFree(uint64_t phys) const;
 
+  // True if the 4 KiB page holding `phys` was permanently removed via
+  // OfflinePage. Distinguishes guard/quarantine carve-outs from allocated
+  // pages — the static isolation audit relies on this to tell fence rows
+  // apart from hammerable memory.
+  bool IsOfflined(uint64_t phys) const;
+
  private:
   // Splits blocks until a free block of exactly `order` containing `phys`
   // exists; returns false if `phys` is not inside any free block of order
@@ -65,6 +71,8 @@ class BuddyAllocator {
 
   // free_[order] holds the start addresses of free blocks of that order.
   std::vector<std::unordered_set<uint64_t>> free_;
+  // Pages removed by OfflinePage (4 KiB starts).
+  std::unordered_set<uint64_t> offlined_;
   uint64_t free_bytes_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t offlined_bytes_ = 0;

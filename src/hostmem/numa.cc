@@ -59,6 +59,15 @@ std::vector<NumaNode*> NodeRegistry::NodesOnSocket(uint32_t socket) {
   return result;
 }
 
+std::vector<const NumaNode*> NodeRegistry::AllNodes() const {
+  std::vector<const NumaNode*> result;
+  result.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    result.push_back(node.get());
+  }
+  return result;
+}
+
 uint64_t NodeRegistry::StatSweepNodeCount(bool siloz_skip_static_nodes) const {
   uint64_t count = 0;
   for (const auto& node : nodes_) {

@@ -71,6 +71,8 @@ class NodeRegistry {
   size_t node_count() const { return nodes_.size(); }
   std::vector<NumaNode*> NodesOfKind(NodeKind kind);
   std::vector<NumaNode*> NodesOnSocket(uint32_t socket);
+  // Read-only view of every node, for introspection (e.g. the static audit).
+  std::vector<const NumaNode*> AllNodes() const;
 
   // Models the periodic kernel work that scales with node count (vmstat
   // updates, zone iteration): returns the number of nodes a sweep touches.

@@ -193,6 +193,13 @@ Result<PhysRange> SilozHypervisor::RowGroupExtent(uint32_t socket, uint32_t clus
   return MakeError(ErrorCode::kNotFound, "row group not found in group extents");
 }
 
+Result<uint32_t> SilozHypervisor::NodeOfGroup(uint32_t group) const {
+  if (group >= node_of_group_.size()) {
+    return MakeError(ErrorCode::kOutOfRange, "no group " + std::to_string(group));
+  }
+  return node_of_group_[group];
+}
+
 Result<NumaNode*> SilozHypervisor::NodeFor(uint32_t group) {
   if (group >= node_of_group_.size()) {
     return MakeError(ErrorCode::kOutOfRange, "no group " + std::to_string(group));

@@ -109,7 +109,10 @@ class SilozHypervisor {
   // --- Introspection for experiments ---
 
   const SilozConfig& config() const { return config_; }
+  bool booted() const { return booted_; }
   const SubarrayGroupMap& group_map() const { return *group_map_; }
+  // Logical node owning a global subarray group id (Siloz mode only).
+  Result<uint32_t> NodeOfGroup(uint32_t group) const;
   NodeRegistry& nodes() { return nodes_; }
   const NodeRegistry& nodes() const { return nodes_; }
   CgroupRegistry& cgroups() { return cgroups_; }

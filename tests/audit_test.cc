@@ -1,0 +1,332 @@
+// Tests for the static isolation-domain analyzer (src/audit).
+//
+// The positive case proves all four invariants on the paper's dual-socket
+// evaluation platform; the negative cases corrupt one layer each (decoder
+// mapping jump, decoder inverse, guard-band geometry, presumed subarray
+// size) and require the auditor to produce findings with correct decoded
+// coordinates for exactly the violated invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/addr/decoder.h"
+#include "src/audit/auditor.h"
+#include "src/audit/corrupt_decoder.h"
+#include "src/base/units.h"
+#include "src/dram/remap.h"
+#include "src/ept/phys_memory.h"
+#include "src/siloz/hypervisor.h"
+
+namespace siloz {
+namespace {
+
+using audit::Auditor;
+using audit::CorruptedDecoder;
+using audit::Corruption;
+using audit::Finding;
+using audit::Invariant;
+using audit::Options;
+using audit::Report;
+
+// Fast-but-representative probing for unit tests: every pass still runs, the
+// physical sweeps just stride coarsely.
+Options TestOptions() {
+  Options options;
+  options.probe_stride = 16_MiB;
+  options.random_probes = 256;
+  return options;
+}
+
+uint64_t Violations(const Report& report, Invariant invariant) {
+  return report.StatsFor(invariant).violations;
+}
+
+std::vector<Finding> FindingsOf(const Report& report, Invariant invariant) {
+  std::vector<Finding> result;
+  for (const Finding& finding : report.findings) {
+    if (finding.invariant == invariant) {
+      result.push_back(finding);
+    }
+  }
+  return result;
+}
+
+TEST(AuditorTest, DefaultPlatformUpholdsAllInvariants) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  Result<Report> report = audit::AuditPlatform(decoder, SilozConfig{}, RemapConfig{},
+                                               TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+  // Every invariant must actually have run and probed something.
+  for (Invariant invariant :
+       {Invariant::kDecoderInvertibility, Invariant::kDomainClosure, Invariant::kGuardFencing,
+        Invariant::kBlastRadius}) {
+    EXPECT_TRUE(report->StatsFor(invariant).ran);
+    EXPECT_GT(report->StatsFor(invariant).probes, 0u);
+  }
+}
+
+TEST(AuditorTest, SncPlatformUpholdsAllInvariants) {
+  DramGeometry geometry;
+  SncDecoder decoder(geometry, 2);
+  Result<Report> report = audit::AuditPlatform(decoder, SilozConfig{}, RemapConfig{},
+                                               TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+}
+
+TEST(AuditorTest, Ddr5PlatformUpholdsAllInvariants) {
+  DramGeometry geometry = Ddr5Geometry();
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.uniform_internal_addressing = true;
+  Result<Report> report =
+      audit::AuditPlatform(decoder, config, Ddr5RemapConfig(), TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+}
+
+TEST(AuditorTest, VendorScramblingStillUpholdsInvariants) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  RemapConfig remap;
+  remap.vendor_scrambling = true;
+  Result<Report> report = audit::AuditPlatform(decoder, SilozConfig{}, remap, TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+}
+
+TEST(AuditorTest, BaselineModeIsRejected) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.enabled = false;
+  Result<Report> report = audit::AuditPlatform(decoder, config, RemapConfig{}, TestOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kInvalidArgument);
+}
+
+// Negative case 1a: the machine's mapping jumps land one region off from
+// what the hypervisor assumed at boot. Still a bijection, so invertibility
+// holds — but half of all pages decode into the neighbouring subarray group,
+// which domain closure must catch.
+TEST(AuditorTest, ShiftedMappingJumpBreaksDomainClosure) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  CorruptedDecoder truth(decoder, Corruption::kShiftedJump, decoder.region_bytes());
+  Result<Report> report = audit::AuditProvisioningPlan(decoder, truth, SilozConfig{},
+                                                       RemapConfig{}, TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_FALSE(report->ok());
+  EXPECT_EQ(Violations(*report, Invariant::kDecoderInvertibility), 0u);
+  EXPECT_GT(Violations(*report, Invariant::kDomainClosure), 0u);
+
+  // Verify the finding's decoded coordinates against the corrupted truth:
+  // the reported media address must be what the "real machine" serves at the
+  // reported physical address, and its subarray must disagree with the one
+  // the provisioning plan assumed (the intact decoder's view).
+  const std::vector<Finding> findings = FindingsOf(*report, Invariant::kDomainClosure);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    const MediaAddress real = *truth.PhysToMedia(finding.phys);
+    EXPECT_EQ(real, finding.media) << finding.ToString();
+    const MediaAddress assumed = *decoder.PhysToMedia(finding.phys);
+    EXPECT_NE(SubarrayOfRow(geometry, assumed.row), SubarrayOfRow(geometry, real.row))
+        << finding.ToString();
+  }
+}
+
+// Negative case 1b: the forward map is fine but the inverse is off by one
+// page — invertibility must fail, pinned to the exact mismatching address.
+TEST(AuditorTest, BrokenInverseBreaksInvertibility) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  CorruptedDecoder truth(decoder, Corruption::kBrokenInverse, decoder.region_bytes());
+  Result<Report> report = audit::AuditProvisioningPlan(decoder, truth, SilozConfig{},
+                                                       RemapConfig{}, TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_FALSE(report->ok());
+  EXPECT_GT(Violations(*report, Invariant::kDecoderInvertibility), 0u);
+
+  const std::vector<Finding> findings = FindingsOf(*report, Invariant::kDecoderInvertibility);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    // The decoded coordinates must genuinely round-trip to a different page.
+    const Result<MediaAddress> media = truth.PhysToMedia(finding.phys);
+    if (media.ok()) {
+      EXPECT_NE(*truth.MediaToPhys(*media), finding.phys) << finding.ToString();
+    }
+  }
+}
+
+// Negative case 2: a guard band of one row cannot absorb a distance-2 blast
+// radius — guard fencing must fail on rows adjacent to the EPT row.
+TEST(AuditorTest, UndersizedGuardBandBreaksGuardFencing) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.ept_block_row_groups = 2;
+  config.ept_row_group_offset = 1;
+  Result<Report> report = audit::AuditPlatform(decoder, config, RemapConfig{}, TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_FALSE(report->ok());
+  EXPECT_GT(Violations(*report, Invariant::kGuardFencing), 0u);
+  // The shrunken guard band is a fencing defect, not a decoding one.
+  EXPECT_EQ(Violations(*report, Invariant::kDecoderInvertibility), 0u);
+  EXPECT_EQ(Violations(*report, Invariant::kDomainClosure), 0u);
+
+  // Each finding must name an allocatable row within blast radius of the EPT
+  // row in internal space.
+  const std::vector<Finding> findings = FindingsOf(*report, Invariant::kGuardFencing);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    const MediaAddress media = *decoder.PhysToMedia(finding.phys);
+    EXPECT_EQ(media, finding.media) << finding.ToString();
+    RowRemapper remapper(geometry, RemapConfig{});
+    // The reported internal row is a genuine neighbour of the reported
+    // media row's internal image on at least one rank/side.
+    bool adjacent = false;
+    for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+      for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+        const uint32_t internal = remapper.ToInternal(media.row, rank, media.bank, side);
+        adjacent |= internal == finding.internal_row;
+      }
+    }
+    EXPECT_TRUE(adjacent) << finding.ToString();
+  }
+}
+
+// Negative case 3: Siloz booted believing subarrays have 512 rows, but the
+// silicon uses 1024 — domains tile at half the true subarray size, so
+// disturbance crosses logical-node boundaries inside one silicon subarray.
+TEST(AuditorTest, WrongPresumedSubarraySizeBreaksBlastRadius) {
+  DramGeometry geometry;
+  geometry.rows_per_subarray = 512;
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.rows_per_subarray = 512;
+  Options options = TestOptions();
+  options.silicon_rows_per_subarray = 1024;
+  Result<Report> report = audit::AuditPlatform(decoder, config, RemapConfig{}, options);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_FALSE(report->ok());
+  EXPECT_GT(Violations(*report, Invariant::kBlastRadius), 0u);
+  // The plan itself is consistent at the presumed size.
+  EXPECT_EQ(Violations(*report, Invariant::kDomainClosure), 0u);
+  EXPECT_EQ(Violations(*report, Invariant::kDecoderInvertibility), 0u);
+
+  // Findings sit at a 512-row domain boundary interior to a 1024-row silicon
+  // subarray: the neighbour's presumed group differs from the row's.
+  const std::vector<Finding> findings = FindingsOf(*report, Invariant::kBlastRadius);
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    EXPECT_NE(finding.group, Finding::kNoGroup);
+    // Internal neighbour distance is within the blast radius of the
+    // reported row's internal image inside the true silicon subarray.
+    EXPECT_EQ(finding.internal_row / 1024,
+              RowRemapper(geometry, RemapConfig{})
+                      .ToInternal(finding.media.row, finding.media.rank, finding.media.bank,
+                                  HalfRowSide::kA) /
+                  1024)
+        << finding.ToString();
+  }
+}
+
+// And the same misconfiguration in the other direction is safe: presuming
+// 1024-row subarrays on 512-row silicon over-isolates but never leaks.
+TEST(AuditorTest, OverestimatedSubarraySizeStillContains) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  Options options = TestOptions();
+  options.silicon_rows_per_subarray = 512;
+  Result<Report> report = audit::AuditPlatform(decoder, SilozConfig{}, RemapConfig{}, options);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+}
+
+TEST(AuditorTest, SecureEptModeSkipsGuardFencing) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.ept_protection = EptProtection::kSecureEpt;
+  Result<Report> report = audit::AuditPlatform(decoder, config, RemapConfig{}, TestOptions());
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+  EXPECT_FALSE(report->StatsFor(Invariant::kGuardFencing).ran);
+  EXPECT_NE(report->ToText().find("skipped"), std::string::npos);
+}
+
+// --- Live-VM containment pass ---
+
+TEST(AuditorTest, VmContainmentPassesForHealthyVm) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(decoder, memory, SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  const VmId vm = *hypervisor.CreateVm({.name = "tenant", .memory_bytes = 3_GiB});
+
+  Auditor auditor(hypervisor, RemapConfig{}, TestOptions());
+  Report report;
+  auditor.CheckVmContainment(**hypervisor.GetVm(vm), report);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_GT(report.StatsFor(Invariant::kDomainClosure).probes, 0u);
+}
+
+TEST(AuditorTest, VmContainmentCatchesHammeredPte) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  FlatPhysMemory memory;
+  SilozHypervisor hypervisor(decoder, memory, SilozConfig{});
+  ASSERT_TRUE(hypervisor.Boot().ok());
+  const VmId vm = *hypervisor.CreateVm({.name = "tenant", .memory_bytes = 3_GiB});
+  Vm& tenant = **hypervisor.GetVm(vm);
+  // Flip a frame bit in a leaf PTE, as a successful Rowhammer attack would.
+  memory.FlipBit(tenant.ept()->table_pages().back() + 4, 2);
+
+  Auditor auditor(hypervisor, RemapConfig{}, TestOptions());
+  Report report;
+  auditor.CheckVmContainment(tenant, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(Violations(report, Invariant::kDomainClosure), 0u);
+}
+
+// --- Report formatting ---
+
+TEST(ReportTest, TextAndJsonRoundTripKeyFacts) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SilozConfig config;
+  config.ept_block_row_groups = 2;
+  config.ept_row_group_offset = 1;
+  Result<Report> report = audit::AuditPlatform(decoder, config, RemapConfig{}, TestOptions());
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("guard-fencing"), std::string::npos);
+  const std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"invariant\":\"guard-fencing\""), std::string::npos);
+  // Balanced braces as a cheap structural sanity check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ReportTest, FindingCapSuppressesButCounts) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  CorruptedDecoder truth(decoder, Corruption::kBrokenInverse, decoder.region_bytes());
+  Options options = TestOptions();
+  options.max_findings_per_invariant = 3;
+  Result<Report> report =
+      audit::AuditProvisioningPlan(decoder, truth, SilozConfig{}, RemapConfig{}, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(FindingsOf(*report, Invariant::kDecoderInvertibility).size(), 3u);
+  EXPECT_GT(report->suppressed, 0u);
+  EXPECT_GT(Violations(*report, Invariant::kDecoderInvertibility), 3u);
+}
+
+}  // namespace
+}  // namespace siloz

@@ -1,10 +1,11 @@
-// Unit tests for src/base: Result, Rng, stats, bitops, units.
+// Unit tests for src/base: Result, Rng, stats, bitops, units, CHECK macros.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 
 #include "src/base/bitops.h"
+#include "src/base/check.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
@@ -59,6 +60,48 @@ TEST(ErrorCodeTest, AllCodesHaveNames) {
                          ErrorCode::kIntegrityViolation, ErrorCode::kUnsupported}) {
     EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
   }
+}
+
+// --- CHECK macros ---
+//
+// Death tests: the macros must abort with the failing expression, source
+// location, and any streamed detail — that message is the only diagnostic an
+// operator gets from a tripped invariant.
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAbortsWithExpressionAndDetail) {
+  EXPECT_DEATH(SILOZ_CHECK(1 == 2) << "boom " << 42,
+               "CHECK failed at .*base_test.*: 1 == 2 — boom 42");
+}
+
+TEST(CheckDeathTest, PassingCheckDoesNotEvaluateSink) {
+  bool streamed = false;
+  auto side_effect = [&streamed]() {
+    streamed = true;
+    return "detail";
+  };
+  SILOZ_CHECK(true) << side_effect();
+  EXPECT_FALSE(streamed);
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportBothOperands) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(SILOZ_CHECK_EQ(lhs, rhs), "\\(lhs\\) == \\(rhs\\)");
+  EXPECT_DEATH(SILOZ_CHECK_GT(lhs, rhs), "\\(lhs\\) > \\(rhs\\)");
+  SILOZ_CHECK_LT(lhs, rhs);  // passing comparisons are silent
+  SILOZ_CHECK_NE(lhs, rhs);
+}
+
+TEST(CheckDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r = ParsePositive(-3);
+  EXPECT_DEATH((void)r.value(), "CHECK failed.*not positive");
+}
+
+TEST(CheckDeathTest, StatusErrorOnOkAborts) {
+  Status ok = Status::Ok();
+  EXPECT_DEATH((void)ok.error(), "CHECK failed");
 }
 
 // --- Rng ---

@@ -1,0 +1,195 @@
+// siloz_audit: stand-alone static isolation-domain analyzer.
+//
+// Proves the four Siloz isolation invariants (decoder invertibility, domain
+// closure, guard fencing, blast-radius containment) for a machine
+// configuration without running any workload. Exit codes: 0 = all invariants
+// hold, 2 = findings, 1 = usage/boot error. CI runs this on the default
+// dual-socket Skylake platform and fails on any finding.
+//
+// Usage:
+//   siloz_audit [--decoder skylake|snc2|linear] [--ddr5]
+//               [--subarray-rows N] [--silicon-rows N] [--host-groups N]
+//               [--ept-block N] [--ept-offset N] [--stride BYTES]
+//               [--random-probes N] [--exhaustive] [--max-findings N]
+//               [--corrupt none|shifted-jump|broken-inverse]
+//               [--scrambling] [--json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/addr/decoder.h"
+#include "src/audit/auditor.h"
+#include "src/audit/corrupt_decoder.h"
+#include "src/dram/remap.h"
+
+using namespace siloz;
+
+namespace {
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FlagValue(int argc, char** argv, const char* flag, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 0);
+    }
+  }
+  return fallback;
+}
+
+const char* FlagString(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: siloz_audit [options]\n"
+               "  --decoder skylake|snc2|linear   platform decoder (default skylake)\n"
+               "  --ddr5                          DDR5 geometry + remap semantics\n"
+               "  --subarray-rows N               boot parameter (default 1024)\n"
+               "  --silicon-rows N                silicon ground truth (default = boot value)\n"
+               "  --host-groups N                 host groups per socket (default 2)\n"
+               "  --ept-block N / --ept-offset N  guard-row block geometry (default 32/12)\n"
+               "  --stride BYTES                  physical probe stride (default 256 KiB)\n"
+               "  --random-probes N               extra seeded probes (default 4096)\n"
+               "  --exhaustive                    probe every 4 KiB page\n"
+               "  --max-findings N                findings kept per invariant (default 16)\n"
+               "  --corrupt none|shifted-jump|broken-inverse\n"
+               "                                  audit against a deliberately wrong decoder\n"
+               "  --scrambling                    model vendor row-bit scrambling\n"
+               "  --json                          machine-readable report\n");
+  return 1;
+}
+
+// A CI gate must not silently ignore a typo'd flag and report PASS.
+bool ValidateFlags(int argc, char** argv) {
+  static const char* kValueFlags[] = {"--decoder",   "--subarray-rows", "--silicon-rows",
+                                      "--host-groups", "--ept-block",   "--ept-offset",
+                                      "--stride",    "--random-probes", "--max-findings",
+                                      "--corrupt"};
+  static const char* kBoolFlags[] = {"--ddr5", "--exhaustive", "--scrambling", "--json",
+                                     "--help", "-h"};
+  for (int i = 1; i < argc; ++i) {
+    bool known = false;
+    for (const char* flag : kValueFlags) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value\n", flag);
+          return false;
+        }
+        ++i;
+        known = true;
+        break;
+      }
+    }
+    for (const char* flag : kBoolFlags) {
+      known = known || std::strcmp(argv[i], flag) == 0;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!ValidateFlags(argc, argv)) {
+    return Usage();
+  }
+  if (HasFlag(argc, argv, "--help") || HasFlag(argc, argv, "-h")) {
+    return Usage();
+  }
+
+  const bool ddr5 = HasFlag(argc, argv, "--ddr5");
+  DramGeometry geometry = ddr5 ? Ddr5Geometry() : DramGeometry{};
+
+  SilozConfig config;
+  config.rows_per_subarray =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--subarray-rows", geometry.rows_per_subarray));
+  config.host_groups_per_socket =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--host-groups", config.host_groups_per_socket));
+  config.ept_block_row_groups =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--ept-block", config.ept_block_row_groups));
+  config.ept_row_group_offset =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--ept-offset", config.ept_row_group_offset));
+  config.uniform_internal_addressing = ddr5;
+  geometry.rows_per_subarray = config.rows_per_subarray;
+
+  const std::string decoder_name = FlagString(argc, argv, "--decoder", "skylake");
+  std::unique_ptr<AddressDecoder> decoder;
+  if (decoder_name == "skylake") {
+    decoder = std::make_unique<SkylakeDecoder>(geometry);
+  } else if (decoder_name == "snc2") {
+    decoder = std::make_unique<SncDecoder>(geometry, 2);
+  } else if (decoder_name == "linear") {
+    decoder = std::make_unique<LinearDecoder>(geometry);
+  } else {
+    std::fprintf(stderr, "unknown decoder '%s'\n", decoder_name.c_str());
+    return Usage();
+  }
+
+  RemapConfig remap = ddr5 ? Ddr5RemapConfig() : RemapConfig{};
+  remap.vendor_scrambling = HasFlag(argc, argv, "--scrambling");
+
+  audit::Options options;
+  options.silicon_rows_per_subarray =
+      static_cast<uint32_t>(FlagValue(argc, argv, "--silicon-rows", 0));
+  options.probe_stride = FlagValue(argc, argv, "--stride", options.probe_stride);
+  options.random_probes = FlagValue(argc, argv, "--random-probes", options.random_probes);
+  options.exhaustive = HasFlag(argc, argv, "--exhaustive");
+  options.max_findings_per_invariant =
+      static_cast<size_t>(FlagValue(argc, argv, "--max-findings", 16));
+
+  // Optional negative mode: the machine's "real" mapping deviates from the
+  // decoder the hypervisor boots with, so the audit should FAIL.
+  const std::string corrupt = FlagString(argc, argv, "--corrupt", "none");
+  std::unique_ptr<audit::CorruptedDecoder> corrupted;
+  const AddressDecoder* truth = decoder.get();
+  if (corrupt != "none") {
+    const uint64_t region =
+        SkylakeDecoder(geometry).region_bytes();  // the mapping-jump period to shift by
+    if (corrupt == "shifted-jump") {
+      corrupted = std::make_unique<audit::CorruptedDecoder>(
+          *decoder, audit::Corruption::kShiftedJump, region);
+    } else if (corrupt == "broken-inverse") {
+      corrupted = std::make_unique<audit::CorruptedDecoder>(
+          *decoder, audit::Corruption::kBrokenInverse, region);
+    } else {
+      std::fprintf(stderr, "unknown corruption '%s'\n", corrupt.c_str());
+      return Usage();
+    }
+    truth = corrupted.get();
+  }
+
+  Result<audit::Report> report =
+      audit::AuditProvisioningPlan(*decoder, *truth, config, remap, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "audit setup failed: %s\n", report.error().ToString().c_str());
+    return 1;
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("platform: %s, decoder %s (audited against %s)\n", geometry.ToString().c_str(),
+                decoder->name().c_str(), truth->name().c_str());
+    std::printf("%s", report->ToText().c_str());
+  }
+  return report->ok() ? 0 : 2;
+}
