@@ -6,12 +6,19 @@
 //  - interference is real and driven by shared channels/banks,
 //  - Siloz's placement does not change it (groups share banks by design),
 //  - a cross-socket neighbour does not interfere (disjoint memory system).
+//
+// The whole (victim regime x kernel x neighbour) grid runs as one parallel
+// colocated sweep (`--threads N`; results identical for every N).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <iterator>
 
 #include "bench/bench_util.h"
+#include "src/base/check.h"
 #include "src/sim/colocated.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
   bench::PrintHeader("Ablation A10: co-located tenant interference", DramGeometry{});
 
@@ -24,34 +31,6 @@ int main() {
   WorkloadSpec compute_victim = *FindWorkload("redis-a");
   compute_victim.accesses = 150000;
 
-  auto run = [&](const WorkloadSpec& victim_workload, bool siloz_enabled,
-                 const char* neighbour, uint32_t neighbour_socket) {
-    RunnerConfig config;
-    config.hypervisor.enabled = siloz_enabled;
-    std::vector<TenantSpec> tenants = {
-        {.vm_name = "victim", .memory_bytes = 3ull << 30, .socket = 0,
-         .workload = victim_workload}};
-    if (neighbour != nullptr) {
-      WorkloadSpec hog = *FindWorkload(neighbour);
-      hog.accesses = 100000;
-      tenants.push_back({.vm_name = "hog", .memory_bytes = 3ull << 30,
-                         .socket = neighbour_socket, .workload = hog,
-                         .background = true});
-    }
-    Result<std::vector<TenantResult>> results = RunColocated(config, tenants);
-    SILOZ_CHECK(results.ok()) << results.error().ToString();
-    return (*results)[0].elapsed_ns;
-  };
-
-  std::printf("victim = redis-a; numbers are victim slowdown vs running alone.\n\n");
-  std::printf("%-34s | %23s | %23s\n", "", "latency-bound victim", "compute-bound victim");
-  std::printf("%-34s | %10s | %10s | %10s | %10s\n", "neighbour", "baseline", "siloz",
-              "baseline", "siloz");
-  bench::PrintRule();
-  const double alone_lat_base = run(latency_victim, false, nullptr, 0);
-  const double alone_lat_siloz = run(latency_victim, true, nullptr, 0);
-  const double alone_cpu_base = run(compute_victim, false, nullptr, 0);
-  const double alone_cpu_siloz = run(compute_victim, true, nullptr, 0);
   struct Case {
     const char* label;
     const char* workload;
@@ -63,14 +42,57 @@ int main() {
       {"mlc-stream, same socket", "mlc-stream", 0},
       {"mlc-stream, other socket", "mlc-stream", 1},
   };
+
+  // Scenario grid in a fixed order: victim regime major, then kernel, then
+  // neighbour case — index arithmetic below depends on it.
+  const WorkloadSpec* victims[] = {&latency_victim, &compute_victim};
+  std::vector<ColocatedScenario> scenarios;
+  for (const WorkloadSpec* victim : victims) {
+    for (bool siloz_enabled : {false, true}) {
+      for (const Case& c : cases) {
+        ColocatedScenario scenario;
+        scenario.name = std::string(victim == &latency_victim ? "lat/" : "cpu/") +
+                        (siloz_enabled ? "siloz/" : "base/") + c.label;
+        scenario.config.hypervisor.enabled = siloz_enabled;
+        scenario.tenants = {{.vm_name = "victim", .memory_bytes = 3ull << 30, .socket = 0,
+                             .workload = *victim}};
+        if (c.workload != nullptr) {
+          WorkloadSpec hog = *FindWorkload(c.workload);
+          hog.accesses = 100000;
+          scenario.tenants.push_back({.vm_name = "hog", .memory_bytes = 3ull << 30,
+                                      .socket = c.socket, .workload = hog,
+                                      .background = true});
+        }
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+  }
+
+  PoolPhaseMetrics metrics;
+  Result<std::vector<std::vector<TenantResult>>> sweep =
+      RunColocatedSweep(scenarios, bench::ThreadsFromArgs(argc, argv), &metrics);
+  SILOZ_CHECK(sweep.ok()) << sweep.error().ToString();
+  std::fprintf(stderr, "%s\n", metrics.ToText().c_str());
+
+  const size_t per_case = std::size(cases);
+  // victim regime v, kernel k (0 = baseline, 1 = siloz), case c.
+  auto victim_elapsed = [&](size_t v, size_t k, size_t c) {
+    return (*sweep)[(v * 2 + k) * per_case + c][0].elapsed_ns;
+  };
+
+  std::printf("victim = redis-a; numbers are victim slowdown vs running alone.\n\n");
+  std::printf("%-34s | %23s | %23s\n", "", "latency-bound victim", "compute-bound victim");
+  std::printf("%-34s | %10s | %10s | %10s | %10s\n", "neighbour", "baseline", "siloz",
+              "baseline", "siloz");
+  bench::PrintRule();
   double max_divergence = 0.0;
-  for (const Case& c : cases) {
-    const double lat_base = run(latency_victim, false, c.workload, c.socket) / alone_lat_base;
-    const double lat_siloz = run(latency_victim, true, c.workload, c.socket) / alone_lat_siloz;
-    const double cpu_base = run(compute_victim, false, c.workload, c.socket) / alone_cpu_base;
-    const double cpu_siloz = run(compute_victim, true, c.workload, c.socket) / alone_cpu_siloz;
-    std::printf("%-34s | %9.3fx | %9.3fx | %9.3fx | %9.3fx\n", c.label, lat_base, lat_siloz,
-                cpu_base, cpu_siloz);
+  for (size_t c = 0; c < per_case; ++c) {
+    const double lat_base = victim_elapsed(0, 0, c) / victim_elapsed(0, 0, 0);
+    const double lat_siloz = victim_elapsed(0, 1, c) / victim_elapsed(0, 1, 0);
+    const double cpu_base = victim_elapsed(1, 0, c) / victim_elapsed(1, 0, 0);
+    const double cpu_siloz = victim_elapsed(1, 1, c) / victim_elapsed(1, 1, 0);
+    std::printf("%-34s | %9.3fx | %9.3fx | %9.3fx | %9.3fx\n", cases[c].label, lat_base,
+                lat_siloz, cpu_base, cpu_siloz);
     max_divergence = std::max(max_divergence, std::abs(lat_siloz / lat_base - 1.0));
     max_divergence = std::max(max_divergence, std::abs(cpu_siloz / cpu_base - 1.0));
   }

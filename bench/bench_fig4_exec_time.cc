@@ -7,14 +7,16 @@
 // the timing model produces the same null result mechanistically.
 #include "bench/fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   bench::PrintHeader("Figure 4: baseline-normalized execution time (Siloz vs Linux/KVM)",
                      DramGeometry{});
   std::printf("Workload models replay memory-access traces with each suite's\n"
               "locality/mix/MLP profile; 5 trials per point (see DESIGN.md).\n\n");
   const bool ok = bench::RunFigure(ExecutionTimeWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
-                                   {{"siloz", bench::SilozKernel()}}, 5, 42, "fig4_exec_time");
+                                   {{"siloz", bench::SilozKernel()}}, 5, 42, "fig4_exec_time",
+                                   threads);
   return ok ? 0 : 1;
 }

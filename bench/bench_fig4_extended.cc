@@ -7,18 +7,20 @@
 // individual benchmark is within noise of baseline under Siloz.
 #include "bench/fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 4 (extended): per-benchmark execution time, Siloz vs baseline", DramGeometry{});
   std::printf("SPEC CPU 2017 subset:\n\n");
   std::vector<WorkloadSpec> spec = SpecCpuWorkloads();
   bool ok = bench::RunFigure(spec, {"baseline", bench::BaselineKernel()},
-                             {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_spec");
+                             {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_spec", threads);
   std::printf("PARSEC 3.0 subset:\n\n");
   std::vector<WorkloadSpec> parsec = ParsecWorkloads();
   ok = bench::RunFigure(parsec, {"baseline", bench::BaselineKernel()},
-                        {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_parsec") &&
+                        {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_parsec",
+                        threads) &&
        ok;
   return ok ? 0 : 1;
 }

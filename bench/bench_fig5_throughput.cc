@@ -7,14 +7,16 @@
 // is identical under subarray-group placement.
 #include "bench/fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   bench::PrintHeader("Figure 5: baseline-normalized throughput (Siloz vs Linux/KVM)",
                      DramGeometry{});
   std::printf("MLC variants are saturated bandwidth probes (64 outstanding, no\n"
               "compute gap); 5 trials per point.\n\n");
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
-                                   {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput");
+                                   {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput",
+                                   threads);
   return ok ? 0 : 1;
 }

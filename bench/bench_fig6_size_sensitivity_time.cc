@@ -7,8 +7,9 @@
 // node count does not matter (Siloz-2048 does not beat Siloz-512).
 #include "bench/fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 6: Siloz-1024-normalized execution time, subarray size sweep", DramGeometry{});
   std::printf("Siloz-512 manages 2x the logical NUMA nodes of Siloz-1024;\n"
@@ -17,6 +18,6 @@ int main() {
                                    {"siloz-1024", bench::SilozKernel(1024)},
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
-                                   5, 42, "fig6_size_time");
+                                   5, 42, "fig6_size_time", threads);
   return ok ? 0 : 1;
 }

@@ -4,14 +4,15 @@
 // Expected shape (paper): within 0.5% with no trend across sizes.
 #include "bench/fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace siloz;
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   bench::PrintHeader("Figure 7: Siloz-1024-normalized throughput, subarray size sweep",
                      DramGeometry{});
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
                                    {"siloz-1024", bench::SilozKernel(1024)},
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
-                                   5, 42, "fig7_size_tput");
+                                   5, 42, "fig7_size_tput", threads);
   return ok ? 0 : 1;
 }

@@ -8,6 +8,8 @@
 #define SILOZ_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,18 @@
 
 namespace siloz {
 namespace bench {
+
+// Parses the shared `--threads N` bench knob: 0 (the default) resolves to
+// $SILOZ_THREADS or the hardware concurrency inside the pool; 1 forces the
+// legacy serial path. Results are bit-identical either way (DESIGN.md §8).
+inline uint32_t ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
 
 inline void PrintHeader(const char* artifact, const DramGeometry& geometry) {
   std::printf("================================================================\n");

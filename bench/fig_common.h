@@ -25,35 +25,49 @@ struct VariantSpec {
 // overhead table per variant (normalized to baseline) and geometric means.
 // With SILOZ_RESULTS_DIR set, also appends CSV rows per (variant, workload).
 // Returns false if any run failed.
+//
+// The whole (variant x workload) grid runs on a work-stealing pool, one
+// config per task (`threads` as in RunnerConfig::threads; 1 = serial).
+// Tables on stdout are byte-identical for every thread count; the grid's
+// scheduler/timing metrics go to stderr so diffs of the tables stay clean.
 inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantSpec& baseline,
                       const std::vector<VariantSpec>& variants, uint32_t trials = 5,
-                      uint64_t seed = 42, const char* experiment = "figure") {
+                      uint64_t seed = 42, const char* experiment = "figure",
+                      uint32_t threads = 0) {
   RunnerConfig runner;
   runner.trials = trials;
   runner.seed = seed;
 
-  // Gather stats per (variant, workload); baseline first.
-  std::vector<std::vector<RunMeasurement>> measurements(variants.size() + 1);
+  // Grid of (variant, workload) points, baseline first, workload-major per
+  // variant — the same order the serial loops used.
   std::vector<std::string> labels;
   labels.push_back(baseline.label);
   for (const VariantSpec& variant : variants) {
     labels.push_back(variant.label);
   }
+  std::vector<GridPoint> points;
   for (size_t v = 0; v < variants.size() + 1; ++v) {
     runner.hypervisor = (v == 0) ? baseline.config : variants[v - 1].config;
     for (const WorkloadSpec& workload : workloads) {
-      Result<RunMeasurement> run = RunWorkload(runner, workload);
-      if (!run.ok()) {
-        std::fprintf(stderr, "%s/%s failed: %s\n", labels[v].c_str(), workload.name.c_str(),
-                     run.error().ToString().c_str());
-        return false;
-      }
-      measurements[v].push_back(std::move(*run));
-      std::printf(".");
-      std::fflush(stdout);
+      points.push_back(GridPoint{runner, workload});
     }
   }
-  std::printf("\n\n");
+  PoolPhaseMetrics grid_metrics;
+  Result<std::vector<RunMeasurement>> grid = RunWorkloadGrid(points, threads, &grid_metrics);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "figure grid failed: %s\n", grid.error().ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "%s\n", grid_metrics.ToText().c_str());
+
+  // Re-shape into per-variant rows, variant-major as the tables expect.
+  std::vector<std::vector<RunMeasurement>> measurements(variants.size() + 1);
+  for (size_t v = 0; v < variants.size() + 1; ++v) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      measurements[v].push_back(std::move((*grid)[v * workloads.size() + w]));
+    }
+  }
+  std::printf("\n");
 
   const bool throughput = workloads[0].metric == MetricKind::kThroughput;
   for (size_t v = 1; v <= variants.size(); ++v) {

@@ -4,7 +4,7 @@
 // Usage:
 //   silozctl topology [--snc] [--ddr5] [--subarray-rows N]
 //   silozctl attack   [--baseline] [--patterns N] [--seed N]
-//   silozctl audit    [--flip-ept] [--stride BYTES] [--json]
+//   silozctl audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]
 //   silozctl groupof  <phys-address>
 #include <cstdio>
 #include <cstdlib>
@@ -144,6 +144,7 @@ int CmdAudit(int argc, char** argv) {
   audit::Options options;
   options.probe_stride = FlagValue(argc, argv, "--stride", 4_MiB);
   options.random_probes = 512;
+  options.threads = static_cast<uint32_t>(FlagValue(argc, argv, "--threads", 0));
   audit::Auditor auditor(hypervisor, RemapConfig{}, options);
   audit::Report report = auditor.Run();
   auditor.CheckVmContainment(**hypervisor.GetVm(vm), report);
@@ -152,6 +153,10 @@ int CmdAudit(int argc, char** argv) {
   } else {
     std::printf("%s", report.ToText().c_str());
   }
+  // Kept out of the report itself so stdout stays identical for every N.
+  std::fprintf(stderr, "blast-radius scan: %u workers, %llu tasks (%llu stolen), wall %.1f ms\n",
+               report.scan_pool.workers, static_cast<unsigned long long>(report.scan_pool.tasks),
+               static_cast<unsigned long long>(report.scan_pool.steals), report.scan_wall_ms);
 
   const Status audit = hypervisor.AuditVmIsolation(vm);
   std::printf("EPT walk audit: %s\n", audit.ok() ? "PASS" : audit.error().ToString().c_str());
@@ -187,7 +192,7 @@ int main(int argc, char** argv) {
                  "usage: silozctl <command>\n"
                  "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
                  "  attack   [--baseline] [--patterns N] [--seed N]\n"
-                 "  audit    [--flip-ept] [--stride BYTES] [--json]\n"
+                 "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
                  "  groupof  <phys-address>\n");
     return 1;
   }

@@ -1,6 +1,7 @@
 #include "src/audit/auditor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "src/base/check.h"
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/base/units.h"
 #include "src/ept/phys_memory.h"
 #include "src/hostmem/buddy.h"
@@ -368,75 +370,105 @@ void Auditor::CheckGuardFencing(Report& report) const {
 // --- Invariant 4: disturbance never crosses a domain boundary ---------------
 
 void Auditor::CheckBlastRadius(Report& report) const {
-  InvariantStats& stats = report.StatsFor(Invariant::kBlastRadius);
-  stats.ran = true;
+  report.StatsFor(Invariant::kBlastRadius).ran = true;
   const DramGeometry& geom = truth_.geometry();
   const uint32_t clusters = truth_.clusters_per_socket();
-  const uint32_t banks = remapper_.config().repairs.empty() ? 1 : geom.banks_per_rank;
 
+  // Shard the row space by presumed subarray group, in the serial scan's
+  // enumeration order (socket, cluster, row block). Every shard accumulates
+  // into a private report; merging them in shard order reproduces the
+  // serial findings byte-for-byte (see Report::Merge), so the scan is free
+  // to run the shards on any number of threads.
+  std::vector<ScanShard> shards;
   for (uint32_t socket = 0; socket < geom.sockets; ++socket) {
     for (uint32_t cluster = 0; cluster < clusters; ++cluster) {
-      for (uint32_t row = 0; row < geom.rows_per_bank; ++row) {
-        Result<uint32_t> group = GroupOfRow(socket, cluster, row);
-        Result<uint32_t> owner =
-            group.ok() ? hypervisor_.NodeOfGroup(*group)
-                       : Result<uint32_t>(group.error());
-        if (!owner.ok()) {
-          continue;  // closure pass reports unresolvable rows
-        }
-        for (uint32_t rank = 0; rank < geom.ranks_per_dimm; ++rank) {
-          for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
-            for (uint32_t bank = 0; bank < banks; ++bank) {
-              const uint32_t internal = remapper_.ToInternal(row, rank, bank, side);
-              const uint32_t lo = (internal / silicon_rows_) * silicon_rows_;
-              const uint32_t hi = std::min(lo + silicon_rows_, geom.rows_per_bank);
-              const uint32_t jlo =
-                  internal > lo + options_.blast_radius ? internal - options_.blast_radius : lo;
-              const uint32_t jhi = std::min(hi - 1, internal + options_.blast_radius);
-              for (uint32_t j = jlo; j <= jhi; ++j) {
-                if (j == internal) {
-                  continue;
-                }
-                ++stats.probes;
-                const uint32_t neighbour = remapper_.ToMedia(j, rank, bank, side);
-                // Same presumed block -> same group -> same node: the common
-                // case, because the remap chain permutes block-to-block.
-                if (neighbour / effective_rows_ == row / effective_rows_) {
-                  continue;
-                }
-                Result<uint32_t> group2 = GroupOfRow(socket, cluster, neighbour);
-                Result<uint32_t> owner2 =
-                    group2.ok() ? hypervisor_.NodeOfGroup(*group2)
-                                : Result<uint32_t>(group2.error());
-                if (owner2.ok() && *owner2 == *owner) {
-                  continue;  // e.g. two host groups of the same host node
-                }
-                Result<RowStatus> status = StatusOfRow(socket, cluster, rank, row);
-                Result<RowStatus> status2 = StatusOfRow(socket, cluster, rank, neighbour);
-                if (!status.ok() || !status2.ok()) {
-                  AddFinding(report, Invariant::kBlastRadius, 0, j,
-                             "cannot resolve cross-domain neighbours " + std::to_string(row) +
-                                 "/" + std::to_string(neighbour));
-                  continue;
-                }
-                if (status->offlined || status2->offlined) {
-                  continue;  // a guard row fences the boundary
-                }
-                const std::string relation =
-                    "media rows " + std::to_string(row) + " (node " + std::to_string(*owner) +
-                    ") and " + std::to_string(neighbour) + " (node " +
-                    (owner2.ok() ? std::to_string(*owner2) : "?") +
-                    ") are internal neighbours at distance " +
-                    std::to_string(j > internal ? j - internal : internal - j) + " (rank " +
-                    std::to_string(rank) + ", side " + HalfRowSideName(side) + ")";
-                if (status->ept_pool || status2->ept_pool) {
-                  AddFinding(report, Invariant::kBlastRadius, status2->phys, j,
-                             relation + ": EPT rows reachable from a foreign domain");
-                } else {
-                  AddFinding(report, Invariant::kBlastRadius, status2->phys, j,
-                             relation + ": disturbance crosses the domain boundary");
-                }
-              }
+      for (uint32_t base = 0; base < geom.rows_per_bank; base += effective_rows_) {
+        shards.push_back(ScanShard{socket, cluster, base,
+                                   std::min(base + effective_rows_, geom.rows_per_bank)});
+      }
+    }
+  }
+
+  std::vector<Report> locals(shards.size());
+  ThreadPool pool(options_.threads);
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.ParallelFor(0, shards.size(),
+                   [&](uint64_t i) { ScanBlastRadiusShard(shards[i], locals[i]); });
+  report.scan_wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  report.scan_pool = pool.metrics();
+  for (const Report& local : locals) {
+    report.Merge(local, options_.max_findings_per_invariant);
+  }
+}
+
+void Auditor::ScanBlastRadiusShard(const ScanShard& shard, Report& report) const {
+  InvariantStats& stats = report.StatsFor(Invariant::kBlastRadius);
+  const DramGeometry& geom = truth_.geometry();
+  const uint32_t banks = remapper_.config().repairs.empty() ? 1 : geom.banks_per_rank;
+
+  const uint32_t socket = shard.socket;
+  const uint32_t cluster = shard.cluster;
+  for (uint32_t row = shard.row_begin; row < shard.row_end; ++row) {
+    Result<uint32_t> group = GroupOfRow(socket, cluster, row);
+    Result<uint32_t> owner =
+        group.ok() ? hypervisor_.NodeOfGroup(*group)
+                   : Result<uint32_t>(group.error());
+    if (!owner.ok()) {
+      continue;  // closure pass reports unresolvable rows
+    }
+    for (uint32_t rank = 0; rank < geom.ranks_per_dimm; ++rank) {
+      for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+        for (uint32_t bank = 0; bank < banks; ++bank) {
+          const uint32_t internal = remapper_.ToInternal(row, rank, bank, side);
+          const uint32_t lo = (internal / silicon_rows_) * silicon_rows_;
+          const uint32_t hi = std::min(lo + silicon_rows_, geom.rows_per_bank);
+          const uint32_t jlo =
+              internal > lo + options_.blast_radius ? internal - options_.blast_radius : lo;
+          const uint32_t jhi = std::min(hi - 1, internal + options_.blast_radius);
+          for (uint32_t j = jlo; j <= jhi; ++j) {
+            if (j == internal) {
+              continue;
+            }
+            ++stats.probes;
+            const uint32_t neighbour = remapper_.ToMedia(j, rank, bank, side);
+            // Same presumed block -> same group -> same node: the common
+            // case, because the remap chain permutes block-to-block.
+            if (neighbour / effective_rows_ == row / effective_rows_) {
+              continue;
+            }
+            Result<uint32_t> group2 = GroupOfRow(socket, cluster, neighbour);
+            Result<uint32_t> owner2 =
+                group2.ok() ? hypervisor_.NodeOfGroup(*group2)
+                            : Result<uint32_t>(group2.error());
+            if (owner2.ok() && *owner2 == *owner) {
+              continue;  // e.g. two host groups of the same host node
+            }
+            Result<RowStatus> status = StatusOfRow(socket, cluster, rank, row);
+            Result<RowStatus> status2 = StatusOfRow(socket, cluster, rank, neighbour);
+            if (!status.ok() || !status2.ok()) {
+              AddFinding(report, Invariant::kBlastRadius, 0, j,
+                         "cannot resolve cross-domain neighbours " + std::to_string(row) +
+                             "/" + std::to_string(neighbour));
+              continue;
+            }
+            if (status->offlined || status2->offlined) {
+              continue;  // a guard row fences the boundary
+            }
+            const std::string relation =
+                "media rows " + std::to_string(row) + " (node " + std::to_string(*owner) +
+                ") and " + std::to_string(neighbour) + " (node " +
+                (owner2.ok() ? std::to_string(*owner2) : "?") +
+                ") are internal neighbours at distance " +
+                std::to_string(j > internal ? j - internal : internal - j) + " (rank " +
+                std::to_string(rank) + ", side " + HalfRowSideName(side) + ")";
+            if (status->ept_pool || status2->ept_pool) {
+              AddFinding(report, Invariant::kBlastRadius, status2->phys, j,
+                         relation + ": EPT rows reachable from a foreign domain");
+            } else {
+              AddFinding(report, Invariant::kBlastRadius, status2->phys, j,
+                         relation + ": disturbance crosses the domain boundary");
             }
           }
         }

@@ -58,6 +58,11 @@ struct Options {
   uint64_t seed = 0xA0D17;
   // Findings retained per invariant; further violations are only counted.
   size_t max_findings_per_invariant = 16;
+  // Worker threads for the blast-radius scan (the ~4.2M-probe pass): 0 =
+  // $SILOZ_THREADS or hardware concurrency, 1 = serial scan. The scan is
+  // sharded by subarray group and shard reports merge in slice order, so
+  // findings, counters, and report bytes are identical for every value.
+  uint32_t threads = 0;
 };
 
 class Auditor {
@@ -100,6 +105,20 @@ class Auditor {
     bool ept_pool = false;      // row group seeds the protected EPT pool
     uint64_t phys = 0;          // representative physical page
   };
+
+  // One contiguous run of media rows of one (socket, cluster) — the unit of
+  // the parallel blast-radius scan, aligned to the presumed subarray size.
+  struct ScanShard {
+    uint32_t socket = 0;
+    uint32_t cluster = 0;
+    uint32_t row_begin = 0;
+    uint32_t row_end = 0;
+  };
+
+  // Blast-radius pass over one shard, accumulating into `report` (shard-
+  // local in the parallel scan). Touches only const state, so shards are
+  // safe to run concurrently.
+  void ScanBlastRadiusShard(const ScanShard& shard, Report& report) const;
 
   // Presumed global group of media row `row` in (socket, cluster).
   Result<uint32_t> GroupOfRow(uint32_t socket, uint32_t cluster, uint32_t row) const;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/dram/geometry.h"
 
 namespace siloz::audit {
@@ -73,9 +74,22 @@ struct Report {
   bool ok() const { return findings.empty() && suppressed == 0; }
   uint64_t total_probes() const;
 
+  // Scheduler accounting of the parallel blast-radius scan. Deliberately
+  // excluded from ToText()/ToJson() so reports stay byte-identical across
+  // thread counts; the CLI front ends print it separately.
+  PoolMetrics scan_pool;
+  double scan_wall_ms = 0.0;
+
   // Appends a finding unless the invariant's cap is exhausted; always bumps
   // the violation counter.
   void Add(Finding finding, size_t max_findings_per_invariant);
+
+  // Folds in a shard report produced over a disjoint slice of a scan.
+  // Shards keep at most `max_findings_per_invariant` findings each — the
+  // earliest of their slice — so merging shards in slice order reproduces
+  // the serial findings list, violation counters, and suppression count
+  // exactly (the global first-N findings are a prefix-of-prefixes).
+  void Merge(const Report& shard, size_t max_findings_per_invariant);
 
   std::string ToText() const;
   std::string ToJson() const;

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace siloz {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes sink writes: pool workers log concurrently, and while fprintf
+// locks the FILE per call, a mutex keeps whole messages atomic with respect
+// to each other and gives TSan a clean happens-before edge on the sink.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,6 +48,7 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
+  std::lock_guard<std::mutex> lock(SinkMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
 }
 

@@ -21,6 +21,24 @@ void RunningStat::Add(double sample) {
   m2_ += delta * (sample - mean_);
 }
 
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStat::mean() const { return mean_; }
 
 double RunningStat::stddev() const {

@@ -16,6 +16,13 @@ class RunningStat {
  public:
   void Add(double sample);
 
+  // Combines another accumulator into this one (Chan et al. parallel
+  // Welford). Deterministic in (this, other) — parallel phases accumulate
+  // into thread-private stats and merge them in task-index order on the
+  // coordinating thread, which keeps results independent of thread count
+  // (never merge concurrently into a shared instance).
+  void Merge(const RunningStat& other);
+
   size_t count() const { return count_; }
   double mean() const;
   // Unbiased sample standard deviation (0 for <2 samples).

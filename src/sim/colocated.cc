@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "src/base/check.h"
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 
 namespace siloz {
 namespace {
@@ -111,6 +113,32 @@ Result<std::vector<TenantResult>> RunColocated(const RunnerConfig& config,
                                       state.last_completion *
                                       (1e9 / (1024.0 * 1024.0 * 1024.0));
     results.push_back(result);
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<TenantResult>>> RunColocatedSweep(
+    const std::vector<ColocatedScenario>& scenarios, uint32_t threads,
+    PoolPhaseMetrics* metrics) {
+  using ScenarioResult = Result<std::vector<TenantResult>>;
+  std::vector<ScenarioResult> runs(scenarios.size(), ScenarioResult(std::vector<TenantResult>{}));
+  PhaseTimer timer("colocated");
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, scenarios.size(), [&](uint64_t i) {
+    // Each scenario boots a private machine + hypervisor inside RunColocated,
+    // so tasks share no mutable state; results depend only on the scenario,
+    // never on scheduling.
+    runs[i] = RunColocated(scenarios[i].config, scenarios[i].tenants);
+  });
+  if (metrics != nullptr) {
+    *metrics = timer.Finish(pool.metrics());
+  }
+
+  std::vector<std::vector<TenantResult>> results;
+  results.reserve(scenarios.size());
+  for (ScenarioResult& run : runs) {
+    SILOZ_RETURN_IF_ERROR(run);
+    results.push_back(std::move(*run));
   }
   return results;
 }

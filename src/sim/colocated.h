@@ -43,6 +43,23 @@ struct TenantResult {
 Result<std::vector<TenantResult>> RunColocated(const RunnerConfig& config,
                                                const std::vector<TenantSpec>& tenants);
 
+// One point of an interference sweep: a named tenant mix under a full
+// runner configuration (kernels can differ per scenario).
+struct ColocatedScenario {
+  std::string name;
+  RunnerConfig config;
+  std::vector<TenantSpec> tenants;
+};
+
+// Runs every scenario as one pool task (each on its own machine + hypervisor)
+// and returns per-scenario tenant results in scenario order — bit-identical
+// for every thread count, lowest-indexed error wins. `threads` as in
+// RunnerConfig::threads. `metrics`, when non-null, receives the "colocated"
+// phase metrics.
+Result<std::vector<std::vector<TenantResult>>> RunColocatedSweep(
+    const std::vector<ColocatedScenario>& scenarios, uint32_t threads = 0,
+    PoolPhaseMetrics* metrics = nullptr);
+
 }  // namespace siloz
 
 #endif  // SILOZ_SRC_SIM_COLOCATED_H_

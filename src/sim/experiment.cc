@@ -1,16 +1,50 @@
 #include "src/sim/experiment.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/memctl/engine.h"
 
 namespace siloz {
+namespace {
 
-Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+// Everything one trial produces; merged into RunMeasurement in trial order.
+struct TrialOutcome {
+  double elapsed_ns = 0.0;
+  double bandwidth_gibs = 0.0;
+  double row_hit_rate = 0.0;
+  std::vector<uint64_t> flip_phys;  // sorted
+};
+
+// Workload identity + hypervisor variant tag mixed into the jitter stream so
+// baseline and Siloz runs of one workload draw different (deterministic)
+// noise, exactly like back-to-back runs on a real host.
+uint64_t VariantTag(const RunnerConfig& config, const WorkloadSpec& spec) {
+  uint64_t tag = 0xCBF29CE484222325ull;
+  for (char c : spec.name) {
+    tag = (tag ^ static_cast<uint8_t>(c)) * 0x100000001B3ull;
+  }
+  tag ^= (static_cast<uint64_t>(config.hypervisor.enabled) << 40) ^
+         (static_cast<uint64_t>(config.hypervisor.rows_per_subarray) << 8) ^
+         static_cast<uint64_t>(config.hypervisor.ept_protection);
+  return tag;
+}
+
+// Runs one trial on private state: its own Machine, hypervisor, VM, and
+// noise Rng. Nothing here touches shared mutable state, so trials are safe
+// to run on any thread and the outcome depends only on (config, spec,
+// trial index, noise stream).
+Result<TrialOutcome> RunTrial(const RunnerConfig& config, const WorkloadSpec& spec,
+                              uint32_t trial, Rng noise_rng) {
   MachineConfig machine_config;
   machine_config.geometry = config.geometry;
   machine_config.decoder = config.decoder;
   machine_config.timings = config.timings;
-  machine_config.fault_tracking = false;  // timing fidelity (DESIGN.md §4)
+  machine_config.fault_tracking = config.fault_tracking;  // timing fidelity (DESIGN.md §4)
+  machine_config.dimm_profiles = config.dimm_profiles;
   Machine machine(machine_config);
 
   SilozHypervisor hypervisor(machine.decoder(), machine.phys_memory(), config.hypervisor);
@@ -20,41 +54,120 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
   Result<Vm*> vm = hypervisor.GetVm(*vm_id);
   SILOZ_RETURN_IF_ERROR(vm);
 
-  // System jitter is independent across kernels and workloads: mix the
-  // hypervisor variant and workload identity into the noise stream so the
-  // baseline and Siloz runs of one workload draw different (deterministic)
-  // jitter, exactly like back-to-back runs on a real host.
-  uint64_t variant_tag = 0xCBF29CE484222325ull;
-  for (char c : spec.name) {
-    variant_tag = (variant_tag ^ static_cast<uint8_t>(c)) * 0x100000001B3ull;
-  }
-  variant_tag ^= (static_cast<uint64_t>(config.hypervisor.enabled) << 40) ^
-                 (static_cast<uint64_t>(config.hypervisor.rows_per_subarray) << 8) ^
-                 static_cast<uint64_t>(config.hypervisor.ept_protection);
-  Rng noise_rng(config.seed ^ variant_tag);
-
-  RunMeasurement measurement;
+  const std::vector<MemRequest> trace =
+      GenerateTrace(spec, machine.decoder(), (*vm)->regions(), config.vm.socket,
+                    config.seed + trial * 7919);
+  EngineConfig engine;
+  engine.max_outstanding = spec.mlp;
+  engine.compute_ns_per_access = spec.compute_ns_per_access;
   const std::vector<MemoryController*> controllers = machine.controllers();
-  for (uint32_t trial = 0; trial < config.trials; ++trial) {
-    const std::vector<MemRequest> trace =
-        GenerateTrace(spec, machine.decoder(), (*vm)->regions(), config.vm.socket,
-                      config.seed + trial * 7919);
-    for (MemoryController* controller : controllers) {
-      controller->ResetState();
-    }
-    EngineConfig engine;
-    engine.max_outstanding = spec.mlp;
-    engine.compute_ns_per_access = spec.compute_ns_per_access;
-    const EngineResult result = RunClosedLoop(trace, controllers, engine);
+  const EngineResult result = RunClosedLoop(trace, controllers, engine);
 
-    const double jitter = 1.0 + config.os_noise_frac * noise_rng.NextGaussian();
-    const double elapsed = result.elapsed_ns * jitter;
-    measurement.elapsed_ns.Add(elapsed);
-    measurement.bandwidth_gibs.Add(static_cast<double>(result.requests) * 64.0 / elapsed *
-                                   (1e9 / (1024.0 * 1024.0 * 1024.0)));
-    measurement.row_hit_rate = controllers[config.vm.socket]->stats().row_hit_rate();
+  TrialOutcome outcome;
+  const double jitter = 1.0 + config.os_noise_frac * noise_rng.NextGaussian();
+  outcome.elapsed_ns = result.elapsed_ns * jitter;
+  outcome.bandwidth_gibs = static_cast<double>(result.requests) * 64.0 / outcome.elapsed_ns *
+                           (1e9 / (1024.0 * 1024.0 * 1024.0));
+  outcome.row_hit_rate = controllers[config.vm.socket]->stats().row_hit_rate();
+  if (config.fault_tracking) {
+    // Replay the trace's activation stream into the disturbance model: a
+    // per-bank open-row tracker mirrors the controller's open-page policy,
+    // so each row *miss* becomes one device ACT (row hits reuse the buffer
+    // and disturb nothing). Deterministic in the trace alone.
+    std::unordered_map<uint64_t, int64_t> open_rows;
+    // Device clocks are monotonic and already advanced by boot-time writes.
+    uint64_t clock_ns = machine.clock_ns();
+    for (const MemRequest& request : trace) {
+      const MediaAddress& media = request.address;
+      const uint64_t bank_key =
+          (((static_cast<uint64_t>(media.socket) * config.geometry.channels_per_socket +
+             media.channel) *
+                config.geometry.dimms_per_channel +
+            media.dimm) *
+               config.geometry.ranks_per_dimm +
+           media.rank) *
+              config.geometry.banks_per_rank +
+          media.bank;
+      int64_t& open_row = open_rows.try_emplace(bank_key, -1).first->second;
+      if (open_row != static_cast<int64_t>(media.row)) {
+        open_row = media.row;
+        machine.device(media.socket, media.channel, media.dimm)
+            .Activate(media.rank, media.bank, media.row, clock_ns);
+        clock_ns += machine.config().act_cost_ns;
+      }
+    }
+    for (const PhysFlip& flip : machine.DrainFlips()) {
+      outcome.flip_phys.push_back(flip.phys);
+    }
+    std::sort(outcome.flip_phys.begin(), outcome.flip_phys.end());
   }
+  return outcome;
+}
+
+}  // namespace
+
+Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+  // Fork one noise stream per trial up front, in trial order, so the streams
+  // depend only on (seed, variant, trial index) — never on which thread runs
+  // the trial or in what order trials finish.
+  Rng noise_base(config.seed ^ VariantTag(config, spec));
+  std::vector<Rng> noise_rngs;
+  noise_rngs.reserve(config.trials);
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    noise_rngs.push_back(noise_base.Fork(trial));
+  }
+
+  std::vector<Result<TrialOutcome>> outcomes(config.trials,
+                                             Result<TrialOutcome>(TrialOutcome{}));
+  PhaseTimer timer("trials");
+  ThreadPool pool(config.threads);
+  pool.ParallelFor(0, config.trials, [&](uint64_t trial) {
+    outcomes[trial] =
+        RunTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
+  });
+
+  // Deterministic merge: trial order, lowest-index error wins.
+  RunMeasurement measurement;
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    SILOZ_RETURN_IF_ERROR(outcomes[trial]);
+    const TrialOutcome& outcome = *outcomes[trial];
+    RunningStat elapsed;
+    elapsed.Add(outcome.elapsed_ns);
+    RunningStat bandwidth;
+    bandwidth.Add(outcome.bandwidth_gibs);
+    measurement.elapsed_ns.Merge(elapsed);
+    measurement.bandwidth_gibs.Merge(bandwidth);
+    measurement.row_hit_rate = outcome.row_hit_rate;
+    measurement.flip_phys.insert(measurement.flip_phys.end(), outcome.flip_phys.begin(),
+                                 outcome.flip_phys.end());
+  }
+  measurement.pool = timer.Finish(pool.metrics());
   return measurement;
+}
+
+Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>& points,
+                                                    uint32_t threads,
+                                                    PoolPhaseMetrics* metrics) {
+  std::vector<Result<RunMeasurement>> runs(points.size(),
+                                           Result<RunMeasurement>(RunMeasurement{}));
+  PhaseTimer timer("grid");
+  ThreadPool pool(threads);
+  pool.ParallelFor(0, points.size(), [&](uint64_t i) {
+    GridPoint point = points[i];
+    point.config.threads = 1;  // the grid is the only level of parallelism
+    runs[i] = RunWorkload(point.config, point.workload);
+  });
+  if (metrics != nullptr) {
+    *metrics = timer.Finish(pool.metrics());
+  }
+
+  std::vector<RunMeasurement> measurements;
+  measurements.reserve(points.size());
+  for (Result<RunMeasurement>& run : runs) {
+    SILOZ_RETURN_IF_ERROR(run);
+    measurements.push_back(std::move(*run));
+  }
+  return measurements;
 }
 
 }  // namespace siloz

@@ -4,14 +4,23 @@
 // (baseline Linux/KVM or a Siloz variant), over several trials with
 // distinct trace seeds, and reports elapsed-time and bandwidth statistics
 // with 95% confidence intervals — the quantities the paper's figures plot.
+//
+// Trials are independent by construction and run concurrently on a
+// work-stealing pool (src/base/thread_pool.h): each trial gets its own
+// Machine + hypervisor + controllers and a private Rng forked from the run
+// seed by trial index, and per-trial statistics are merged in trial order.
+// Results are therefore bit-identical for every thread count, including the
+// legacy serial path (threads = 1) — the determinism contract of DESIGN.md §8.
 #ifndef SILOZ_SRC_SIM_EXPERIMENT_H_
 #define SILOZ_SRC_SIM_EXPERIMENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/base/stats.h"
 #include "src/sim/machine.h"
+#include "src/sim/report.h"
 #include "src/siloz/hypervisor.h"
 #include "src/workload/workloads.h"
 
@@ -24,9 +33,18 @@ struct RunnerConfig {
   DdrTimings timings;
   uint32_t trials = 5;
   uint64_t seed = 42;
+  // Worker threads for the trial loop: 0 = $SILOZ_THREADS or hardware
+  // concurrency, 1 = legacy serial path. Any value yields identical results.
+  uint32_t threads = 0;
   // Run-to-run system jitter applied multiplicatively to elapsed time
   // (scheduler/interrupt noise a real host exhibits); deterministic in seed.
   double os_noise_frac = 0.0015;
+  // Route every activation through the DramDevice disturbance model and
+  // collect the flipped physical addresses per trial (slower; Table 3-style
+  // runs). Off for the timing-fidelity figures.
+  bool fault_tracking = false;
+  // Fault-model personality per DIMM when fault_tracking is set.
+  std::vector<DimmProfile> dimm_profiles = {DimmProfile{}};
   // The measurement VM. The paper uses 160 GiB / 40 vCPUs; the model's
   // results depend on placement, not size, so benches default smaller to
   // keep trace generation fast and note the substitution.
@@ -37,11 +55,32 @@ struct RunMeasurement {
   RunningStat elapsed_ns;       // per-trial elapsed time
   RunningStat bandwidth_gibs;   // per-trial achieved bandwidth
   double row_hit_rate = 0.0;    // of the final trial
+  // Fault mode only: flipped physical addresses, sorted within each trial
+  // and concatenated in trial order.
+  std::vector<uint64_t> flip_phys;
+  // Scheduler/timing metrics of the trial loop ("trials" phase).
+  PoolPhaseMetrics pool;
 };
 
-// Boots a machine + hypervisor per `config`, creates the VM, and replays
-// `spec` for config.trials independent traces.
+// Boots a machine + hypervisor per trial, creates the VM, and replays
+// `spec` for config.trials independent traces (concurrently; see above).
 Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec);
+
+// One point of a sweep grid: a full runner configuration plus a workload.
+struct GridPoint {
+  RunnerConfig config;
+  WorkloadSpec workload;
+};
+
+// Runs every grid point as one pool task (each point's trial loop forced
+// serial so the grid is the only level of parallelism) and returns the
+// measurements in point order — bit-identical for every thread count.
+// `threads` as in RunnerConfig::threads. On failure returns the error of the
+// lowest-indexed failing point. `metrics`, when non-null, receives the
+// "grid" phase metrics.
+Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>& points,
+                                                    uint32_t threads = 0,
+                                                    PoolPhaseMetrics* metrics = nullptr);
 
 }  // namespace siloz
 

@@ -1,13 +1,52 @@
 #include "src/sim/report.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 
 #include "src/base/check.h"
 
 namespace siloz {
+
+std::string PoolPhaseMetrics::ToText() const {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%s: %u workers, %llu tasks (%llu stolen), wall %.1f ms, cpu %.1f ms",
+                phase.c_str(), pool.workers, static_cast<unsigned long long>(pool.tasks),
+                static_cast<unsigned long long>(pool.steals), wall_ms, cpu_ms);
+  return line;
+}
+
+std::string PoolPhaseMetrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"phase\":\"" << phase << "\",\"workers\":" << pool.workers
+      << ",\"tasks\":" << pool.tasks << ",\"steals\":" << pool.steals << ",\"wall_ms\":"
+      << CsvNumber(wall_ms) << ",\"cpu_ms\":" << CsvNumber(cpu_ms) << "}";
+  return out.str();
+}
+
+PhaseTimer::PhaseTimer(std::string phase)
+    : phase_(std::move(phase)),
+      wall_start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count()),
+      cpu_start_clocks_(static_cast<int64_t>(std::clock())) {}
+
+PoolPhaseMetrics PhaseTimer::Finish(const PoolMetrics& pool) const {
+  PoolPhaseMetrics metrics;
+  metrics.phase = phase_;
+  metrics.pool = pool;
+  const int64_t wall_end_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count();
+  metrics.wall_ms = static_cast<double>(wall_end_ns - wall_start_ns_) / 1e6;
+  metrics.cpu_ms = static_cast<double>(static_cast<int64_t>(std::clock()) - cpu_start_clocks_) *
+                   1000.0 / CLOCKS_PER_SEC;
+  return metrics;
+}
 namespace {
 
 bool NeedsQuoting(const std::string& field) {

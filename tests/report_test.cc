@@ -77,5 +77,49 @@ TEST_F(ReportTest, CsvNumberFormatting) {
   EXPECT_EQ(CsvNumber(0.0), "0");
 }
 
+// Golden outputs for the pool metrics block: the benches and CLIs print
+// these lines verbatim (to stderr), so the format is part of the interface.
+PoolPhaseMetrics GoldenMetrics() {
+  PoolPhaseMetrics metrics;
+  metrics.phase = "trials";
+  metrics.pool.workers = 8;
+  metrics.pool.tasks = 640;
+  metrics.pool.steals = 37;
+  metrics.wall_ms = 1234.5678;
+  metrics.cpu_ms = 9876.5;
+  return metrics;
+}
+
+TEST(PoolPhaseMetricsTest, GoldenText) {
+  EXPECT_EQ(GoldenMetrics().ToText(),
+            "trials: 8 workers, 640 tasks (37 stolen), wall 1234.6 ms, cpu 9876.5 ms");
+}
+
+TEST(PoolPhaseMetricsTest, GoldenJson) {
+  EXPECT_EQ(GoldenMetrics().ToJson(),
+            "{\"phase\":\"trials\",\"workers\":8,\"tasks\":640,\"steals\":37,"
+            "\"wall_ms\":1234.57,\"cpu_ms\":9876.5}");
+}
+
+TEST(PoolPhaseMetricsTest, DefaultConstructedIsSerialAndIdle) {
+  PoolPhaseMetrics metrics;
+  EXPECT_EQ(metrics.ToText(), ": 1 workers, 0 tasks (0 stolen), wall 0.0 ms, cpu 0.0 ms");
+  EXPECT_EQ(metrics.ToJson(),
+            "{\"phase\":\"\",\"workers\":1,\"tasks\":0,\"steals\":0,\"wall_ms\":0,\"cpu_ms\":0}");
+}
+
+TEST(PhaseTimerTest, FinishPropagatesPhaseAndPoolAndMeasuresTime) {
+  PhaseTimer timer("scan");
+  PoolMetrics pool;
+  pool.workers = 2;
+  pool.tasks = 10;
+  const PoolPhaseMetrics metrics = timer.Finish(pool);
+  EXPECT_EQ(metrics.phase, "scan");
+  EXPECT_EQ(metrics.pool.workers, 2u);
+  EXPECT_EQ(metrics.pool.tasks, 10u);
+  EXPECT_GE(metrics.wall_ms, 0.0);
+  EXPECT_GE(metrics.cpu_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace siloz

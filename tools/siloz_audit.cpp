@@ -12,7 +12,7 @@
 //               [--ept-block N] [--ept-offset N] [--stride BYTES]
 //               [--random-probes N] [--exhaustive] [--max-findings N]
 //               [--corrupt none|shifted-jump|broken-inverse]
-//               [--scrambling] [--json]
+//               [--scrambling] [--threads N] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +71,8 @@ int Usage() {
                "  --corrupt none|shifted-jump|broken-inverse\n"
                "                                  audit against a deliberately wrong decoder\n"
                "  --scrambling                    model vendor row-bit scrambling\n"
+               "  --threads N                     blast-radius scan workers (0 = auto,\n"
+               "                                  1 = serial; findings identical for all N)\n"
                "  --json                          machine-readable report\n");
   return 1;
 }
@@ -80,7 +82,7 @@ bool ValidateFlags(int argc, char** argv) {
   static const char* kValueFlags[] = {"--decoder",   "--subarray-rows", "--silicon-rows",
                                       "--host-groups", "--ept-block",   "--ept-offset",
                                       "--stride",    "--random-probes", "--max-findings",
-                                      "--corrupt"};
+                                      "--corrupt",   "--threads"};
   static const char* kBoolFlags[] = {"--ddr5", "--exhaustive", "--scrambling", "--json",
                                      "--help", "-h"};
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +158,7 @@ int main(int argc, char** argv) {
   options.exhaustive = HasFlag(argc, argv, "--exhaustive");
   options.max_findings_per_invariant =
       static_cast<size_t>(FlagValue(argc, argv, "--max-findings", 16));
+  options.threads = static_cast<uint32_t>(FlagValue(argc, argv, "--threads", 0));
 
   // Optional negative mode: the machine's "real" mapping deviates from the
   // decoder the hypervisor boots with, so the audit should FAIL.
@@ -191,5 +194,11 @@ int main(int argc, char** argv) {
                 decoder->name().c_str(), truth->name().c_str());
     std::printf("%s", report->ToText().c_str());
   }
+  // Scheduler/timing metrics go to stderr so the report on stdout (and the
+  // JSON) stays byte-identical across thread counts.
+  std::fprintf(stderr, "blast-radius scan: %u workers, %llu tasks (%llu stolen), wall %.1f ms\n",
+               report->scan_pool.workers,
+               static_cast<unsigned long long>(report->scan_pool.tasks),
+               static_cast<unsigned long long>(report->scan_pool.steals), report->scan_wall_ms);
   return report->ok() ? 0 : 2;
 }
