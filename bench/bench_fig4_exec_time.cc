@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 4: baseline-normalized execution time (Siloz vs Linux/KVM)",
                      DramGeometry{});
   std::printf("Workload models replay memory-access traces with each suite's\n"
@@ -18,5 +19,5 @@ int main(int argc, char** argv) {
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig4_exec_time",
                                    threads);
-  return ok ? 0 : 1;
+  return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 4 (extended): per-benchmark execution time, Siloz vs baseline", DramGeometry{});
   std::printf("SPEC CPU 2017 subset:\n\n");
@@ -22,5 +23,5 @@ int main(int argc, char** argv) {
                         {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_parsec",
                         threads) &&
        ok;
-  return ok ? 0 : 1;
+  return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

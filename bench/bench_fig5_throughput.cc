@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 5: baseline-normalized throughput (Siloz vs Linux/KVM)",
                      DramGeometry{});
   std::printf("MLC variants are saturated bandwidth probes (64 outstanding, no\n"
@@ -18,5 +19,5 @@ int main(int argc, char** argv) {
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput",
                                    threads);
-  return ok ? 0 : 1;
+  return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 6: Siloz-1024-normalized execution time, subarray size sweep", DramGeometry{});
   std::printf("Siloz-512 manages 2x the logical NUMA nodes of Siloz-1024;\n"
@@ -19,5 +20,5 @@ int main(int argc, char** argv) {
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig6_size_time", threads);
-  return ok ? 0 : 1;
+  return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

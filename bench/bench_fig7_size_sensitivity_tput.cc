@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 7: Siloz-1024-normalized throughput, subarray size sweep",
                      DramGeometry{});
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
@@ -14,5 +15,5 @@ int main(int argc, char** argv) {
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig7_size_tput", threads);
-  return ok ? 0 : 1;
+  return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

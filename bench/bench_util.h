@@ -15,6 +15,8 @@
 
 #include "src/base/stats.h"
 #include "src/dram/geometry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace siloz {
 namespace bench {
@@ -29,6 +31,39 @@ inline uint32_t ThreadsFromArgs(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+inline std::string StringFromArgs(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Shared `--metrics-out FILE` / `--trace-out FILE` observability knobs.
+// EnableObsFromArgs turns the tracer on (call before the runs);
+// WriteObsFromArgs writes the requested files (call after the runs, when
+// every simulated object has been destroyed and its counters flushed).
+// Neither touches stdout, so bench tables stay byte-identical.
+inline void EnableObsFromArgs(int argc, char** argv) {
+  if (!StringFromArgs(argc, argv, "--trace-out").empty()) {
+    obs::Tracer::Global().Enable();
+  }
+}
+
+inline bool WriteObsFromArgs(int argc, char** argv) {
+  bool ok = true;
+  const std::string metrics_out = StringFromArgs(argc, argv, "--metrics-out");
+  if (!metrics_out.empty()) {
+    ok = obs::WriteMetricsJson(metrics_out) && ok;
+  }
+  const std::string trace_out = StringFromArgs(argc, argv, "--trace-out");
+  if (!trace_out.empty()) {
+    ok = obs::WriteTraceJson(trace_out) && ok;
+  }
+  return ok;
 }
 
 inline void PrintHeader(const char* artifact, const DramGeometry& geometry) {

@@ -5,7 +5,12 @@
 //   silozctl topology [--snc] [--ddr5] [--subarray-rows N]
 //   silozctl attack   [--baseline] [--patterns N] [--seed N]
 //   silozctl audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]
+//   silozctl run      [workload] [--baseline] [--trials N] [--threads N] [--faults]
 //   silozctl groupof  <phys-address>
+//
+// Every command additionally accepts --metrics-out FILE and --trace-out FILE
+// (observability exports; written after the command completes, never mixed
+// into stdout).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,8 +21,12 @@
 #include "src/audit/auditor.h"
 #include "src/base/units.h"
 #include "src/ept/phys_memory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/experiment.h"
 #include "src/sim/machine.h"
 #include "src/siloz/hypervisor.h"
+#include "src/workload/workloads.h"
 
 using namespace siloz;
 
@@ -39,6 +48,15 @@ uint64_t FlagValue(int argc, char** argv, const char* flag, uint64_t fallback) {
     }
   }
   return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return "";
 }
 
 int CmdTopology(int argc, char** argv) {
@@ -163,6 +181,42 @@ int CmdAudit(int argc, char** argv) {
   return (audit.ok() && report.ok()) ? 0 : 2;
 }
 
+int CmdRun(int argc, char** argv) {
+  // The controller-backed experiment path: boots a machine + hypervisor per
+  // trial and serves the workload through the memory controllers, so the
+  // exported metrics include per-bank-group ACT/PRE/RD/WR/REF counts on top
+  // of the hypervisor allocation counters. Model metrics are identical for
+  // every --threads N (DESIGN.md §9).
+  const std::string name = (argc >= 3 && argv[2][0] != '-') ? argv[2] : "redis-a";
+  Result<WorkloadSpec> spec = FindWorkload(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  spec->accesses = FlagValue(argc, argv, "--accesses", spec->accesses);
+  RunnerConfig config;
+  config.hypervisor.enabled = !HasFlag(argc, argv, "--baseline");
+  config.trials = static_cast<uint32_t>(FlagValue(argc, argv, "--trials", 5));
+  config.seed = FlagValue(argc, argv, "--seed", 42);
+  config.threads = static_cast<uint32_t>(FlagValue(argc, argv, "--threads", 0));
+  config.fault_tracking = HasFlag(argc, argv, "--faults");
+  Result<RunMeasurement> run = RunWorkload(config, *spec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload=%s kernel=%s trials=%u\n", spec->name.c_str(),
+              config.hypervisor.enabled ? "siloz" : "baseline", config.trials);
+  std::printf("elapsed   : %.3f ms/trial (stddev %.3f)\n", run->elapsed_ns.mean() / 1e6,
+              run->elapsed_ns.stddev() / 1e6);
+  std::printf("bandwidth : %.3f GiB/s\n", run->bandwidth_gibs.mean());
+  std::printf("row hits  : %.1f%%\n", 100.0 * run->row_hit_rate);
+  if (config.fault_tracking) {
+    std::printf("bit flips : %zu\n", run->flip_phys.size());
+  }
+  return 0;
+}
+
 int CmdGroupOf(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: silozctl groupof <phys-address>\n");
@@ -186,17 +240,7 @@ int CmdGroupOf(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: silozctl <command>\n"
-                 "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
-                 "  attack   [--baseline] [--patterns N] [--seed N]\n"
-                 "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
-                 "  groupof  <phys-address>\n");
-    return 1;
-  }
-  const std::string command = argv[1];
+int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "topology") {
     return CmdTopology(argc, argv);
   }
@@ -206,9 +250,43 @@ int main(int argc, char** argv) {
   if (command == "audit") {
     return CmdAudit(argc, argv);
   }
+  if (command == "run") {
+    return CmdRun(argc, argv);
+  }
   if (command == "groupof") {
     return CmdGroupOf(argc, argv);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: silozctl <command>\n"
+                 "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
+                 "  attack   [--baseline] [--patterns N] [--seed N]\n"
+                 "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
+                 "  run      [workload] [--baseline] [--trials N] [--threads N] [--faults]\n"
+                 "  groupof  <phys-address>\n"
+                 "common: --metrics-out FILE  write the metrics registry as JSON\n"
+                 "        --trace-out FILE    record + write a Chrome trace-event log\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const std::string metrics_out = FlagString(argc, argv, "--metrics-out");
+  const std::string trace_out = FlagString(argc, argv, "--trace-out");
+  if (!trace_out.empty()) {
+    obs::Tracer::Global().Enable();
+  }
+  // Commands keep all simulated objects function-local, so their destructors
+  // have flushed every model counter by the time Dispatch returns.
+  const int status = Dispatch(argc, argv, command);
+  if (!metrics_out.empty() && !obs::WriteMetricsJson(metrics_out)) {
+    return 1;
+  }
+  if (!trace_out.empty() && !obs::WriteTraceJson(trace_out)) {
+    return 1;
+  }
+  return status;
 }

@@ -13,6 +13,8 @@
 #include "src/base/units.h"
 #include "src/ept/phys_memory.h"
 #include "src/hostmem/buddy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace siloz::audit {
 namespace {
@@ -44,6 +46,7 @@ Auditor::Auditor(const SilozHypervisor& hypervisor, const RemapConfig& remap, Op
     : Auditor(hypervisor, hypervisor.decoder(), remap, options) {}
 
 Report Auditor::Run() const {
+  obs::TraceSpan span("audit.Run");
   Report report;
   CheckDecoderInvertibility(report);
   // The remaining invariants are statements about the Siloz provisioning
@@ -52,6 +55,23 @@ Report Auditor::Run() const {
     CheckDomainClosure(report);
     CheckGuardFencing(report);
     CheckBlastRadius(report);
+  }
+  // Probe census per invariant. Probe counts depend only on geometry and
+  // options, never on scheduling, so these counters join the determinism
+  // contract alongside the report bytes.
+  obs::Registry& registry = obs::Registry::Global();
+  for (Invariant invariant :
+       {Invariant::kDecoderInvertibility, Invariant::kDomainClosure, Invariant::kGuardFencing,
+        Invariant::kBlastRadius}) {
+    const InvariantStats& stats = report.StatsFor(invariant);
+    if (!stats.ran) {
+      continue;
+    }
+    const std::string name = InvariantName(invariant);
+    registry.GetCounter("audit.probes." + name).Add(stats.probes);
+    if (stats.violations > 0) {
+      registry.GetCounter("audit.violations." + name).Add(stats.violations);
+    }
   }
   return report;
 }
@@ -392,13 +412,21 @@ void Auditor::CheckBlastRadius(Report& report) const {
   std::vector<Report> locals(shards.size());
   ThreadPool pool(options_.threads);
   const auto wall_start = std::chrono::steady_clock::now();
-  pool.ParallelFor(0, shards.size(),
-                   [&](uint64_t i) { ScanBlastRadiusShard(shards[i], locals[i]); });
+  {
+    obs::TraceSpan scan_span("audit.BlastRadiusScan");
+    pool.ParallelFor(0, shards.size(),
+                     [&](uint64_t i) { ScanBlastRadiusShard(shards[i], locals[i]); });
+  }
   report.scan_wall_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
   report.scan_pool = pool.metrics();
+  // Shard sizes are fixed by geometry, so observing them in shard order on
+  // the coordinating thread keeps the histogram thread-count-invariant.
+  obs::Histogram& per_shard =
+      obs::Registry::Global().GetHistogram("audit.blast_radius.probes_per_shard");
   for (const Report& local : locals) {
+    per_shard.Observe(local.StatsFor(Invariant::kBlastRadius).probes);
     report.Merge(local, options_.max_findings_per_invariant);
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
 
@@ -35,17 +36,30 @@ ThreadPool::ThreadPool(uint32_t threads) : worker_count_(ResolveThreads(threads)
 }
 
 ThreadPool::~ThreadPool() {
-  if (workers_.empty()) {
-    return;
+  if (!workers_.empty()) {
+    Wait();
+    {
+      std::lock_guard<std::mutex> lock(sync_mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
   }
-  Wait();
-  {
-    std::lock_guard<std::mutex> lock(sync_mutex_);
-    stop_ = true;
+  // Flush lifetime totals into the global registry now that the pool is
+  // quiescent. Task counts are thread-count-invariant (one per submitted
+  // unit of work) and join the determinism contract; steals and sleeps
+  // describe host scheduling and stay in the sched domain.
+  const PoolMetrics totals = metrics();
+  if (totals.tasks > 0) {
+    obs::Registry::Global().GetCounter("pool.tasks", obs::Domain::kModel).Add(totals.tasks);
   }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    worker.join();
+  if (totals.steals > 0) {
+    obs::Registry::Global().GetCounter("pool.steals", obs::Domain::kSched).Add(totals.steals);
+  }
+  if (totals.sleeps > 0) {
+    obs::Registry::Global().GetCounter("pool.sleeps", obs::Domain::kSched).Add(totals.sleeps);
   }
 }
 
@@ -126,6 +140,9 @@ void ThreadPool::WorkerLoop(uint32_t self) {
       continue;
     }
     std::unique_lock<std::mutex> lock(sync_mutex_);
+    if (!stop_ && work_epoch_ == epoch) {
+      sleeps_.fetch_add(1, std::memory_order_relaxed);  // about to actually block
+    }
     work_cv_.wait(lock, [&] { return stop_ || work_epoch_ != epoch; });
     if (stop_) {
       return;
@@ -168,6 +185,7 @@ PoolMetrics ThreadPool::metrics() const {
   metrics.workers = worker_count_;
   metrics.tasks = tasks_run_.load(std::memory_order_relaxed);
   metrics.steals = steals_.load(std::memory_order_relaxed);
+  metrics.sleeps = sleeps_.load(std::memory_order_relaxed);
   return metrics;
 }
 

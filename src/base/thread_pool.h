@@ -38,6 +38,7 @@ struct PoolMetrics {
   uint32_t workers = 1;
   uint64_t tasks = 0;   // tasks executed to completion
   uint64_t steals = 0;  // tasks a worker took from a sibling's deque
+  uint64_t sleeps = 0;  // times a worker blocked waiting for work
 };
 
 // Resolves a `--threads N` style knob: N > 0 is taken literally; 0 falls
@@ -98,6 +99,7 @@ class ThreadPool {
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> sleeps_{0};
   std::atomic<uint32_t> next_queue_{0};
 };
 

@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/units.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
 namespace {
@@ -80,6 +81,19 @@ CopyOnFlipDefender::Report CopyOnFlipDefender::ProcessPendingFlips() {
   report.silent_corruptions = silent_total - seen_silent_;
   seen_uncorrectable_ = uncorrectable_total;
   seen_silent_ = silent_total;
+
+  obs::Registry& registry = obs::Registry::Global();
+  const auto flush = [&registry](const char* name, uint64_t value) {
+    if (value > 0) {
+      registry.GetCounter(name).Add(value);
+    }
+  };
+  flush("defense.cof.detections", report.corrected_detections);
+  flush("defense.cof.migrations", report.migrations);
+  flush("defense.cof.unmovable_pages", report.unmovable_victim_pages);
+  flush("defense.cof.uncorrectable_words", report.uncorrectable_words);
+  flush("defense.cof.silent_corruptions", report.silent_corruptions);
+  flush("defense.cof.live_flips", report.flips_on_live_pages);
   return report;
 }
 

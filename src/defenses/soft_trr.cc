@@ -7,8 +7,19 @@
 
 #include "src/base/check.h"
 #include "src/base/units.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
+
+SoftTrrDefender::~SoftTrrDefender() {
+  obs::Registry& registry = obs::Registry::Global();
+  if (refreshes_fired_ > 0) {
+    registry.GetCounter("defense.soft_trr.refreshes_fired").Add(refreshes_fired_);
+  }
+  if (deadline_misses_ > 0) {
+    registry.GetCounter("defense.soft_trr.deadline_misses").Add(deadline_misses_);
+  }
+}
 
 SoftTrrDefender::SoftTrrDefender(Machine& machine, const std::vector<uint64_t>& protected_pages,
                                  SoftTrrConfig config)

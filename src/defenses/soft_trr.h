@@ -38,6 +38,8 @@ class SoftTrrDefender {
   // lines touch). Requires a fault-tracking machine.
   SoftTrrDefender(Machine& machine, const std::vector<uint64_t>& protected_pages,
                   SoftTrrConfig config);
+  // Flushes refresh/deadline totals into the global metrics registry.
+  ~SoftTrrDefender();
 
   // Fire all refresh events scheduled before the machine's current clock.
   // Call between attacker bursts (the simulation's co-routine seam).

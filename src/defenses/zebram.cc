@@ -1,6 +1,7 @@
 #include "src/defenses/zebram.h"
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
 
@@ -32,6 +33,16 @@ ZebramRegion::ZebramRegion(const AddressDecoder& decoder, PhysRange region, uint
     } else {
       safe_extents_.push_back(PhysRange{begin, begin + row_group_bytes_});
     }
+  }
+  // Carving census: how many row groups the stripe turned into data vs
+  // guards (the g/(g+1) sacrifice the paper critiques).
+  const uint64_t safe_groups = usable_bytes_ / row_group_bytes_;
+  obs::Registry& registry = obs::Registry::Global();
+  if (safe_groups > 0) {
+    registry.GetCounter("defense.zebram.safe_groups").Add(safe_groups);
+  }
+  if (groups > safe_groups) {
+    registry.GetCounter("defense.zebram.guard_groups").Add(groups - safe_groups);
   }
 }
 

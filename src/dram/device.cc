@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
 namespace {
@@ -38,6 +39,34 @@ DramDevice::DramDevice(const DramGeometry& geometry, RemapConfig remap_config,
   for (uint32_t i = 0; i < banks * 2; ++i) {
     trr_trackers_.emplace_back(trr_config_);
   }
+}
+
+DramDevice::~DramDevice() {
+  // Deterministic flush point: integer totals only, so the registry values
+  // depend on the command stream alone, never on host scheduling. Zero
+  // counters are skipped; zero-ness is itself deterministic, so the exported
+  // key set still matches across thread counts.
+  obs::Registry& registry = obs::Registry::Global();
+  const std::string prefix = "dram." + name_ + ".";
+  const auto flush = [&](const char* key, uint64_t value) {
+    if (value > 0) {
+      registry.GetCounter(prefix + key).Add(value);
+    }
+  };
+  flush("act", counters_.activates);
+  flush("rd", counters_.reads);
+  flush("wr", counters_.writes);
+  flush("ref_ticks", counters_.ref_ticks);
+  flush("trr_victim_refreshes", counters_.trr_victim_refreshes);
+  flush("flips", counters_.bit_flips);
+  flush("flips.hammer", counters_.flips_hammer);
+  flush("flips.rowpress", counters_.flips_rowpress);
+  flush("flips.injected", counters_.flips_injected);
+  flush("ecc.corrected", counters_.corrected_words);
+  flush("ecc.uncorrectable", counters_.uncorrectable_words);
+  flush("ecc.silent", counters_.silent_corruptions);
+  flush("disturb.probes", disturbance_.disturb_probes());
+  flush("disturb.flip_events", disturbance_.total_flip_events());
 }
 
 TrrTracker& DramDevice::Tracker(uint32_t rank, uint32_t bank, HalfRowSide side) {
@@ -118,7 +147,7 @@ void DramDevice::CloseOpenRow(uint32_t rank, uint32_t bank, uint64_t now_ns) {
   for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
     const uint32_t internal = remapper_.ToInternal(media_row, rank, bank, side);
     auto flips = disturbance_.OnRowOpen(BankKey(rank, bank), side, internal, open_ns, now_ns);
-    ApplyInternalFlips(rank, bank, side, flips, now_ns);
+    ApplyInternalFlips(rank, bank, side, flips, now_ns, FlipCause::kRowPress);
   }
   state.open_row = -1;
 }
@@ -140,7 +169,7 @@ void DramDevice::Activate(uint32_t rank, uint32_t bank, uint32_t media_row, uint
       Tracker(rank, bank, side).OnActivate(internal);
     }
     auto flips = disturbance_.OnActivate(BankKey(rank, bank), side, internal, now_ns);
-    ApplyInternalFlips(rank, bank, side, flips, now_ns);
+    ApplyInternalFlips(rank, bank, side, flips, now_ns, FlipCause::kHammer);
   }
   state.open_row = media_row;
   state.open_since_ns = now_ns;
@@ -152,7 +181,8 @@ void DramDevice::Precharge(uint32_t rank, uint32_t bank, uint64_t now_ns) {
 }
 
 void DramDevice::ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide side,
-                                    const std::vector<InternalFlip>& flips, uint64_t now_ns) {
+                                    const std::vector<InternalFlip>& flips, uint64_t now_ns,
+                                    FlipCause cause) {
   if (flips.empty()) {
     return;
   }
@@ -163,18 +193,29 @@ void DramDevice::ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide si
     const uint32_t byte_in_row =
         (side == HalfRowSide::kA ? 0 : half_bytes) + byte_in_half;
     ApplyFlipBit(rank, bank, media_row, flip.victim_row, side, byte_in_row,
-                 static_cast<uint8_t>(flip.bit % 8), now_ns);
+                 static_cast<uint8_t>(flip.bit % 8), now_ns, cause);
   }
 }
 
 void DramDevice::ApplyFlipBit(uint32_t rank, uint32_t bank, uint32_t media_row,
                               uint32_t internal_row, HalfRowSide side, uint32_t byte_in_row,
-                              uint8_t bit_in_byte, uint64_t now_ns) {
+                              uint8_t bit_in_byte, uint64_t now_ns, FlipCause cause) {
   StoredRow& row = GetOrCreateRow(rank, bank, media_row);
   const uint8_t mask = static_cast<uint8_t>(1u << bit_in_byte);
   row.data[byte_in_row] ^= mask;
   row.flip_mask[byte_in_row] ^= mask;
   ++counters_.bit_flips;
+  switch (cause) {
+    case FlipCause::kHammer:
+      ++counters_.flips_hammer;
+      break;
+    case FlipCause::kRowPress:
+      ++counters_.flips_rowpress;
+      break;
+    case FlipCause::kInjected:
+      ++counters_.flips_injected;
+      break;
+  }
   flip_log_.push_back(FlipRecord{
       .rank = rank,
       .bank = bank,
@@ -194,7 +235,8 @@ void DramDevice::InjectFlip(uint32_t rank, uint32_t bank, uint32_t media_row,
   const uint32_t half_bytes = static_cast<uint32_t>(geometry_.row_bytes / 2);
   const HalfRowSide side = byte_in_row < half_bytes ? HalfRowSide::kA : HalfRowSide::kB;
   const uint32_t internal = remapper_.ToInternal(media_row, rank, bank, side);
-  ApplyFlipBit(rank, bank, media_row, internal, side, byte_in_row, bit_in_byte, now_ns);
+  ApplyFlipBit(rank, bank, media_row, internal, side, byte_in_row, bit_in_byte, now_ns,
+               FlipCause::kInjected);
 }
 
 void DramDevice::RefreshRow(uint32_t rank, uint32_t bank, uint32_t media_row, uint64_t now_ns) {

@@ -54,6 +54,10 @@ struct ReadResult {
   uint32_t silently_corrupt_words = 0;
 };
 
+// Why a bit flipped: aggressor activations (classic Rowhammer), a row held
+// open (RowPress), or a test/experiment injection.
+enum class FlipCause : uint8_t { kHammer = 0, kRowPress = 1, kInjected = 2 };
+
 struct DeviceCounters {
   uint64_t activates = 0;
   uint64_t reads = 0;
@@ -61,6 +65,9 @@ struct DeviceCounters {
   uint64_t ref_ticks = 0;
   uint64_t trr_victim_refreshes = 0;
   uint64_t bit_flips = 0;
+  uint64_t flips_hammer = 0;    // bit_flips attributed to ACT disturbance
+  uint64_t flips_rowpress = 0;  // ... to open-row (RowPress) disturbance
+  uint64_t flips_injected = 0;  // ... to InjectFlip
   uint64_t corrected_words = 0;
   uint64_t uncorrectable_words = 0;
   uint64_t silent_corruptions = 0;
@@ -71,6 +78,8 @@ class DramDevice {
   // `name` labels the DIMM in experiment output ("A".."F" in Table 3).
   DramDevice(const DramGeometry& geometry, RemapConfig remap_config,
              DisturbanceProfile disturbance_profile, TrrConfig trr_config, std::string name);
+  // Flushes the lifetime counters into the global metrics registry.
+  ~DramDevice();
 
   // Activate `media_row` in (rank, bank) at time `now_ns`, implicitly
   // precharging any open row (whose open interval contributes RowPress
@@ -136,9 +145,11 @@ class DramDevice {
 
   // Map an internal-space flip back to media coordinates and apply it.
   void ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide side,
-                          const std::vector<InternalFlip>& flips, uint64_t now_ns);
+                          const std::vector<InternalFlip>& flips, uint64_t now_ns,
+                          FlipCause cause);
   void ApplyFlipBit(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t internal_row,
-                    HalfRowSide side, uint32_t byte_in_row, uint8_t bit_in_byte, uint64_t now_ns);
+                    HalfRowSide side, uint32_t byte_in_row, uint8_t bit_in_byte, uint64_t now_ns,
+                    FlipCause cause);
   void CloseOpenRow(uint32_t rank, uint32_t bank, uint64_t now_ns);
   TrrTracker& Tracker(uint32_t rank, uint32_t bank, HalfRowSide side);
 

@@ -51,6 +51,7 @@ double DisturbanceModel::ThresholdFor(uint32_t bank_key, HalfRowSide side,
 void DisturbanceModel::DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row,
                                      double amount, uint64_t now_ns,
                                      std::vector<InternalFlip>& flips) {
+  ++disturb_probes_;
   VictimState& state = victims_[VictimKey(bank_key, side, victim_row)];
   const uint64_t epoch = EpochFor(victim_row, now_ns);
   if (epoch != state.refresh_epoch) {

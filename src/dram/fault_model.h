@@ -96,6 +96,9 @@ class DisturbanceModel {
 
   uint32_t rows_per_subarray() const { return rows_per_subarray_; }
   uint64_t total_flip_events() const { return total_flip_events_; }
+  // Victim probes: how many times disturbance was charged to some victim
+  // row (one per in-bounds, same-subarray neighbour per ACT / row-open).
+  uint64_t disturb_probes() const { return disturb_probes_; }
 
  private:
   struct VictimState {
@@ -120,6 +123,7 @@ class DisturbanceModel {
   std::unordered_map<uint64_t, VictimState> victims_;
   Rng flip_rng_;
   uint64_t total_flip_events_ = 0;
+  uint64_t disturb_probes_ = 0;
 };
 
 }  // namespace siloz

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
 
 namespace siloz {
 
@@ -15,6 +17,54 @@ MemoryController::MemoryController(const DramGeometry& geometry, uint32_t socket
   ranks_.resize(static_cast<size_t>(geometry_.channels_per_socket) *
                 geometry_.dimms_per_channel * geometry_.ranks_per_dimm);
   channel_bus_free_.resize(geometry_.channels_per_socket, 0.0);
+  bank_group_counts_.resize((banks_.size() + kBanksPerGroup - 1) / kBanksPerGroup);
+}
+
+MemoryController::~MemoryController() {
+  // Pure integer totals flushed at a deterministic point (destruction), so
+  // the hot path stays atomic-free and the registry values are
+  // thread-count-invariant: only zero/nonzero and the sums matter, never
+  // which thread served which request. Zero counts are skipped so untouched
+  // bank groups do not bloat the export (the key set still matches across
+  // thread counts because zero-ness is itself deterministic).
+  obs::Registry& registry = obs::Registry::Global();
+  const std::string prefix = "memctl.s" + std::to_string(socket_) + ".";
+  BankGroupCounts socket_totals;
+  for (size_t g = 0; g < bank_group_counts_.size(); ++g) {
+    const BankGroupCounts& counts = bank_group_counts_[g];
+    socket_totals.act += counts.act;
+    socket_totals.pre += counts.pre;
+    socket_totals.rd += counts.rd;
+    socket_totals.wr += counts.wr;
+    socket_totals.ref += counts.ref;
+    const std::string group = prefix + "bg" + std::to_string(g) + ".";
+    if (counts.act > 0) {
+      registry.GetCounter(group + "act").Add(counts.act);
+    }
+    if (counts.pre > 0) {
+      registry.GetCounter(group + "pre").Add(counts.pre);
+    }
+    if (counts.rd > 0) {
+      registry.GetCounter(group + "rd").Add(counts.rd);
+    }
+    if (counts.wr > 0) {
+      registry.GetCounter(group + "wr").Add(counts.wr);
+    }
+    if (counts.ref > 0) {
+      registry.GetCounter(group + "ref").Add(counts.ref);
+    }
+  }
+  const uint64_t requests = socket_totals.rd + socket_totals.wr;
+  if (requests > 0) {
+    registry.GetCounter(prefix + "act").Add(socket_totals.act);
+    registry.GetCounter(prefix + "pre").Add(socket_totals.pre);
+    registry.GetCounter(prefix + "rd").Add(socket_totals.rd);
+    registry.GetCounter(prefix + "wr").Add(socket_totals.wr);
+    registry.GetCounter(prefix + "ref").Add(socket_totals.ref);
+    // Hits = column commands that did not need an ACT.
+    registry.GetCounter(prefix + "row_hits").Add(requests - socket_totals.act);
+    registry.GetCounter(prefix + "row_misses").Add(socket_totals.act);
+  }
 }
 
 void MemoryController::ResetState() {
@@ -35,6 +85,14 @@ double MemoryController::Serve(const MemRequest& request, double ready_ns) {
 
   const uint32_t bank_index = SocketBankIndex(geometry_, request.address);
   BankState& bank = banks_[bank_index];
+  BankGroupCounts& group_counts = bank_group_counts_[bank_index / kBanksPerGroup];
+  if (request.is_write) {
+    ++stats_.writes;
+    ++group_counts.wr;
+  } else {
+    ++stats_.reads;
+    ++group_counts.rd;
+  }
   const uint32_t rank_index =
       (request.address.channel * geometry_.dimms_per_channel + request.address.dimm) *
           geometry_.ranks_per_dimm +
@@ -51,6 +109,11 @@ double MemoryController::Serve(const MemRequest& request, double ready_ns) {
   } else {
     ++stats_.row_misses;
     ++stats_.activates;
+    ++group_counts.act;
+    if (bank.open_row >= 0) {
+      ++stats_.precharges;
+      ++group_counts.pre;
+    }
     // Precharge the old row (if any), then activate, respecting the bank's
     // tRC spacing, the rank's tRRD, and the tFAW four-activate window.
     double act_time = t + (bank.open_row >= 0 ? timings_.t_rp : 0.0);
@@ -100,6 +163,8 @@ double MemoryController::Serve(const MemRequest& request, double ready_ns) {
     if (phase < timings_.t_rfc && epoch != rank.ref_epoch_charged) {
       reported += timings_.t_rfc - phase;
       rank.ref_epoch_charged = epoch;
+      ++stats_.ref_tail_hits;
+      ++group_counts.ref;
     }
   }
 

@@ -39,6 +39,10 @@ struct ControllerStats {
   uint64_t row_hits = 0;
   uint64_t row_misses = 0;
   uint64_t activates = 0;
+  uint64_t precharges = 0;     // explicit PRE before an ACT to an open bank
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t ref_tail_hits = 0;  // requests charged a tRFC refresh latency tail
   double busy_ns = 0.0;       // completion time of the latest request
   double total_latency_ns = 0.0;
 
@@ -54,10 +58,28 @@ struct ControllerStats {
   }
 };
 
+// DDR4/DDR5 group banks in fours; the obs layer reports command counts at
+// this granularity (ISSUE: per-bank-group ACT/PRE/RD/WR/REF).
+inline constexpr uint32_t kBanksPerGroup = 4;
+
+// Lifetime DRAM-command census of one bank group (socket-local index).
+// Never cleared by ResetStats: flushed to the metrics registry when the
+// controller dies, so totals accumulate across measurement windows.
+struct BankGroupCounts {
+  uint64_t act = 0;
+  uint64_t pre = 0;
+  uint64_t rd = 0;
+  uint64_t wr = 0;
+  uint64_t ref = 0;  // refresh latency tails observed by this group's requests
+};
+
 // Timing model for one socket's memory controller.
 class MemoryController {
  public:
   MemoryController(const DramGeometry& geometry, uint32_t socket, DdrTimings timings = {});
+  // Flushes the lifetime per-bank-group command counts into the global
+  // metrics registry (model domain).
+  ~MemoryController();
 
   // Serve one request that becomes issueable at `ready_ns`; returns its
   // completion time. Requests must be fed in non-decreasing ready order
@@ -66,6 +88,9 @@ class MemoryController {
 
   const ControllerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ControllerStats{}; }
+  // Lifetime command counts, indexed by socket-local bank group
+  // (SocketBankIndex / kBanksPerGroup). Not affected by ResetStats.
+  const std::vector<BankGroupCounts>& bank_group_counts() const { return bank_group_counts_; }
   // Return every bank/rank/bus to idle at time 0 and clear stats (fresh
   // measurement run).
   void ResetState();
@@ -94,6 +119,7 @@ class MemoryController {
   std::vector<RankState> ranks_;       // per (channel, dimm, rank)
   std::vector<double> channel_bus_free_;  // per channel
   ControllerStats stats_;
+  std::vector<BankGroupCounts> bank_group_counts_;  // lifetime, per bank group
 };
 
 }  // namespace siloz

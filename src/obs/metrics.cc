@@ -1,0 +1,230 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace siloz::obs {
+
+const char* DomainName(Domain domain) {
+  return domain == Domain::kModel ? "model" : "sched";
+}
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return index;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::CounterShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::CounterShard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t HistogramBucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t HistogramBucketLowerBound(size_t bucket) {
+  return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      snapshot.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    for (std::atomic<uint64_t>& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives static dtors
+  return *registry;
+}
+
+namespace {
+
+template <typename Map, typename T>
+T& GetOrCreate(Map& map, const std::string& name, Domain domain) {
+  auto [it, inserted] = map.try_emplace(name);
+  if (inserted) {
+    it->second.domain = domain;
+    it->second.metric = std::make_unique<T>();
+  } else {
+    SILOZ_CHECK(it->second.domain == domain)
+        << "metric '" << name << "' re-registered in domain " << DomainName(domain)
+        << ", first registered in " << DomainName(it->second.domain);
+  }
+  return *it->second.metric;
+}
+
+// Minimal JSON string escaping; metric names are code-controlled but the
+// serializer must never emit an invalid document.
+void AppendEscaped(std::ostringstream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void AppendHistogram(std::ostringstream& out, const HistogramSnapshot& snapshot) {
+  out << "{\"count\":" << snapshot.count << ",\"sum\":" << snapshot.sum << ",\"buckets\":[";
+  bool first = true;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (snapshot.buckets[b] == 0) {
+      continue;  // sparse: empty buckets carry no information
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "[" << HistogramBucketLowerBound(b) << "," << snapshot.buckets[b] << "]";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+Counter& Registry::GetCounter(const std::string& name, Domain domain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate<decltype(counters_), Counter>(counters_, name, domain);
+}
+
+Gauge& Registry::GetGauge(const std::string& name, Domain domain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate<decltype(gauges_), Gauge>(gauges_, name, domain);
+}
+
+Histogram& Registry::GetHistogram(const std::string& name, Domain domain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate<decltype(histograms_), Histogram>(histograms_, name, domain);
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : counters_) {
+    entry.metric->Reset();
+  }
+  for (auto& [name, entry] : gauges_) {
+    entry.metric->Reset();
+  }
+  for (auto& [name, entry] : histograms_) {
+    entry.metric->Reset();
+  }
+}
+
+std::string Registry::SectionJson(Domain domain) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    if (entry.domain != domain) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"";
+    AppendEscaped(out, name);
+    out << "\":" << entry.metric->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    if (entry.domain != domain) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"";
+    AppendEscaped(out, name);
+    out << "\":" << entry.metric->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    if (entry.domain != domain) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"";
+    AppendEscaped(out, name);
+    out << "\":";
+    AppendHistogram(out, entry.metric->Snapshot());
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string Registry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"schema\":1,\"model\":" << SectionJson(Domain::kModel)
+      << ",\"sched\":" << SectionJson(Domain::kSched) << "}";
+  return out.str();
+}
+
+bool WriteMetricsJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const std::string json = Registry::Global().ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+                  std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "metrics: short write to '%s'\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace siloz::obs

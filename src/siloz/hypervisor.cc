@@ -7,6 +7,8 @@
 #include "src/base/log.h"
 #include "src/base/units.h"
 #include "src/dram/remap.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace siloz {
 namespace {
@@ -29,7 +31,28 @@ SilozHypervisor::SilozHypervisor(const AddressDecoder& decoder, PhysMemory& memo
                                  SilozConfig config)
     : decoder_(decoder), memory_(memory), config_(config) {}
 
+SilozHypervisor::~SilozHypervisor() {
+  // Deterministic flush point: pure event totals, independent of thread
+  // count or timing (see DESIGN.md on the metrics determinism contract).
+  // Zero counts are skipped; zero-ness is deterministic, so the exported
+  // key set still matches across thread counts.
+  obs::Registry& registry = obs::Registry::Global();
+  const auto flush = [&registry](const char* name, uint64_t value) {
+    if (value > 0) {
+      registry.GetCounter(name).Add(value);
+    }
+  };
+  flush("hv.alloc.pages", obs_counts_.alloc_pages);
+  flush("hv.alloc.denied", obs_counts_.alloc_denied);
+  flush("hv.vm.created", obs_counts_.vms_created);
+  flush("hv.vm.destroyed", obs_counts_.vms_destroyed);
+  flush("hv.ept.pool_pages", obs_counts_.ept_pool_pages);
+  flush("hv.ept.guard_pages", obs_counts_.ept_guard_pages);
+  flush("hv.ept.violations", obs_counts_.ept_violations);
+}
+
 Status SilozHypervisor::Boot() {
+  obs::TraceSpan span("hv.Boot");
   if (booted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "already booted");
   }
@@ -275,11 +298,13 @@ Status SilozHypervisor::ReserveEptBlocks() {
         for (uint64_t page = extent->begin; page < extent->end; page += kPage4K) {
           SILOZ_RETURN_IF_ERROR((*host)->allocator().AllocateAt(page, kOrder4K));
           ept_pool_[socket].push_back(page);
+          ++obs_counts_.ept_pool_pages;
         }
         ept_pool_ranges_[socket].push_back(*extent);
       } else {
         for (uint64_t page = extent->begin; page < extent->end; page += kPage4K) {
           SILOZ_RETURN_IF_ERROR((*host)->allocator().OfflinePage(page));
+          ++obs_counts_.ept_guard_pages;
         }
       }
       ept_reserved_bytes_ += extent->size();
@@ -299,19 +324,26 @@ Result<uint64_t> SilozHypervisor::AllocatePages(const ControlGroup& group, uint3
     // §5.3: guest-reserved nodes serve only UNMEDIATED requests from
     // KVM-privileged processes whose cgroup includes the node.
     if (!unmediated) {
+      ++obs_counts_.alloc_denied;
       return MakeError(ErrorCode::kPermissionDenied,
                        "mediated allocation from guest-reserved node " + std::to_string(node_id));
     }
     if (!group.MayAllocateFrom(node_id)) {
+      ++obs_counts_.alloc_denied;
       return MakeError(ErrorCode::kPermissionDenied,
                        "cgroup '" + group.name() + "' lacks node " + std::to_string(node_id));
     }
     if (!group.kvm_privileged()) {
+      ++obs_counts_.alloc_denied;
       return MakeError(ErrorCode::kPermissionDenied,
                        "cgroup '" + group.name() + "' lacks KVM privileges");
     }
   }
-  return (*node)->allocator().Allocate(order);
+  Result<uint64_t> page = (*node)->allocator().Allocate(order);
+  if (page.ok()) {
+    ++obs_counts_.alloc_pages;
+  }
+  return page;
 }
 
 Status SilozHypervisor::FreePages(uint32_t node_id, uint64_t phys, uint32_t order) {
@@ -430,6 +462,7 @@ EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
 }
 
 Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
+  obs::TraceSpan span("hv.CreateVm");
   if (!booted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not booted");
   }
@@ -593,6 +626,7 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
 
   Vm* raw = vm.get();
   vms_[id] = std::move(vm);
+  ++obs_counts_.vms_created;
   SILOZ_LOG(kInfo) << "created VM " << raw->config().name << " (" << id << ") with "
                    << raw->guest_nodes().size() << " guest node(s)";
   return id;
@@ -636,6 +670,7 @@ Status SilozHypervisor::DestroyVm(VmId id) {
   }
   vm_ept_pages_.erase(id);
   destroyed_vms_.insert(id);
+  ++obs_counts_.vms_destroyed;
   return Status::Ok();
 }
 
@@ -676,6 +711,7 @@ Status SilozHypervisor::AuditVmIsolation(VmId id) const {
       Result<uint64_t> hpa = ept->Translate(region.gpa + offset);
       SILOZ_RETURN_IF_ERROR(hpa);  // secure-EPT integrity failures surface here
       if (*hpa != region.hpa + offset) {
+        ++obs_counts_.ept_violations;
         return MakeError(ErrorCode::kIntegrityViolation,
                          "EPT maps GPA " + std::to_string(region.gpa + offset) + " to HPA " +
                              std::to_string(*hpa) + ", expected " +
@@ -694,6 +730,7 @@ Status SilozHypervisor::AuditVmIsolation(VmId id) const {
         inside |= range.Contains(page);
       }
       if (!inside) {
+        ++obs_counts_.ept_violations;
         return MakeError(ErrorCode::kIntegrityViolation,
                          "EPT table page outside the protected row group");
       }
@@ -760,6 +797,7 @@ Result<uint64_t> SilozHypervisor::DeviceDma(uint32_t device_id, uint64_t iova) {
       return *hpa;
     }
   }
+  ++obs_counts_.ept_violations;
   return MakeError(ErrorCode::kIntegrityViolation,
                    "IOMMU resolved IOVA " + std::to_string(iova) +
                        " outside the VM's subarray groups");
@@ -783,6 +821,7 @@ Status SilozHypervisor::AuditDeviceIsolation(uint32_t device_id) const {
       Result<uint64_t> hpa = device.iommu->Translate(region.gpa + offset);
       SILOZ_RETURN_IF_ERROR(hpa);
       if (*hpa != region.hpa + offset) {
+        ++obs_counts_.ept_violations;
         return MakeError(ErrorCode::kIntegrityViolation,
                          "IOMMU maps IOVA " + std::to_string(region.gpa + offset) +
                              " to HPA " + std::to_string(*hpa) + ", expected " +
@@ -798,6 +837,7 @@ Status SilozHypervisor::AuditDeviceIsolation(uint32_t device_id) const {
         inside |= range.Contains(page);
       }
       if (!inside) {
+        ++obs_counts_.ept_violations;
         return MakeError(ErrorCode::kIntegrityViolation,
                          "IOMMU table page outside the protected row group");
       }

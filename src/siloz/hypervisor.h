@@ -13,6 +13,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/addr/decoder.h"
@@ -33,6 +34,10 @@ class SilozHypervisor {
   // where EPT table bytes live (flat for performance runs, DRAM-backed for
   // security runs).
   SilozHypervisor(const AddressDecoder& decoder, PhysMemory& memory, SilozConfig config);
+  // Flushes lifetime event counts into the global metrics registry.
+  ~SilozHypervisor();
+  // Moving transfers the pending counts (the moved-from shell flushes zeros).
+  SilozHypervisor(SilozHypervisor&&) = default;
 
   // Early-boot computation (§5.3): derive subarray groups from the decoder,
   // provision logical nodes, reserve + guard the EPT block, offline guard
@@ -169,6 +174,32 @@ class SilozHypervisor {
   PhysMemory& memory_;
   SilozConfig config_;
   bool booted_ = false;
+
+  // Lifetime event counts, flushed to the metrics registry at destruction.
+  // Mutable because const paths (audits, DMA translation) still detect and
+  // count integrity violations.
+  struct HvCounters {
+    uint64_t alloc_pages = 0;      // successful AllocatePages blocks
+    uint64_t alloc_denied = 0;     // kPermissionDenied by allocation policy
+    uint64_t vms_created = 0;
+    uint64_t vms_destroyed = 0;
+    uint64_t ept_pool_pages = 0;   // pages seeded into per-socket EPT pools
+    uint64_t ept_guard_pages = 0;  // guard-row pages offlined around them
+    uint64_t ept_violations = 0;   // kIntegrityViolation detections
+
+    HvCounters() = default;
+    // Zero the source so a moved-from hypervisor cannot flush the counts a
+    // second time at its own destruction.
+    HvCounters(HvCounters&& other) noexcept
+        : alloc_pages(std::exchange(other.alloc_pages, 0)),
+          alloc_denied(std::exchange(other.alloc_denied, 0)),
+          vms_created(std::exchange(other.vms_created, 0)),
+          vms_destroyed(std::exchange(other.vms_destroyed, 0)),
+          ept_pool_pages(std::exchange(other.ept_pool_pages, 0)),
+          ept_guard_pages(std::exchange(other.ept_guard_pages, 0)),
+          ept_violations(std::exchange(other.ept_violations, 0)) {}
+  };
+  mutable HvCounters obs_counts_;
 
   uint32_t effective_rows_per_subarray_ = 0;
   bool using_artificial_groups_ = false;

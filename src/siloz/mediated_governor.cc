@@ -1,6 +1,24 @@
 #include "src/siloz/mediated_governor.h"
 
+#include "src/obs/metrics.h"
+
 namespace siloz {
+
+MediatedAccessGovernor::~MediatedAccessGovernor() {
+  uint64_t admitted = 0;
+  uint64_t throttled = 0;
+  for (const auto& [vm, bucket] : buckets_) {
+    admitted += bucket.admitted;
+    throttled += bucket.throttled;
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  if (admitted > 0) {
+    registry.GetCounter("hv.governor.admitted").Add(admitted);
+  }
+  if (throttled > 0) {
+    registry.GetCounter("hv.governor.throttled").Add(throttled);
+  }
+}
 
 Status MediatedAccessGovernor::Charge(VmId vm, uint64_t now_ns) {
   Bucket& bucket = buckets_[vm];

@@ -30,6 +30,8 @@ struct GovernorConfig {
 class MediatedAccessGovernor {
  public:
   explicit MediatedAccessGovernor(GovernorConfig config) : config_(config) {}
+  // Flushes total grants/denials into the global metrics registry.
+  ~MediatedAccessGovernor();
 
   // Charge one exit-induced host access by `vm` at time `now_ns`.
   // Ok => the host may perform the access now; kPermissionDenied => the

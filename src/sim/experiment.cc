@@ -7,6 +7,8 @@
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
 #include "src/memctl/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace siloz {
 namespace {
@@ -107,6 +109,9 @@ Result<TrialOutcome> RunTrial(const RunnerConfig& config, const WorkloadSpec& sp
 }  // namespace
 
 Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+  if (!config.trace_out.empty()) {
+    obs::Tracer::Global().Enable();
+  }
   // Fork one noise stream per trial up front, in trial order, so the streams
   // depend only on (seed, variant, trial index) — never on which thread runs
   // the trial or in what order trials finish.
@@ -120,11 +125,18 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
   std::vector<Result<TrialOutcome>> outcomes(config.trials,
                                              Result<TrialOutcome>(TrialOutcome{}));
   PhaseTimer timer("trials");
-  ThreadPool pool(config.threads);
-  pool.ParallelFor(0, config.trials, [&](uint64_t trial) {
-    outcomes[trial] =
-        RunTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
-  });
+  PoolMetrics pool_metrics;
+  {
+    // Scoped so the pool's destructor flushes its scheduler counters before
+    // any metrics file below is written.
+    ThreadPool pool(config.threads);
+    obs::TraceSpan span("trials:" + spec.name);
+    pool.ParallelFor(0, config.trials, [&](uint64_t trial) {
+      outcomes[trial] =
+          RunTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
+    });
+    pool_metrics = pool.metrics();
+  }
 
   // Deterministic merge: trial order, lowest-index error wins.
   RunMeasurement measurement;
@@ -141,7 +153,13 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
     measurement.flip_phys.insert(measurement.flip_phys.end(), outcome.flip_phys.begin(),
                                  outcome.flip_phys.end());
   }
-  measurement.pool = timer.Finish(pool.metrics());
+  measurement.pool = timer.Finish(pool_metrics);
+  if (!config.metrics_out.empty()) {
+    obs::WriteMetricsJson(config.metrics_out);
+  }
+  if (!config.trace_out.empty()) {
+    obs::WriteTraceJson(config.trace_out);
+  }
   return measurement;
 }
 
@@ -151,14 +169,23 @@ Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>
   std::vector<Result<RunMeasurement>> runs(points.size(),
                                            Result<RunMeasurement>(RunMeasurement{}));
   PhaseTimer timer("grid");
-  ThreadPool pool(threads);
-  pool.ParallelFor(0, points.size(), [&](uint64_t i) {
-    GridPoint point = points[i];
-    point.config.threads = 1;  // the grid is the only level of parallelism
-    runs[i] = RunWorkload(point.config, point.workload);
-  });
+  PoolMetrics pool_metrics;
+  {
+    ThreadPool pool(threads);
+    obs::TraceSpan span("grid");
+    pool.ParallelFor(0, points.size(), [&](uint64_t i) {
+      GridPoint point = points[i];
+      point.config.threads = 1;  // the grid is the only level of parallelism
+      // Writing observability files per point would race and interleave;
+      // the grid's caller writes once after all points complete.
+      point.config.metrics_out.clear();
+      point.config.trace_out.clear();
+      runs[i] = RunWorkload(point.config, point.workload);
+    });
+    pool_metrics = pool.metrics();
+  }
   if (metrics != nullptr) {
-    *metrics = timer.Finish(pool.metrics());
+    *metrics = timer.Finish(pool_metrics);
   }
 
   std::vector<RunMeasurement> measurements;

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "src/base/bitops.h"
 #include "src/base/check.h"
@@ -247,6 +248,64 @@ TEST(StatsTest, TCriticalMonotone) {
   EXPECT_GT(TCritical95(1), TCritical95(5));
   EXPECT_GT(TCritical95(5), TCritical95(30));
   EXPECT_DOUBLE_EQ(TCritical95(1000), 1.96);
+}
+
+TEST(StatsTest, MergeEmptyIntoPopulatedIsANoOp) {
+  // Regression: parallel phases merge per-task accumulators in task order,
+  // and a task can legitimately contribute zero samples (an empty shard).
+  // Merging that empty accumulator must not perturb any moment — min/max
+  // must not absorb the empty side's sentinel defaults.
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(v);
+  }
+  const RunningStat before = stat;
+  stat.Merge(RunningStat{});
+  EXPECT_EQ(stat.count(), before.count());
+  EXPECT_EQ(stat.mean(), before.mean());
+  EXPECT_EQ(stat.stddev(), before.stddev());
+  EXPECT_EQ(stat.ci95_halfwidth(), before.ci95_halfwidth());
+  EXPECT_EQ(stat.min(), before.min());
+  EXPECT_EQ(stat.max(), before.max());
+}
+
+TEST(StatsTest, MergePopulatedIntoEmptyCopies) {
+  RunningStat populated;
+  populated.Add(3.0);
+  populated.Add(11.0);
+  RunningStat empty;
+  empty.Merge(populated);
+  EXPECT_EQ(empty.count(), populated.count());
+  EXPECT_EQ(empty.mean(), populated.mean());
+  EXPECT_EQ(empty.stddev(), populated.stddev());
+  EXPECT_EQ(empty.min(), populated.min());
+  EXPECT_EQ(empty.max(), populated.max());
+}
+
+TEST(StatsTest, MergeMatchesSerialAccumulation) {
+  // Interleaving empties among populated shards must still reproduce the
+  // serial result bit-for-bit — the exact situation of a sharded trial loop
+  // where some shards receive no work.
+  std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat serial;
+  for (double v : samples) {
+    serial.Add(v);
+  }
+  RunningStat left;
+  RunningStat right;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    (i < samples.size() / 2 ? left : right).Add(samples[i]);
+  }
+  RunningStat merged;
+  merged.Merge(RunningStat{});  // leading empty shard
+  merged.Merge(left);
+  merged.Merge(RunningStat{});  // interior empty shard
+  merged.Merge(right);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.mean(), serial.mean());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+  EXPECT_NEAR(merged.stddev(), serial.stddev(), 1e-12);
 }
 
 // --- Bitops ---

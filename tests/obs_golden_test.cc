@@ -1,0 +1,109 @@
+// Golden tests pinning the metrics JSON schema: the document shape
+// ({"schema":1,"model":...,"sched":...}), the per-section key set
+// (counters / gauges / histograms), name-sorted ordering, and the sparse
+// histogram encoding. Consumers (scripts/diff_model_metrics.py, the CI
+// metrics diff, downstream notebooks) parse these bytes; a change here is an
+// interface change and must be deliberate — update the goldens in the same
+// commit as the serializer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/addr/decoder.h"
+#include "src/audit/auditor.h"
+#include "src/base/units.h"
+#include "src/dram/remap.h"
+#include "src/obs/metrics.h"
+
+namespace siloz {
+namespace {
+
+using obs::Domain;
+using obs::Registry;
+
+TEST(ObsGoldenTest, EmptyRegistryDocument) {
+  Registry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"schema\":1,"
+            "\"model\":{\"counters\":{},\"gauges\":{},\"histograms\":{}},"
+            "\"sched\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}}");
+}
+
+TEST(ObsGoldenTest, PopulatedDocumentBytes) {
+  Registry registry;
+  registry.GetCounter("memctl.s0.act", Domain::kModel).Add(7);
+  registry.GetCounter("pool.steals", Domain::kSched).Add(3);
+  registry.GetGauge("hv.pool.free", Domain::kModel).Set(-2);
+  obs::Histogram& histogram =
+      registry.GetHistogram("audit.blast_radius.probes_per_shard", Domain::kModel);
+  histogram.Observe(0);
+  histogram.Observe(1);
+  histogram.Observe(5);
+  histogram.Observe(5);
+  EXPECT_EQ(registry.ToJson(),
+            "{\"schema\":1,"
+            "\"model\":{"
+            "\"counters\":{\"memctl.s0.act\":7},"
+            "\"gauges\":{\"hv.pool.free\":-2},"
+            "\"histograms\":{\"audit.blast_radius.probes_per_shard\":"
+            "{\"count\":4,\"sum\":11,\"buckets\":[[0,1],[1,1],[4,2]]}}},"
+            "\"sched\":{"
+            "\"counters\":{\"pool.steals\":3},"
+            "\"gauges\":{},"
+            "\"histograms\":{}}}");
+}
+
+TEST(ObsGoldenTest, KeysSerializeNameSorted) {
+  Registry registry;
+  registry.GetCounter("zeta").Add(1);
+  registry.GetCounter("alpha").Add(2);
+  registry.GetCounter("mid.dle").Add(3);
+  EXPECT_EQ(registry.SectionJson(Domain::kModel),
+            "{\"counters\":{\"alpha\":2,\"mid.dle\":3,\"zeta\":1},"
+            "\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsGoldenTest, ResetKeepsKeysAndZeroesValues) {
+  // Reset is value-only: the exported key set must not shrink, so diffs of
+  // before/after-reset documents compare values, never schemas.
+  Registry registry;
+  registry.GetCounter("kept.counter").Add(9);
+  registry.Reset();
+  EXPECT_EQ(registry.SectionJson(Domain::kModel),
+            "{\"counters\":{\"kept.counter\":0},\"gauges\":{},\"histograms\":{}}");
+}
+
+// Pins the model-domain key set an end-to-end audit run exports: the exact
+// metric names the instrumented components (hypervisor, thread pool,
+// auditor) flush. New instrumentation must update this list — the CI metrics
+// diff keys on these names. This is the only test in this binary that
+// touches Registry::Global(), so the set is order-independent.
+TEST(ObsGoldenTest, AuditRunModelKeySet) {
+  obs::Registry::Global().Reset();
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  audit::Options options;
+  options.probe_stride = 16_MiB;
+  options.random_probes = 256;
+  options.threads = 1;
+  Result<audit::Report> report =
+      audit::AuditPlatform(decoder, SilozConfig{}, RemapConfig{}, options);
+  ASSERT_TRUE(report.ok()) << report.error().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToText();
+  EXPECT_EQ(obs::Registry::Global().SectionJson(Domain::kModel),
+            "{\"counters\":{"
+            "\"audit.probes.blast-radius\":4188160,"
+            "\"audit.probes.decoder-invertibility\":30977,"
+            "\"audit.probes.domain-closure\":553216,"
+            "\"audit.probes.guard-fencing\":32,"
+            "\"hv.ept.guard_pages\":23808,"
+            "\"hv.ept.pool_pages\":768,"
+            "\"pool.tasks\":256},"
+            "\"gauges\":{},"
+            "\"histograms\":{\"audit.blast_radius.probes_per_shard\":"
+            "{\"count\":256,\"sum\":4188160,\"buckets\":[[8192,256]]}}}");
+}
+
+}  // namespace
+}  // namespace siloz

@@ -15,6 +15,7 @@
 #include "src/audit/auditor.h"
 #include "src/base/units.h"
 #include "src/dram/remap.h"
+#include "src/obs/metrics.h"
 #include "src/sim/colocated.h"
 #include "src/sim/experiment.h"
 #include "src/workload/workloads.h"
@@ -195,6 +196,76 @@ TEST(ParallelDeterminismTest, AuditReportBytesIdenticalAcrossThreadCounts) {
     // must not depend on how the scan was sharded or scheduled.
     EXPECT_EQ(serial->ToJson(), report->ToJson()) << "threads=" << threads;
     EXPECT_EQ(serial->ToText(), report->ToText()) << "threads=" << threads;
+  }
+}
+
+// --- Metrics determinism (DESIGN.md §9) ------------------------------------
+//
+// Model-domain metric *values* join the contract: flush points are
+// deterministic program points and integer addition commutes across shards,
+// so the serialized model section must be byte-identical for every thread
+// count. (The sched section — steals, sleeps — measures the host and is
+// exempt.) The registry is process-global and Reset() is value-only, so the
+// key set can only grow; resetting before each run makes the captures
+// comparable whatever ran earlier in this binary.
+
+TEST(ParallelDeterminismTest, RunWorkloadModelMetricsIdenticalAcrossThreadCounts) {
+  // Fault tracking on, so the capture spans every instrumented layer:
+  // memctl per-bank-group commands, dram disturbance probes and flips,
+  // hypervisor allocations, and the pool task count.
+  WorkloadSpec spec = SmallWorkload("mlc-stream");
+  spec.accesses = 40000;
+  spec.footprint_bytes = 4ull << 20;
+  spec.sequential_locality = 0.0;
+  RunnerConfig config = SmallConfig();
+  config.trials = 4;
+  config.fault_tracking = true;
+  DimmProfile weak;
+  weak.disturbance.threshold_mean = 50.0;
+  weak.disturbance.threshold_spread = 0.1;
+  weak.trr.enabled = false;
+  config.dimm_profiles = {weak};
+
+  std::string serial_metrics;
+  for (const uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    obs::Registry::Global().Reset();
+    Result<RunMeasurement> run = RunWorkload(config, spec);
+    ASSERT_TRUE(run.ok()) << run.error().ToString();
+    const std::string metrics = obs::Registry::Global().SectionJson(obs::Domain::kModel);
+    if (threads == 1) {
+      serial_metrics = metrics;
+      // Guard against vacuity: the capture must actually contain the
+      // instrumented layers, not an empty section.
+      EXPECT_NE(metrics.find("memctl.s0.bg0.act"), std::string::npos) << metrics;
+      EXPECT_NE(metrics.find("dram."), std::string::npos) << metrics;
+      EXPECT_NE(metrics.find("pool.tasks"), std::string::npos) << metrics;
+    } else {
+      EXPECT_EQ(metrics, serial_metrics) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, AuditModelMetricsIdenticalAcrossThreadCounts) {
+  DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  std::string serial_metrics;
+  for (const uint32_t threads : kThreadCounts) {
+    obs::Registry::Global().Reset();
+    Result<audit::Report> report =
+        audit::AuditPlatform(decoder, SilozConfig{}, RemapConfig{}, AuditOptions(threads));
+    ASSERT_TRUE(report.ok()) << report.error().ToString();
+    const std::string metrics = obs::Registry::Global().SectionJson(obs::Domain::kModel);
+    if (threads == 1) {
+      serial_metrics = metrics;
+      EXPECT_NE(metrics.find("audit.probes.blast-radius"), std::string::npos) << metrics;
+      // The probes-per-shard histogram merges shard-local reports in shard
+      // order; its buckets are part of the model section and must hold.
+      EXPECT_NE(metrics.find("audit.blast_radius.probes_per_shard"), std::string::npos)
+          << metrics;
+    } else {
+      EXPECT_EQ(metrics, serial_metrics) << "threads=" << threads;
+    }
   }
 }
 

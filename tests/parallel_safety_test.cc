@@ -16,6 +16,8 @@
 #include "src/base/thread_pool.h"
 #include "src/base/units.h"
 #include "src/dram/remap.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/experiment.h"
 #include "src/workload/workloads.h"
 
@@ -94,6 +96,77 @@ TEST(ParallelSafetyTest, ParallelAuditScan) {
   ASSERT_TRUE(report.ok()) << report.error().ToString();
   EXPECT_TRUE(report->ok()) << report->ToText();
   EXPECT_EQ(report->scan_pool.workers, 8u);
+}
+
+TEST(ParallelSafetyTest, MetricsRegistryIsSafeUnderConcurrentWritersAndSnapshots) {
+  // Writers hammer shared metrics (and keep registering names, exercising
+  // the registration mutex) while a reader snapshots mid-flight. TSan checks
+  // the shard accesses; the only result check is the exact post-join sum.
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter& counter = registry.GetCounter("safety.obs.counter");
+  counter.Reset();
+  obs::Gauge& gauge = registry.GetGauge("safety.obs.gauge");
+  obs::Histogram& histogram = registry.GetHistogram("safety.obs.histogram");
+  constexpr int kWriters = 8;
+  constexpr uint64_t kPerWriter = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Counter& named =
+          registry.GetCounter("safety.obs.writer." + std::to_string(t % 2));
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.Increment();
+        named.Increment();
+        gauge.Add(1);
+        histogram.Observe(i);
+      }
+    });
+  }
+  threads.emplace_back([&registry] {
+    for (int i = 0; i < 50; ++i) {
+      registry.ToJson();  // concurrent snapshot: torn totals are fine, races are not
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), kWriters * kPerWriter);
+  EXPECT_GE(histogram.Snapshot().count, kWriters * kPerWriter);
+}
+
+TEST(ParallelSafetyTest, TracerIsSafeUnderConcurrentSpansAndControl) {
+  // Spans from many threads race Enable/Disable/Reset and export; every
+  // combination must be race-free (the CLI toggles the tracer while
+  // instrumented phases are already running).
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.Enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        obs::TraceSpan span("safety-span");
+      }
+    });
+  }
+  threads.emplace_back([&tracer] {
+    for (int i = 0; i < 20; ++i) {
+      tracer.ToJson();
+      tracer.NowMicros();
+    }
+  });
+  threads.emplace_back([&tracer] {
+    for (int i = 0; i < 10; ++i) {
+      tracer.Disable();
+      tracer.Enable();
+      tracer.Reset();
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  tracer.Disable();
+  tracer.Reset();
 }
 
 TEST(ParallelSafetyTest, LogSinkIsSafeUnderConcurrentWriters) {

@@ -23,6 +23,8 @@
 #include "src/audit/auditor.h"
 #include "src/audit/corrupt_decoder.h"
 #include "src/dram/remap.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 using namespace siloz;
 
@@ -73,7 +75,10 @@ int Usage() {
                "  --scrambling                    model vendor row-bit scrambling\n"
                "  --threads N                     blast-radius scan workers (0 = auto,\n"
                "                                  1 = serial; findings identical for all N)\n"
-               "  --json                          machine-readable report\n");
+               "  --json                          machine-readable report\n"
+               "  --metrics-out FILE              write the metrics registry as JSON (model\n"
+               "                                  values identical for every --threads)\n"
+               "  --trace-out FILE                record + write a Chrome trace-event log\n");
   return 1;
 }
 
@@ -82,7 +87,8 @@ bool ValidateFlags(int argc, char** argv) {
   static const char* kValueFlags[] = {"--decoder",   "--subarray-rows", "--silicon-rows",
                                       "--host-groups", "--ept-block",   "--ept-offset",
                                       "--stride",    "--random-probes", "--max-findings",
-                                      "--corrupt",   "--threads"};
+                                      "--corrupt",   "--threads",       "--metrics-out",
+                                      "--trace-out"};
   static const char* kBoolFlags[] = {"--ddr5", "--exhaustive", "--scrambling", "--json",
                                      "--help", "-h"};
   for (int i = 1; i < argc; ++i) {
@@ -181,6 +187,12 @@ int main(int argc, char** argv) {
     truth = corrupted.get();
   }
 
+  const std::string metrics_out = FlagString(argc, argv, "--metrics-out", "");
+  const std::string trace_out = FlagString(argc, argv, "--trace-out", "");
+  if (!trace_out.empty()) {
+    obs::Tracer::Global().Enable();
+  }
+
   Result<audit::Report> report =
       audit::AuditProvisioningPlan(*decoder, *truth, config, remap, options);
   if (!report.ok()) {
@@ -200,5 +212,13 @@ int main(int argc, char** argv) {
                report->scan_pool.workers,
                static_cast<unsigned long long>(report->scan_pool.tasks),
                static_cast<unsigned long long>(report->scan_pool.steals), report->scan_wall_ms);
+  // AuditProvisioningPlan keeps its hypervisor and pool function-local, so
+  // every model counter has been flushed by now.
+  if (!metrics_out.empty() && !obs::WriteMetricsJson(metrics_out)) {
+    return 1;
+  }
+  if (!trace_out.empty() && !obs::WriteTraceJson(trace_out)) {
+    return 1;
+  }
   return report->ok() ? 0 : 2;
 }
