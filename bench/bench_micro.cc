@@ -79,11 +79,16 @@ void BM_ControllerServe(benchmark::State& state) {
 BENCHMARK(BM_ControllerServe);
 
 void BM_DisturbanceActivate(benchmark::State& state) {
+  // The device hot path: sink-based delivery, sink reused across ACTs so the
+  // no-flip case never touches the allocator.
   DisturbanceModel model(DisturbanceProfile{}, Geometry().rows_per_bank, 1024, 4096 * 8);
+  FlipSink sink;
   uint64_t now = 0;
   uint32_t row = 5000;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.OnActivate(0, HalfRowSide::kA, row, now));
+    sink.Clear();
+    model.OnActivate(0, HalfRowSide::kA, row, now, sink);
+    benchmark::DoNotOptimize(sink);
     row ^= 32;  // alternate two rows
     now += 50;
   }

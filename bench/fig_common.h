@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
 #include "src/workload/workloads.h"
@@ -59,6 +60,22 @@ inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantS
     return false;
   }
   std::fprintf(stderr, "%s\n", grid_metrics.ToText().c_str());
+
+  // Host throughput of the run, on stderr with the rest of the scheduler
+  // telemetry (stdout tables stay byte-identical). Counted in the sched
+  // domain: wall-clock facts, legitimately variable run to run, excluded
+  // from the determinism diffs.
+  uint64_t simulated_requests = 0;
+  for (const GridPoint& point : points) {
+    simulated_requests += static_cast<uint64_t>(point.config.trials) * point.workload.accesses;
+  }
+  obs::Registry::Global()
+      .GetCounter("bench.simulated_requests", obs::Domain::kSched)
+      .Add(simulated_requests);
+  const double wall_s = grid_metrics.wall_ms / 1000.0;
+  std::fprintf(stderr, "%s: %llu simulated requests in %.2f s wall (%.2f Mreq/s)\n",
+               experiment, static_cast<unsigned long long>(simulated_requests), wall_s,
+               wall_s > 0.0 ? simulated_requests / wall_s / 1e6 : 0.0);
 
   // Re-shape into per-variant rows, variant-major as the tables expect.
   std::vector<std::vector<RunMeasurement>> measurements(variants.size() + 1);

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Checks bench_hotpath against the committed BENCH_hotpath.json baseline.
+
+Two contracts, enforced at different strengths:
+
+- Checksums (and iteration counts) are part of the determinism contract.
+  Any mismatch against the committed baseline is a HARD FAILURE (exit 1):
+  an optimization changed what the hot paths compute, not just how fast.
+  The benchmark binary itself also exits nonzero if a checksum differs
+  between its own repetitions; that failure is propagated.
+
+- Timings are advisory. Wall-clock depends on the host, so a ns/op outside
+  the tolerance band (default +/-25%) prints a warning but still exits 0.
+  Use the warning as a prompt to re-baseline deliberately, never silently.
+
+Usage:
+  check_bench_regression.py --bench build/bench/bench_hotpath \
+      --baseline BENCH_hotpath.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="path to the bench_hotpath binary")
+    parser.add_argument("--baseline", required=True, help="committed BENCH_hotpath.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="advisory relative timing band (0.25 = +/-25%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)["benchmarks"]
+
+    proc = subprocess.run(
+        [args.bench, "--json"], capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        print("FAIL: benchmark exited nonzero (intra-run determinism violation?)")
+        return 1
+    current = json.loads(proc.stdout)["benchmarks"]
+
+    failed = False
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            print(f"FAIL: {name}: missing from benchmark output")
+            failed = True
+            continue
+        if cur["iters"] != base["iters"] or cur["checksum"] != base["checksum"]:
+            print(
+                f"FAIL: {name}: checksum {cur['checksum']} over {cur['iters']} iters "
+                f"!= committed {base['checksum']} over {base['iters']} iters "
+                "(determinism regression, or the bench changed without re-baselining)"
+            )
+            failed = True
+            continue
+        ratio = cur["ns_per_op"] / base["ns_per_op"]
+        status = "ok"
+        if ratio > 1.0 + args.tolerance:
+            status = f"ADVISORY: slower than baseline (x{ratio:.2f})"
+        elif ratio < 1.0 - args.tolerance:
+            status = f"ADVISORY: faster than baseline (x{ratio:.2f}) — consider re-baselining"
+        print(
+            f"{name}: {cur['ns_per_op']:.2f} ns/op vs baseline {base['ns_per_op']:.2f} "
+            f"— {status}"
+        )
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"ADVISORY: {name}: not in baseline (add it to {args.baseline})")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

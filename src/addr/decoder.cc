@@ -21,55 +21,27 @@ SkylakeDecoder::SkylakeDecoder(const DramGeometry& geometry) : geometry_(geometr
   rows_per_region_ = kRowGroupsPerChunk * kHalvesPerRegion * chunks_per_half_;
   SILOZ_CHECK_EQ(geometry_.rows_per_bank % rows_per_region_, 0u)
       << "rows_per_bank must be a multiple of " << rows_per_region_;
-}
-
-Result<MediaAddress> SkylakeDecoder::PhysToMedia(uint64_t phys) const {
-  if (phys >= geometry_.total_bytes()) {
-    return MakeError(ErrorCode::kOutOfRange, "phys 0x" + std::to_string(phys) + " beyond DRAM");
-  }
-  MediaAddress media;
-  media.socket = static_cast<uint32_t>(phys / geometry_.socket_bytes());
-  const uint64_t socket_off = phys % geometry_.socket_bytes();
-
-  // 768 MiB-aligned region, then the A/B half-range and its 24 MiB chunk.
-  const uint64_t region = socket_off / region_bytes_;
-  const uint64_t region_off = socket_off % region_bytes_;
-  const uint64_t half_bytes = region_bytes_ / kHalvesPerRegion;
-  const uint64_t half = region_off / half_bytes;  // 0 = range A, 1 = range B
-  const uint64_t half_off = region_off % half_bytes;
-  const uint64_t chunk = half_off / chunk_bytes_;
-  const uint64_t chunk_off = half_off % chunk_bytes_;
-  // Chunks of A and B alternate in ascending row groups (§4.2).
-  const uint64_t row_base =
-      region * rows_per_region_ + (chunk * kHalvesPerRegion + half) * kRowGroupsPerChunk;
-
-  // Within a chunk: cache lines interleave across channels first, then across
-  // the channel's DIMM/rank/bank combinations, then across columns and the
-  // chunk's 16 rows.
-  const uint64_t byte_in_line = chunk_off % kCacheLineBytes;
-  const uint64_t line = chunk_off / kCacheLineBytes;
-  media.channel = static_cast<uint32_t>(line % geometry_.channels_per_socket);
-  const uint64_t per_channel = line / geometry_.channels_per_socket;
-  const uint64_t bank_lin = per_channel % geometry_.banks_per_channel();
-  const uint64_t per_bank = per_channel / geometry_.banks_per_channel();
-  const uint64_t row_in_chunk = per_bank / lines_per_row_;
-  const uint64_t column_line = per_bank % lines_per_row_;
-
-  media.dimm = static_cast<uint32_t>(bank_lin / geometry_.banks_per_dimm());
-  media.rank =
-      static_cast<uint32_t>((bank_lin / geometry_.banks_per_rank) % geometry_.ranks_per_dimm);
-  media.bank = static_cast<uint32_t>(bank_lin % geometry_.banks_per_rank);
-  media.row = static_cast<uint32_t>(row_base + row_in_chunk);
-  media.column = static_cast<uint32_t>(column_line * kCacheLineBytes + byte_in_line);
-  return media;
+  SILOZ_CHECK_EQ(geometry_.socket_bytes() % region_bytes_, 0u);
+  regions_per_socket_ = static_cast<uint32_t>(geometry_.socket_bytes() / region_bytes_);
+  div_socket_bytes_ = FastDivider(geometry_.socket_bytes());
+  div_region_bytes_ = FastDivider(region_bytes_);
+  div_half_bytes_ = FastDivider(region_bytes_ / kHalvesPerRegion);
+  div_chunk_bytes_ = FastDivider(chunk_bytes_);
+  div_channels_ = FastDivider(geometry_.channels_per_socket);
+  div_banks_per_channel_ = FastDivider(geometry_.banks_per_channel());
+  div_lines_per_row_ = FastDivider(lines_per_row_);
+  div_banks_per_dimm_ = FastDivider(geometry_.banks_per_dimm());
+  div_banks_per_rank_ = FastDivider(geometry_.banks_per_rank);
+  div_ranks_per_dimm_ = FastDivider(geometry_.ranks_per_dimm);
+  div_rows_per_region_ = FastDivider(rows_per_region_);
 }
 
 Result<uint64_t> SkylakeDecoder::MediaToPhys(const MediaAddress& media) const {
   SILOZ_RETURN_IF_ERROR(ValidateAddress(geometry_, media));
 
   // Invert the row decomposition: region, interleaved chunk slot, row.
-  const uint64_t region = media.row / rows_per_region_;
-  const uint64_t row_in_region = media.row % rows_per_region_;
+  uint64_t row_in_region = 0;
+  const uint64_t region = div_rows_per_region_.DivMod(media.row, &row_in_region);
   const uint64_t slot = row_in_region / kRowGroupsPerChunk;  // chunk*2 + half
   const uint64_t row_in_chunk = row_in_region % kRowGroupsPerChunk;
   const uint64_t chunk = slot / kHalvesPerRegion;
@@ -101,6 +73,12 @@ LinearDecoder::LinearDecoder(const DramGeometry& geometry) : geometry_(geometry)
   SILOZ_CHECK(geometry_.Validate().ok());
   SILOZ_CHECK_EQ(geometry_.row_bytes % kCacheLineBytes, 0u);
   lines_per_row_ = geometry_.row_bytes / kCacheLineBytes;
+  div_bank_bytes_ = FastDivider(geometry_.bank_bytes());
+  div_banks_per_socket_ = FastDivider(geometry_.banks_per_socket());
+  div_banks_per_channel_ = FastDivider(geometry_.banks_per_channel());
+  div_banks_per_dimm_ = FastDivider(geometry_.banks_per_dimm());
+  div_banks_per_rank_ = FastDivider(geometry_.banks_per_rank);
+  div_row_bytes_ = FastDivider(geometry_.row_bytes);
 }
 
 Result<MediaAddress> LinearDecoder::PhysToMedia(uint64_t phys) const {
@@ -108,18 +86,20 @@ Result<MediaAddress> LinearDecoder::PhysToMedia(uint64_t phys) const {
     return MakeError(ErrorCode::kOutOfRange, "phys 0x" + std::to_string(phys) + " beyond DRAM");
   }
   MediaAddress media;
-  const uint64_t bank_global = phys / geometry_.bank_bytes();
-  const uint64_t bank_off = phys % geometry_.bank_bytes();
-  media.socket = static_cast<uint32_t>(bank_global / geometry_.banks_per_socket());
-  uint64_t in_socket = bank_global % geometry_.banks_per_socket();
-  media.channel = static_cast<uint32_t>(in_socket / geometry_.banks_per_channel());
-  in_socket %= geometry_.banks_per_channel();
-  media.dimm = static_cast<uint32_t>(in_socket / geometry_.banks_per_dimm());
-  in_socket %= geometry_.banks_per_dimm();
-  media.rank = static_cast<uint32_t>(in_socket / geometry_.banks_per_rank);
-  media.bank = static_cast<uint32_t>(in_socket % geometry_.banks_per_rank);
-  media.row = static_cast<uint32_t>(bank_off / geometry_.row_bytes);
-  media.column = static_cast<uint32_t>(bank_off % geometry_.row_bytes);
+  uint64_t bank_off = 0;
+  const uint64_t bank_global = div_bank_bytes_.DivMod(phys, &bank_off);
+  uint64_t in_socket = 0;
+  media.socket = static_cast<uint32_t>(div_banks_per_socket_.DivMod(bank_global, &in_socket));
+  uint64_t in_channel = 0;
+  media.channel = static_cast<uint32_t>(div_banks_per_channel_.DivMod(in_socket, &in_channel));
+  uint64_t in_dimm = 0;
+  media.dimm = static_cast<uint32_t>(div_banks_per_dimm_.DivMod(in_channel, &in_dimm));
+  uint64_t bank = 0;
+  media.rank = static_cast<uint32_t>(div_banks_per_rank_.DivMod(in_dimm, &bank));
+  media.bank = static_cast<uint32_t>(bank);
+  uint64_t column = 0;
+  media.row = static_cast<uint32_t>(div_row_bytes_.DivMod(bank_off, &column));
+  media.column = static_cast<uint32_t>(column);
   return media;
 }
 

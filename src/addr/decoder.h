@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "src/base/fastdiv.h"
 #include "src/base/result.h"
 #include "src/dram/geometry.h"
 
@@ -73,7 +74,52 @@ class SkylakeDecoder final : public AddressDecoder {
   explicit SkylakeDecoder(const DramGeometry& geometry);
 
   const DramGeometry& geometry() const override { return geometry_; }
-  Result<MediaAddress> PhysToMedia(uint64_t phys) const override;
+
+  // Header-inline: trace materialization decodes every generated access, and
+  // with the class final a devirtualized caller inlines the whole chain.
+  Result<MediaAddress> PhysToMedia(uint64_t phys) const override {
+    if (phys >= geometry_.total_bytes()) {
+      return MakeError(ErrorCode::kOutOfRange,
+                       "phys 0x" + std::to_string(phys) + " beyond DRAM");
+    }
+    MediaAddress media;
+    uint64_t socket_off = 0;
+    media.socket = static_cast<uint32_t>(div_socket_bytes_.DivMod(phys, &socket_off));
+
+    // 768 MiB-aligned region, then the A/B half-range and its 24 MiB chunk.
+    uint64_t region_off = 0;
+    const uint64_t region = div_region_bytes_.DivMod(socket_off, &region_off);
+    uint64_t half_off = 0;
+    const uint64_t half = div_half_bytes_.DivMod(region_off, &half_off);  // 0 = A, 1 = B
+    uint64_t chunk_off = 0;
+    const uint64_t chunk = div_chunk_bytes_.DivMod(half_off, &chunk_off);
+    // Chunks of A and B alternate in ascending row groups (§4.2).
+    const uint64_t row_base =
+        region * rows_per_region_ + (chunk * kHalvesPerRegion + half) * kRowGroupsPerChunk;
+
+    // Within a chunk: cache lines interleave across channels first, then
+    // across the channel's DIMM/rank/bank combinations, then across columns
+    // and the chunk's 16 rows. (kCacheLineBytes is a compile-time power of
+    // two; the compiler already emits shifts for it.)
+    const uint64_t byte_in_line = chunk_off % kCacheLineBytes;
+    const uint64_t line = chunk_off / kCacheLineBytes;
+    uint64_t channel = 0;
+    const uint64_t per_channel = div_channels_.DivMod(line, &channel);
+    media.channel = static_cast<uint32_t>(channel);
+    uint64_t bank_lin = 0;
+    const uint64_t per_bank = div_banks_per_channel_.DivMod(per_channel, &bank_lin);
+    uint64_t column_line = 0;
+    const uint64_t row_in_chunk = div_lines_per_row_.DivMod(per_bank, &column_line);
+
+    media.dimm = static_cast<uint32_t>(div_banks_per_dimm_.Divide(bank_lin));
+    media.rank = static_cast<uint32_t>(
+        div_ranks_per_dimm_.Mod(div_banks_per_rank_.Divide(bank_lin)));
+    media.bank = static_cast<uint32_t>(div_banks_per_rank_.Mod(bank_lin));
+    media.row = static_cast<uint32_t>(row_base + row_in_chunk);
+    media.column = static_cast<uint32_t>(column_line * kCacheLineBytes + byte_in_line);
+    return media;
+  }
+
   Result<uint64_t> MediaToPhys(const MediaAddress& media) const override;
   std::string name() const override { return "skylake"; }
 
@@ -81,6 +127,131 @@ class SkylakeDecoder final : public AddressDecoder {
   uint64_t chunk_bytes() const { return chunk_bytes_; }          // 24 MiB default
   uint64_t region_bytes() const { return region_bytes_; }        // 768 MiB default
   uint32_t row_groups_per_chunk() const { return kRowGroupsPerChunk; }
+
+  // Incremental decoder for line-aligned sequential scans. Advance() steps
+  // to the next cache line by rippling the interleave counters — channel,
+  // then bank, column, row, chunk, half, region, socket — instead of
+  // re-running the division cascade; on average that is ~1.2 counter
+  // increments per line. media() after Advance() equals
+  // *PhysToMedia(previous_phys + kCacheLineBytes) exactly (the carry paths
+  // reuse the decoder's own FastDividers), which decoder_test checks across
+  // every chunk/half/region/socket boundary. The caller must keep the
+  // cursor inside [0, total_bytes()): Advance() past the end is undefined.
+  class LineCursor {
+   public:
+    LineCursor(const SkylakeDecoder& decoder, uint64_t phys) : decoder_(decoder) {
+      Reset(phys);
+    }
+
+    const MediaAddress& media() const { return media_; }
+
+    // Re-seat the cursor at an arbitrary line-aligned physical address
+    // (full decode, same cost as PhysToMedia).
+    void Reset(uint64_t phys) {
+      SILOZ_DCHECK(phys < decoder_.geometry_.total_bytes());
+      SILOZ_DCHECK(phys % kCacheLineBytes == 0);
+      uint64_t socket_off = 0;
+      media_.socket =
+          static_cast<uint32_t>(decoder_.div_socket_bytes_.DivMod(phys, &socket_off));
+      uint64_t region_off = 0;
+      const uint64_t region = decoder_.div_region_bytes_.DivMod(socket_off, &region_off);
+      uint64_t half_off = 0;
+      const uint64_t half = decoder_.div_half_bytes_.DivMod(region_off, &half_off);
+      uint64_t chunk_off = 0;
+      const uint64_t chunk = decoder_.div_chunk_bytes_.DivMod(half_off, &chunk_off);
+      const uint64_t line = chunk_off / kCacheLineBytes;
+      uint64_t channel = 0;
+      const uint64_t per_channel = decoder_.div_channels_.DivMod(line, &channel);
+      uint64_t bank_lin = 0;
+      const uint64_t per_bank =
+          decoder_.div_banks_per_channel_.DivMod(per_channel, &bank_lin);
+      uint64_t column_line = 0;
+      const uint64_t row_in_chunk = decoder_.div_lines_per_row_.DivMod(per_bank, &column_line);
+      media_.channel = static_cast<uint32_t>(channel);
+      media_.dimm = static_cast<uint32_t>(decoder_.div_banks_per_dimm_.Divide(bank_lin));
+      media_.rank = static_cast<uint32_t>(
+          decoder_.div_ranks_per_dimm_.Mod(decoder_.div_banks_per_rank_.Divide(bank_lin)));
+      media_.bank = static_cast<uint32_t>(decoder_.div_banks_per_rank_.Mod(bank_lin));
+      media_.row = static_cast<uint32_t>(
+          region * decoder_.rows_per_region_ +
+          (chunk * kHalvesPerRegion + half) * kRowGroupsPerChunk + row_in_chunk);
+      media_.column = static_cast<uint32_t>(column_line * kCacheLineBytes);
+      bank_lin_ = static_cast<uint32_t>(bank_lin);
+      column_line_ = static_cast<uint32_t>(column_line);
+      row_in_chunk_ = static_cast<uint32_t>(row_in_chunk);
+      chunk_ = static_cast<uint32_t>(chunk);
+      half_ = static_cast<uint32_t>(half);
+      region_ = static_cast<uint32_t>(region);
+    }
+
+    // Step to the next cache line. Channels carry first (the common exit),
+    // so most calls are one increment and one compare.
+    void Advance() {
+      const uint32_t channel = media_.channel + 1;
+      if (channel < decoder_.geometry_.channels_per_socket) [[likely]] {
+        media_.channel = channel;
+        return;
+      }
+      media_.channel = 0;
+      AdvanceBank();
+    }
+
+   private:
+    void AdvanceBank() {
+      const uint32_t bank_lin = bank_lin_ + 1;
+      if (bank_lin < decoder_.geometry_.banks_per_channel()) {
+        bank_lin_ = bank_lin;
+        media_.dimm = static_cast<uint32_t>(decoder_.div_banks_per_dimm_.Divide(bank_lin));
+        media_.rank = static_cast<uint32_t>(
+            decoder_.div_ranks_per_dimm_.Mod(decoder_.div_banks_per_rank_.Divide(bank_lin)));
+        media_.bank = static_cast<uint32_t>(decoder_.div_banks_per_rank_.Mod(bank_lin));
+        return;
+      }
+      bank_lin_ = 0;
+      media_.dimm = 0;
+      media_.rank = 0;
+      media_.bank = 0;
+      const uint32_t column_line = column_line_ + 1;
+      if (column_line < decoder_.lines_per_row_) {
+        column_line_ = column_line;
+        media_.column = column_line * kCacheLineBytes;
+        return;
+      }
+      column_line_ = 0;
+      media_.column = 0;
+      const uint32_t row_in_chunk = row_in_chunk_ + 1;
+      if (row_in_chunk < kRowGroupsPerChunk) {
+        row_in_chunk_ = row_in_chunk;
+        ++media_.row;
+        return;
+      }
+      row_in_chunk_ = 0;
+      // The chunk is exhausted: physically the next line sits in the next
+      // chunk of the same half (A/B halves are contiguous byte ranges), so
+      // the row jumps by a whole interleave slot.
+      if (++chunk_ == decoder_.chunks_per_half_) {
+        chunk_ = 0;
+        if (++half_ == kHalvesPerRegion) {
+          half_ = 0;
+          if (++region_ == decoder_.regions_per_socket_) {
+            region_ = 0;
+            ++media_.socket;
+          }
+        }
+      }
+      media_.row = region_ * decoder_.rows_per_region_ +
+                   (chunk_ * kHalvesPerRegion + half_) * kRowGroupsPerChunk;
+    }
+
+    const SkylakeDecoder& decoder_;
+    MediaAddress media_;
+    uint32_t bank_lin_ = 0;      // (dimm, rank, bank) linearized within channel
+    uint32_t column_line_ = 0;   // cache line within the row
+    uint32_t row_in_chunk_ = 0;  // row group within the 24 MiB chunk
+    uint32_t chunk_ = 0;         // chunk within the half-range
+    uint32_t half_ = 0;          // A/B half within the region
+    uint32_t region_ = 0;        // region within the socket
+  };
 
  private:
   // n = 16 row groups per chunk (24 MiB on the evaluation geometry, §4.2).
@@ -94,6 +265,22 @@ class SkylakeDecoder final : public AddressDecoder {
   uint64_t region_bytes_;      // chunks covering 512 rows by default
   uint32_t rows_per_region_;   // row indices covered by one region
   uint32_t chunks_per_half_;   // chunks in each 384 MiB half-range
+  uint32_t regions_per_socket_;  // socket_bytes / region_bytes (exact)
+
+  // Divide-free fast paths: every divisor in the decode chain is fixed at
+  // construction, so the udiv/urem chains collapse to multiply-shift
+  // reciprocals (exact for all inputs — see fastdiv.h).
+  FastDivider div_socket_bytes_;
+  FastDivider div_region_bytes_;
+  FastDivider div_half_bytes_;
+  FastDivider div_chunk_bytes_;
+  FastDivider div_channels_;
+  FastDivider div_banks_per_channel_;
+  FastDivider div_lines_per_row_;
+  FastDivider div_banks_per_dimm_;
+  FastDivider div_banks_per_rank_;
+  FastDivider div_ranks_per_dimm_;
+  FastDivider div_rows_per_region_;
 };
 
 // Simple linear decoder: physical bytes fill one bank completely before the
@@ -112,6 +299,13 @@ class LinearDecoder final : public AddressDecoder {
  private:
   DramGeometry geometry_;
   uint64_t lines_per_row_;
+
+  FastDivider div_bank_bytes_;
+  FastDivider div_banks_per_socket_;
+  FastDivider div_banks_per_channel_;
+  FastDivider div_banks_per_dimm_;
+  FastDivider div_banks_per_rank_;
+  FastDivider div_row_bytes_;
 };
 
 // Sub-NUMA-clustering variant (§8.1): the socket is split into `clusters`

@@ -1,9 +1,42 @@
 #include "src/addr/subarray_group.h"
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "src/base/check.h"
 #include "src/base/units.h"
 
 namespace siloz {
+namespace {
+
+// Build() probes every page of DRAM through the decoder — ~100k decodes plus
+// extent merging — and experiment grids re-run it for every trial's freshly
+// constructed hypervisor with identical inputs. The result is a pure
+// function of (decoder mapping, rows_per_subarray, probe_page), so cache it
+// for the stock decoder types, whose mapping is fully determined by
+// name() + geometry. Decoders outside that set (test fakes, the audit's
+// corrupted wrappers) are never cached: their name/geometry pair does not
+// pin down the mapping.
+struct BuildCacheEntry {
+  std::string decoder_name;
+  DramGeometry geometry;
+  uint32_t rows_per_subarray = 0;
+  uint64_t probe_page = 0;
+  SubarrayGroupMap map;  // decoder_ cleared; re-pointed on every hit
+};
+
+std::mutex build_cache_mutex;
+std::vector<BuildCacheEntry> build_cache;
+constexpr size_t kBuildCacheMaxEntries = 8;
+
+bool IsStockDecoder(const AddressDecoder& decoder) {
+  return dynamic_cast<const SkylakeDecoder*>(&decoder) != nullptr ||
+         dynamic_cast<const LinearDecoder*>(&decoder) != nullptr ||
+         dynamic_cast<const SncDecoder*>(&decoder) != nullptr;
+}
+
+}  // namespace
 
 uint32_t SubarrayGroupMap::GroupOfMedia(const MediaAddress& media) const {
   const uint32_t cluster = decoder_->ClusterOf(media);
@@ -23,6 +56,21 @@ Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
   }
   if (probe_page == 0 || geometry.total_bytes() % probe_page != 0) {
     return MakeError(ErrorCode::kInvalidArgument, "probe_page must divide total DRAM size");
+  }
+
+  const bool cacheable = IsStockDecoder(decoder);
+  std::string decoder_name;
+  if (cacheable) {
+    decoder_name = decoder.name();
+    std::lock_guard<std::mutex> lock(build_cache_mutex);
+    for (const BuildCacheEntry& entry : build_cache) {
+      if (entry.decoder_name == decoder_name && entry.geometry == geometry &&
+          entry.rows_per_subarray == rows_per_subarray && entry.probe_page == probe_page) {
+        SubarrayGroupMap copy = entry.map;
+        copy.decoder_ = &decoder;
+        return copy;
+      }
+    }
   }
 
   SubarrayGroupMap map;
@@ -62,6 +110,16 @@ Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
                        "group " + std::to_string(g) + " covers " + std::to_string(covered) +
                            " bytes, expected " + std::to_string(map.group_bytes_));
     }
+  }
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(build_cache_mutex);
+    if (build_cache.size() >= kBuildCacheMaxEntries) {
+      build_cache.erase(build_cache.begin());
+    }
+    SubarrayGroupMap cached = map;
+    cached.decoder_ = nullptr;
+    build_cache.push_back(BuildCacheEntry{decoder_name, geometry, rows_per_subarray,
+                                          probe_page, std::move(cached)});
   }
   return map;
 }

@@ -1,0 +1,101 @@
+// Divide-free unsigned division by an invariant divisor.
+//
+// The address decoders (src/addr) translate every simulated memory access
+// through a chain of div/mod operations whose divisors are fixed at
+// construction (channel counts, chunk sizes, lines per row). A 64-bit udiv
+// is 20-90 cycles on current server cores; a multiply-shift is 3-5. This
+// header precomputes the Granlund-Montgomery magic number for a divisor once
+// and replaces each division with a 128-bit multiply plus shifts, exact for
+// every 64-bit numerator (the same scheme libdivide and compilers use for
+// constant divisors — here the divisor is a runtime constant, so the
+// compiler cannot do it for us).
+//
+// Correctness is testable and tested exhaustively-ish (tests/fastdiv_test.cc)
+// because quotients are integers: there is no rounding to preserve, only
+// exact equality with operator/.
+#ifndef SILOZ_SRC_BASE_FASTDIV_H_
+#define SILOZ_SRC_BASE_FASTDIV_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace siloz {
+
+// Precomputed reciprocal for exact unsigned 64-bit division by a fixed
+// divisor. Default-constructed as division by 1 so instances can live in
+// containers before initialization.
+class FastDivider {
+ public:
+  FastDivider() : FastDivider(1) {}
+
+  explicit FastDivider(uint64_t divisor) : divisor_(divisor) {
+    SILOZ_CHECK_GT(divisor, 0ull);
+    const int floor_log2 = 63 - std::countl_zero(divisor);
+    shift_ = static_cast<uint8_t>(floor_log2);
+    if ((divisor & (divisor - 1)) == 0) {
+      // Power of two: a plain shift, no multiply.
+      pow2_ = true;
+      magic_ = 0;
+      add_ = false;
+      return;
+    }
+    pow2_ = false;
+    // Granlund-Montgomery round-up magic: floor(2^(64+L) / d) + 1, with the
+    // extra "add" fixup when the magic would need 65 bits. 64+L < 128, so the
+    // 128/64 division is native.
+    const unsigned __int128 numerator = static_cast<unsigned __int128>(1) << (64 + floor_log2);
+    uint64_t proposed = static_cast<uint64_t>(numerator / divisor);
+    const uint64_t rem = static_cast<uint64_t>(
+        numerator - static_cast<unsigned __int128>(proposed) * divisor);
+    const uint64_t error = divisor - rem;
+    if (error < (1ull << floor_log2)) {
+      add_ = false;
+    } else {
+      add_ = true;
+      proposed += proposed;
+      const uint64_t twice_rem = rem + rem;
+      if (twice_rem >= divisor || twice_rem < rem) {
+        ++proposed;
+      }
+    }
+    magic_ = proposed + 1;
+  }
+
+  // Exact floor(x / divisor) for every x.
+  uint64_t Divide(uint64_t x) const {
+    if (pow2_) {
+      return x >> shift_;
+    }
+    const auto q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(x) * magic_) >> 64);
+    if (add_) {
+      return (((x - q) >> 1) + q) >> shift_;
+    }
+    return q >> shift_;
+  }
+
+  // Exact x % divisor, via the quotient.
+  uint64_t Mod(uint64_t x) const { return x - Divide(x) * divisor_; }
+
+  // Quotient and remainder with one reciprocal multiply.
+  uint64_t DivMod(uint64_t x, uint64_t* remainder) const {
+    const uint64_t q = Divide(x);
+    *remainder = x - q * divisor_;
+    return q;
+  }
+
+  uint64_t divisor() const { return divisor_; }
+
+ private:
+  uint64_t magic_ = 0;
+  uint64_t divisor_ = 1;
+  uint8_t shift_ = 0;
+  bool add_ = false;
+  bool pow2_ = true;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_FASTDIV_H_

@@ -16,8 +16,6 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
@@ -25,55 +23,6 @@ Rng::Rng(uint64_t seed) {
   for (auto& word : state_) {
     word = SplitMix64(sm);
   }
-}
-
-uint64_t Rng::NextU64() {
-  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-uint64_t Rng::NextBelow(uint64_t bound) {
-  SILOZ_CHECK_GT(bound, 0u);
-  // Lemire's nearly-divisionless bounded sampling.
-  uint64_t x = NextU64();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<uint64_t>(m);
-  if (low < bound) {
-    const uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = NextU64();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
-uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
-  SILOZ_CHECK_LE(lo, hi);
-  return lo + NextBelow(hi - lo + 1);
-}
-
-double Rng::NextDouble() {
-  // 53 high bits → uniform double in [0, 1).
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::NextBernoulli(double p) {
-  if (p <= 0.0) {
-    return false;
-  }
-  if (p >= 1.0) {
-    return true;
-  }
-  return NextDouble() < p;
 }
 
 double Rng::NextGaussian() {

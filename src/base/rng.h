@@ -10,27 +10,72 @@
 #include <array>
 #include <cstdint>
 
+#include "src/base/check.h"
+
 namespace siloz {
 
+// The draw methods are header-inline: workload generation and the
+// disturbance model draw ~10^8 times per bench run, and the three-deep
+// call chain (NextBernoulli -> NextDouble -> NextU64) dominates otherwise.
 class Rng {
  public:
   explicit Rng(uint64_t seed);
 
   // Uniform over [0, 2^64).
-  uint64_t NextU64();
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   // Uniform over [0, bound); bound must be nonzero. Uses rejection sampling
   // (Lemire) to avoid modulo bias.
-  uint64_t NextBelow(uint64_t bound);
+  uint64_t NextBelow(uint64_t bound) {
+    SILOZ_CHECK_GT(bound, 0u);
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   // Uniform over [lo, hi] inclusive.
-  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    SILOZ_CHECK_LE(lo, hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 high bits → uniform double in [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
-  // True with probability p (clamped to [0,1]).
-  bool NextBernoulli(double p);
+  // True with probability p (clamped to [0,1]). The clamp branches consume
+  // no randomness, so degenerate probabilities leave the stream untouched.
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return NextDouble() < p;
+  }
 
   // Standard normal via Box-Muller (no cached spare; cheap enough here).
   double NextGaussian();
@@ -39,6 +84,8 @@ class Rng {
   Rng Fork(uint64_t tag);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   std::array<uint64_t, 4> state_;
 };
 

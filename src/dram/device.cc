@@ -10,14 +10,14 @@
 namespace siloz {
 namespace {
 
-uint64_t LoadWord(const std::vector<uint8_t>& bytes, size_t word_index) {
+uint64_t LoadWord(const uint8_t* bytes, size_t word_index) {
   uint64_t word = 0;
-  std::memcpy(&word, bytes.data() + word_index * 8, 8);
+  std::memcpy(&word, bytes + word_index * 8, 8);
   return word;
 }
 
-void StoreWord(std::vector<uint8_t>& bytes, size_t word_index, uint64_t word) {
-  std::memcpy(bytes.data() + word_index * 8, &word, 8);
+void StoreWord(uint8_t* bytes, size_t word_index, uint64_t word) {
+  std::memcpy(bytes + word_index * 8, &word, 8);
 }
 
 }  // namespace
@@ -39,6 +39,19 @@ DramDevice::DramDevice(const DramGeometry& geometry, RemapConfig remap_config,
   for (uint32_t i = 0; i < banks * 2; ++i) {
     trr_trackers_.emplace_back(trr_config_);
   }
+  row_slots_.resize(banks);
+  // Arena slot: data + flip mask + check bytes, rounded up to cache lines so
+  // slots never share a line.
+  slot_stride_ = (geometry_.row_bytes * 2 + geometry_.row_bytes / 8 + 63) & ~size_t{63};
+  // Geometry-derived reserves: the chunk-pointer vector can cover every row
+  // in the DIMM without regrowing (pointers only — the chunks themselves are
+  // lazy), and the flip log holds a blast-radius worth of flips per subarray
+  // before its first regrowth. Both kill mid-soak reallocation storms.
+  const uint64_t max_slots = static_cast<uint64_t>(banks) * geometry_.rows_per_bank;
+  arena_.reserve((max_slots + kArenaRowsPerChunk - 1) / kArenaRowsPerChunk);
+  flip_log_.reserve(static_cast<size_t>(BlastRadiusRows(disturbance_profile)) * 2 *
+                    geometry_.rows_per_subarray);
+  flip_scratch_.Reserve(64);
 }
 
 DramDevice::~DramDevice() {
@@ -73,16 +86,37 @@ TrrTracker& DramDevice::Tracker(uint32_t rank, uint32_t bank, HalfRowSide side) 
   return trr_trackers_[BankKey(rank, bank) * 2 + static_cast<uint32_t>(side)];
 }
 
-DramDevice::StoredRow& DramDevice::GetOrCreateRow(uint32_t rank, uint32_t bank,
-                                                  uint32_t media_row) {
-  StoredRow& row = rows_[RowKey(rank, bank, media_row)];
-  if (row.data.empty()) {
-    row.data.assign(geometry_.row_bytes, 0);
-    // EccEncode(0) == 0, so zero check bytes are consistent with zero data.
-    row.check.assign(geometry_.row_bytes / 8, 0);
-    row.flip_mask.assign(geometry_.row_bytes, 0);
+DramDevice::RowRef DramDevice::RowAt(uint32_t slot) const {
+  uint8_t* base =
+      arena_[slot / kArenaRowsPerChunk].get() + (slot % kArenaRowsPerChunk) * slot_stride_;
+  return RowRef{
+      .data = base,
+      .flip_mask = base + geometry_.row_bytes,
+      .check = base + geometry_.row_bytes * 2,
+  };
+}
+
+uint32_t DramDevice::FindRowSlot(uint32_t rank, uint32_t bank, uint32_t media_row) const {
+  const std::vector<uint32_t>& slots = row_slots_[BankKey(rank, bank)];
+  return slots.empty() ? kNoSlot : slots[media_row];
+}
+
+DramDevice::RowRef DramDevice::GetOrCreateRow(uint32_t rank, uint32_t bank, uint32_t media_row) {
+  std::vector<uint32_t>& slots = row_slots_[BankKey(rank, bank)];
+  if (slots.empty()) {
+    slots.assign(geometry_.rows_per_bank, kNoSlot);
   }
-  return row;
+  uint32_t slot = slots[media_row];
+  if (slot == kNoSlot) {
+    if (slots_used_ % kArenaRowsPerChunk == 0) {
+      // make_unique value-initializes: the chunk is born all-zero, which is
+      // the canonical never-written row (zero data, zero check, zero mask).
+      arena_.push_back(std::make_unique<uint8_t[]>(kArenaRowsPerChunk * slot_stride_));
+    }
+    slot = slots_used_++;
+    slots[media_row] = slot;
+  }
+  return RowAt(slot);
 }
 
 void DramDevice::AdvanceTo(uint64_t now_ns) {
@@ -146,8 +180,9 @@ void DramDevice::CloseOpenRow(uint32_t rank, uint32_t bank, uint64_t now_ns) {
   const auto media_row = static_cast<uint32_t>(state.open_row);
   for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
     const uint32_t internal = remapper_.ToInternal(media_row, rank, bank, side);
-    auto flips = disturbance_.OnRowOpen(BankKey(rank, bank), side, internal, open_ns, now_ns);
-    ApplyInternalFlips(rank, bank, side, flips, now_ns, FlipCause::kRowPress);
+    flip_scratch_.Clear();
+    disturbance_.OnRowOpen(BankKey(rank, bank), side, internal, open_ns, now_ns, flip_scratch_);
+    ApplyInternalFlips(rank, bank, side, flip_scratch_.flips(), now_ns, FlipCause::kRowPress);
   }
   state.open_row = -1;
 }
@@ -168,8 +203,9 @@ void DramDevice::Activate(uint32_t rank, uint32_t bank, uint32_t media_row, uint
     if (trr_config_.enabled) {
       Tracker(rank, bank, side).OnActivate(internal);
     }
-    auto flips = disturbance_.OnActivate(BankKey(rank, bank), side, internal, now_ns);
-    ApplyInternalFlips(rank, bank, side, flips, now_ns, FlipCause::kHammer);
+    flip_scratch_.Clear();
+    disturbance_.OnActivate(BankKey(rank, bank), side, internal, now_ns, flip_scratch_);
+    ApplyInternalFlips(rank, bank, side, flip_scratch_.flips(), now_ns, FlipCause::kHammer);
   }
   state.open_row = media_row;
   state.open_since_ns = now_ns;
@@ -181,7 +217,7 @@ void DramDevice::Precharge(uint32_t rank, uint32_t bank, uint64_t now_ns) {
 }
 
 void DramDevice::ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide side,
-                                    const std::vector<InternalFlip>& flips, uint64_t now_ns,
+                                    std::span<const InternalFlip> flips, uint64_t now_ns,
                                     FlipCause cause) {
   if (flips.empty()) {
     return;
@@ -200,7 +236,7 @@ void DramDevice::ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide si
 void DramDevice::ApplyFlipBit(uint32_t rank, uint32_t bank, uint32_t media_row,
                               uint32_t internal_row, HalfRowSide side, uint32_t byte_in_row,
                               uint8_t bit_in_byte, uint64_t now_ns, FlipCause cause) {
-  StoredRow& row = GetOrCreateRow(rank, bank, media_row);
+  RowRef row = GetOrCreateRow(rank, bank, media_row);
   const uint8_t mask = static_cast<uint8_t>(1u << bit_in_byte);
   row.data[byte_in_row] ^= mask;
   row.flip_mask[byte_in_row] ^= mask;
@@ -252,10 +288,10 @@ void DramDevice::Write(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_
   SILOZ_CHECK_LE(column + data.size(), geometry_.row_bytes);
   Activate(rank, bank, media_row, now_ns);
   ++counters_.writes;
-  StoredRow& row = GetOrCreateRow(rank, bank, media_row);
-  std::memcpy(row.data.data() + column, data.data(), data.size());
+  RowRef row = GetOrCreateRow(rank, bank, media_row);
+  std::memcpy(row.data + column, data.data(), data.size());
   // Writes overwrite any latent flips in the touched bytes...
-  std::memset(row.flip_mask.data() + column, 0, data.size());
+  std::memset(row.flip_mask + column, 0, data.size());
   // ...and the controller re-encodes check bits for every touched word.
   const size_t first_word = column / 8;
   const size_t last_word = (column + data.size() - 1) / 8;
@@ -263,7 +299,7 @@ void DramDevice::Write(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_
     // Partial-word writes leave flips in the untouched bytes of the word;
     // re-encoding would absorb them into "truth", which matches a real
     // read-modify-write through ECC (the flip becomes permanent data).
-    std::memset(row.flip_mask.data() + w * 8, 0, 8);
+    std::memset(row.flip_mask + w * 8, 0, 8);
     row.check[w] = EccEncode(LoadWord(row.data, w));
   }
 }
@@ -274,12 +310,12 @@ ReadResult DramDevice::Read(uint32_t rank, uint32_t bank, uint32_t media_row, ui
   Activate(rank, bank, media_row, now_ns);
   ++counters_.reads;
   ReadResult result;
-  auto it = rows_.find(RowKey(rank, bank, media_row));
-  if (it == rows_.end()) {
+  const uint32_t slot = FindRowSlot(rank, bank, media_row);
+  if (slot == kNoSlot) {
     std::memset(out.data(), 0, out.size());  // never-written rows read as zero
     return result;
   }
-  StoredRow& row = it->second;
+  RowRef row = RowAt(slot);
   const size_t first_word = column / 8;
   const size_t last_word = (column + out.size() - 1) / 8;
   for (size_t w = first_word; w <= last_word; ++w) {
@@ -322,27 +358,43 @@ ReadResult DramDevice::Read(uint32_t rank, uint32_t bank, uint32_t media_row, ui
         break;
     }
   }
-  std::memcpy(out.data(), row.data.data() + column, out.size());
+  std::memcpy(out.data(), row.data + column, out.size());
   return result;
 }
 
 uint64_t DramDevice::PatrolScrub(uint64_t now_ns) {
   AdvanceTo(now_ns);
+  // Sorted (rank, bank, row) order: BankKey ascends rank-major, and each
+  // bank's slot index ascends by media row. The scrub's corrections (and any
+  // future logging from here) are therefore independent of insertion order —
+  // unlike the old unordered_map walk, whose iteration order was a latent
+  // portability hazard for the golden tests.
+  const size_t words_per_row = geometry_.row_bytes / 8;
   uint64_t corrected = 0;
-  for (auto& [key, row] : rows_) {
-    for (size_t w = 0; w < row.check.size(); ++w) {
-      const uint64_t mask = LoadWord(row.flip_mask, w);
-      if (mask == 0) {
+  for (const std::vector<uint32_t>& slots : row_slots_) {
+    if (slots.empty()) {
+      continue;
+    }
+    for (uint32_t media_row = 0; media_row < slots.size(); ++media_row) {
+      const uint32_t slot = slots[media_row];
+      if (slot == kNoSlot) {
         continue;
       }
-      const uint64_t raw = LoadWord(row.data, w);
-      EccDecodeResult decoded = EccDecode(raw, row.check[w]);
-      if (decoded.outcome == EccOutcome::kCorrected &&
-          decoded.data == (raw ^ mask)) {
-        StoreWord(row.data, w, decoded.data);
-        StoreWord(row.flip_mask, w, 0);
-        ++corrected;
-        ++counters_.corrected_words;
+      RowRef row = RowAt(slot);
+      for (size_t w = 0; w < words_per_row; ++w) {
+        const uint64_t mask = LoadWord(row.flip_mask, w);
+        if (mask == 0) {
+          continue;
+        }
+        const uint64_t raw = LoadWord(row.data, w);
+        EccDecodeResult decoded = EccDecode(raw, row.check[w]);
+        if (decoded.outcome == EccOutcome::kCorrected &&
+            decoded.data == (raw ^ mask)) {
+          StoreWord(row.data, w, decoded.data);
+          StoreWord(row.flip_mask, w, 0);
+          ++corrected;
+          ++counters_.corrected_words;
+        }
       }
     }
   }

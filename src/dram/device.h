@@ -20,7 +20,6 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/dram/ecc.h"
@@ -125,28 +124,35 @@ class DramDevice {
   const std::string& name() const { return name_; }
 
  private:
-  struct StoredRow {
-    std::vector<uint8_t> data;       // current (possibly corrupted) contents
-    std::vector<uint8_t> check;      // one ECC check byte per 8 data bytes
-    std::vector<uint8_t> flip_mask;  // XOR of all un-repaired flips (ground truth)
+  // Stored rows live in a chunked arena: per-bank slot index + one backing
+  // allocation per kArenaRowsPerChunk rows, each slot holding the row's data
+  // bytes, flip-mask bytes, and ECC check bytes contiguously. Chunks are
+  // never reallocated, so RowRef pointers stay stable for the device's
+  // lifetime; value-initialized chunks are all-zero, which is exactly the
+  // never-written row state (EccEncode(0) == 0).
+  struct RowRef {
+    uint8_t* data = nullptr;       // geometry_.row_bytes
+    uint8_t* flip_mask = nullptr;  // geometry_.row_bytes
+    uint8_t* check = nullptr;      // geometry_.row_bytes / 8
   };
   struct BankState {
     int64_t open_row = -1;  // media row, -1 = precharged
     uint64_t open_since_ns = 0;
   };
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr uint32_t kArenaRowsPerChunk = 64;
 
   uint32_t BankKey(uint32_t rank, uint32_t bank) const {
     return rank * geometry_.banks_per_rank + bank;
   }
-  uint64_t RowKey(uint32_t rank, uint32_t bank, uint32_t media_row) const {
-    return (static_cast<uint64_t>(BankKey(rank, bank)) << 32) | media_row;
-  }
-  StoredRow& GetOrCreateRow(uint32_t rank, uint32_t bank, uint32_t media_row);
+  RowRef RowAt(uint32_t slot) const;
+  // kNoSlot if (rank, bank, media_row) was never stored.
+  uint32_t FindRowSlot(uint32_t rank, uint32_t bank, uint32_t media_row) const;
+  RowRef GetOrCreateRow(uint32_t rank, uint32_t bank, uint32_t media_row);
 
-  // Map an internal-space flip back to media coordinates and apply it.
+  // Map internal-space flips back to media coordinates and apply them.
   void ApplyInternalFlips(uint32_t rank, uint32_t bank, HalfRowSide side,
-                          const std::vector<InternalFlip>& flips, uint64_t now_ns,
-                          FlipCause cause);
+                          std::span<const InternalFlip> flips, uint64_t now_ns, FlipCause cause);
   void ApplyFlipBit(uint32_t rank, uint32_t bank, uint32_t media_row, uint32_t internal_row,
                     HalfRowSide side, uint32_t byte_in_row, uint8_t bit_in_byte, uint64_t now_ns,
                     FlipCause cause);
@@ -161,7 +167,13 @@ class DramDevice {
 
   std::vector<BankState> bank_state_;          // indexed by BankKey
   std::vector<TrrTracker> trr_trackers_;       // indexed by BankKey*2 + side
-  std::unordered_map<uint64_t, StoredRow> rows_;
+  // row_slots_[BankKey][media_row] -> arena slot; the per-bank index is
+  // sized rows_per_bank on the bank's first stored row.
+  std::vector<std::vector<uint32_t>> row_slots_;
+  size_t slot_stride_ = 0;  // bytes per arena slot, cache-line aligned
+  std::vector<std::unique_ptr<uint8_t[]>> arena_;
+  uint32_t slots_used_ = 0;
+  FlipSink flip_scratch_;  // reused across ACT/row-open deliveries
   std::vector<FlipRecord> flip_log_;
   DeviceCounters counters_;
   uint64_t now_ns_ = 0;

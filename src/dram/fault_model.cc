@@ -30,14 +30,8 @@ DisturbanceModel::DisturbanceModel(DisturbanceProfile profile, uint32_t rows_per
   SILOZ_CHECK_GT(rows_per_subarray_, 0u);
   SILOZ_CHECK_EQ(rows_per_bank_ % rows_per_subarray_, 0u);
   SILOZ_CHECK_GT(profile_.threshold_mean, 0.0);
-}
-
-uint64_t DisturbanceModel::EpochFor(uint32_t internal_row, uint64_t now_ns) const {
-  // Each row belongs to a refresh bin; its refresh fires at
-  // phase = bin * tREFI within every 64 ms window. The epoch counts completed
-  // refreshes of this particular row.
-  const uint64_t phase = (internal_row % kRefreshBins) * kRefreshIntervalNs;
-  return (now_ns + kRefreshWindowNs - phase) / kRefreshWindowNs;
+  subarrays_per_bank_ = rows_per_bank_ / rows_per_subarray_;
+  subarray_div_ = FastDivider(rows_per_subarray_);
 }
 
 double DisturbanceModel::ThresholdFor(uint32_t bank_key, HalfRowSide side,
@@ -48,45 +42,48 @@ double DisturbanceModel::ThresholdFor(uint32_t bank_key, HalfRowSide side,
   return profile_.threshold_mean * (1.0 + profile_.threshold_spread * (2.0 * u - 1.0));
 }
 
-void DisturbanceModel::DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row,
-                                     double amount, uint64_t now_ns,
-                                     std::vector<InternalFlip>& flips) {
-  ++disturb_probes_;
-  VictimState& state = victims_[VictimKey(bank_key, side, victim_row)];
-  const uint64_t epoch = EpochFor(victim_row, now_ns);
-  if (epoch != state.refresh_epoch) {
-    // The row's periodic refresh fired since we last looked: charge restored.
-    state.disturbance = 0.0;
-    state.crossings = 0;
-    state.refresh_epoch = epoch;
+DisturbanceModel::VictimState* DisturbanceModel::AllocateSlab(size_t slot, uint32_t subarray) {
+  if (slot >= slabs_.size()) {
+    slabs_.resize(slot + 1);
   }
-  state.disturbance += amount;
+  std::vector<std::unique_ptr<VictimState[]>>& bank = slabs_[slot];
+  if (bank.empty()) {
+    bank.resize(subarrays_per_bank_);
+  }
+  std::unique_ptr<VictimState[]>& slab = bank[subarray];
+  if (!slab) {
+    // Value-initialized: all-zero entries are indistinguishable from
+    // never-tracked victims (see DisturbVictim's epoch normalization).
+    slab = std::make_unique<VictimState[]>(rows_per_subarray_);
+  }
+  return slab.get();
+}
 
-  const double threshold = ThresholdFor(bank_key, side, victim_row);
-  while (state.disturbance >= threshold * static_cast<double>(state.crossings + 1)) {
+void DisturbanceModel::EmitFlips(uint32_t victim_row, VictimState& state, FlipSink& sink) {
+  const double threshold = state.threshold;
+  // Caller established the first crossing; convert it (and any further ones
+  // the same probe earned) into 1 + Geometric(extra_flip_prob) flips each, at
+  // hash-determined positions.
+  do {
     ++state.crossings;
     ++total_flip_events_;
-    // 1 + Geometric(extra_flip_prob) bit flips at hash-determined positions.
     uint32_t flip_count = 1;
     while (flip_rng_.NextBernoulli(profile_.extra_flip_prob)) {
       ++flip_count;
     }
     for (uint32_t i = 0; i < flip_count; ++i) {
-      flips.push_back(InternalFlip{
+      sink.Append(InternalFlip{
           .victim_row = victim_row,
           .bit = static_cast<uint32_t>(flip_rng_.NextBelow(half_row_bits_)),
       });
     }
-  }
+  } while (state.disturbance >= threshold * static_cast<double>(state.crossings + 1));
 }
 
-std::vector<InternalFlip> DisturbanceModel::AddDisturbance(uint32_t bank_key, HalfRowSide side,
-                                                           uint32_t aggressor_row, double amount,
-                                                           uint64_t now_ns) {
-  std::vector<InternalFlip> flips;
-  const uint32_t subarray = aggressor_row / rows_per_subarray_;
-  // Distance-1 and distance-2 neighbours, clipped to the aggressor's
-  // subarray: cells in other subarrays are electrically isolated (§2.5).
+void DisturbanceModel::AddDisturbanceClipped(uint32_t bank_key, HalfRowSide side,
+                                             uint32_t aggressor_row, uint32_t base,
+                                             VictimState* slab, double amount, uint64_t now_ns,
+                                             FlipSink& sink) {
   struct Neighbour {
     int64_t row;
     double weight;
@@ -102,38 +99,56 @@ std::vector<InternalFlip> DisturbanceModel::AddDisturbance(uint32_t bank_key, Ha
       continue;
     }
     const auto victim = static_cast<uint32_t>(n.row);
-    if (victim / rows_per_subarray_ != subarray) {
+    if (victim < base || victim >= base + rows_per_subarray_) {
       continue;  // subarray isolation boundary
     }
-    DisturbVictim(bank_key, side, victim, amount * n.weight, now_ns, flips);
+    ++disturb_probes_;
+    DisturbVictim(bank_key, side, victim, slab[victim - base], amount * n.weight, now_ns, sink);
   }
-  return flips;
+}
+
+void DisturbanceModel::OnRowOpen(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
+                                 uint64_t open_ns, uint64_t now_ns, FlipSink& sink) {
+  SILOZ_DCHECK(internal_row < rows_per_bank_);
+  const double equivalent_acts = static_cast<double>(open_ns) * profile_.rowpress_acts_per_ns;
+  const auto subarray = static_cast<uint32_t>(subarray_div_.Divide(internal_row));
+  VictimState* slab = SlabFor(bank_key, side, subarray);
+  AddDisturbance(bank_key, side, internal_row, subarray, slab, equivalent_acts, now_ns, sink);
 }
 
 std::vector<InternalFlip> DisturbanceModel::OnActivate(uint32_t bank_key, HalfRowSide side,
                                                        uint32_t internal_row, uint64_t now_ns) {
-  SILOZ_DCHECK(internal_row < rows_per_bank_);
-  // The ACT refreshes the aggressor row itself.
-  RefreshRow(bank_key, side, internal_row, now_ns);
-  return AddDisturbance(bank_key, side, internal_row, 1.0, now_ns);
+  FlipSink sink;
+  OnActivate(bank_key, side, internal_row, now_ns, sink);
+  return sink.Take();
 }
 
 std::vector<InternalFlip> DisturbanceModel::OnRowOpen(uint32_t bank_key, HalfRowSide side,
                                                       uint32_t internal_row, uint64_t open_ns,
                                                       uint64_t now_ns) {
-  const double equivalent_acts = static_cast<double>(open_ns) * profile_.rowpress_acts_per_ns;
-  return AddDisturbance(bank_key, side, internal_row, equivalent_acts, now_ns);
+  FlipSink sink;
+  OnRowOpen(bank_key, side, internal_row, open_ns, now_ns, sink);
+  return sink.Take();
 }
 
 void DisturbanceModel::RefreshRow(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
                                   uint64_t now_ns) {
-  auto it = victims_.find(VictimKey(bank_key, side, internal_row));
-  if (it == victims_.end()) {
+  // Non-allocating: a row whose slab was never created carries no
+  // disturbance, so refreshing it is a no-op (matching the auto-refresh
+  // epochs, which are also lazy).
+  const size_t slot = static_cast<size_t>(bank_key) * 2 + static_cast<size_t>(side);
+  if (slot >= slabs_.size() || slabs_[slot].empty()) {
     return;
   }
-  it->second.disturbance = 0.0;
-  it->second.crossings = 0;
-  it->second.refresh_epoch = EpochFor(internal_row, now_ns);
+  const auto subarray = static_cast<uint32_t>(subarray_div_.Divide(internal_row));
+  const std::unique_ptr<VictimState[]>& slab = slabs_[slot][subarray];
+  if (!slab) {
+    return;
+  }
+  VictimState& state = slab[internal_row - subarray * rows_per_subarray_];
+  state.disturbance = 0.0;
+  state.crossings = 0;
+  state.refresh_epoch = EpochFor(internal_row, now_ns);
 }
 
 }  // namespace siloz

@@ -21,10 +21,14 @@
 #define SILOZ_SRC_DRAM_FAULT_MODEL_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "src/base/check.h"
+#include "src/base/fastdiv.h"
 #include "src/base/rng.h"
+#include "src/base/units.h"
 #include "src/dram/remap.h"
 
 namespace siloz {
@@ -63,11 +67,38 @@ struct InternalFlip {
   uint32_t bit = 0;         // bit within the 4 KiB half-row
 };
 
+// Caller-owned scratch buffer the disturbance model appends flips into.
+//
+// The dominant case is an ACT that flips nothing; with the sink reused across
+// calls, that case touches no allocator at all (the backing vector keeps its
+// capacity across Clear()). Contract: the caller Clear()s before each
+// delivery call and consumes flips() before the next one.
+class FlipSink {
+ public:
+  void Clear() { flips_.clear(); }
+  void Append(InternalFlip flip) { flips_.push_back(flip); }
+  void Reserve(size_t capacity) { flips_.reserve(capacity); }
+
+  bool empty() const { return flips_.empty(); }
+  size_t size() const { return flips_.size(); }
+  std::span<const InternalFlip> flips() const { return flips_; }
+
+  // Moves the accumulated flips out (convenience-API support).
+  std::vector<InternalFlip> Take() { return std::move(flips_); }
+
+ private:
+  std::vector<InternalFlip> flips_;
+};
+
 // Tracks disturbance accumulation for all victims of one DIMM.
 //
-// Keys are (bank_key, side, internal_row) where bank_key identifies the
-// rank+bank within the DIMM. Victims are tracked sparsely: commodity access
-// patterns never cross thresholds, so the map stays small.
+// State lives in flat per-(bank, side) subarray slabs indexed directly by
+// internal row: an ACT touches the aggressor's slab once and its ≤4 victim
+// entries by array index, with the per-row threshold cached in the entry
+// after the first probe. Slabs are allocated lazily per subarray (a
+// zero-initialized entry is semantically identical to an untracked victim:
+// the epoch-mismatch reset normalizes it on first probe), so commodity
+// access patterns that hammer a handful of subarrays stay compact.
 class DisturbanceModel {
  public:
   // `half_row_bits` = bits per half-row (4 KiB * 8 by default);
@@ -77,18 +108,41 @@ class DisturbanceModel {
                    uint32_t rows_per_subarray, uint32_t half_row_bits);
 
   // Record one activation of `internal_row`. Disturbs same-subarray
-  // neighbours and refreshes the aggressor itself. Returns flips triggered by
-  // this ACT (in victims, never in the aggressor).
-  std::vector<InternalFlip> OnActivate(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
-                                       uint64_t now_ns);
+  // neighbours and refreshes the aggressor itself. Appends flips triggered
+  // by this ACT (in victims, never in the aggressor) to `sink`. Defined
+  // inline below: the whole delivery chain (decode subarray, slab lookup,
+  // four victim probes) flattens into the caller, with only the rare
+  // threshold-crossing path (EmitFlips) out of line.
+  void OnActivate(uint32_t bank_key, HalfRowSide side, uint32_t internal_row, uint64_t now_ns,
+                  FlipSink& sink) {
+    SILOZ_DCHECK(internal_row < rows_per_bank_);
+    const auto subarray = static_cast<uint32_t>(subarray_div_.Divide(internal_row));
+    VictimState* slab = SlabFor(bank_key, side, subarray);
+    // The ACT refreshes the aggressor row itself. (Writing the fresh epoch
+    // into a never-probed entry is equivalent to the epoch normalization a
+    // future probe would perform; the threshold cache is untouched.)
+    VictimState& self = slab[internal_row - subarray * rows_per_subarray_];
+    self.disturbance = 0.0;
+    self.crossings = 0;
+    self.refresh_epoch = EpochFor(internal_row, now_ns);
+    AddDisturbance(bank_key, side, internal_row, subarray, slab, 1.0, now_ns, sink);
+  }
 
   // Record that `internal_row` was held open for `open_ns` beyond nominal
   // tRAS (RowPress, §2.5).
+  void OnRowOpen(uint32_t bank_key, HalfRowSide side, uint32_t internal_row, uint64_t open_ns,
+                 uint64_t now_ns, FlipSink& sink);
+
+  // Vector-returning conveniences (tests, tools); the device hot path uses
+  // the FlipSink overloads.
+  std::vector<InternalFlip> OnActivate(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
+                                       uint64_t now_ns);
   std::vector<InternalFlip> OnRowOpen(uint32_t bank_key, HalfRowSide side, uint32_t internal_row,
                                       uint64_t open_ns, uint64_t now_ns);
 
   // Refresh `internal_row` ahead of schedule (TRR or software refresh):
-  // clears its accumulated disturbance.
+  // clears its accumulated disturbance. Never allocates: untracked rows are
+  // a no-op, as with the auto-refresh epochs.
   void RefreshRow(uint32_t bank_key, HalfRowSide side, uint32_t internal_row, uint64_t now_ns);
 
   // Deterministic per-row threshold (exposed for tests/analysis).
@@ -103,24 +157,100 @@ class DisturbanceModel {
  private:
   struct VictimState {
     double disturbance = 0.0;   // accumulated since last refresh of this row
+    double threshold = 0.0;     // cached ThresholdFor; 0.0 = not yet computed
     uint64_t refresh_epoch = 0; // auto-refresh epoch the disturbance belongs to
     uint32_t crossings = 0;     // threshold crossings already converted to flips
+    uint32_t reserved = 0;      // pads the entry to 32 bytes
   };
 
   // Auto-refresh: every row is refreshed once per 64 ms window, staggered by
   // its refresh bin. Returns the current epoch for the row at `now_ns`.
-  uint64_t EpochFor(uint32_t internal_row, uint64_t now_ns) const;
+  // kRefreshBins is a power of two and kRefreshWindowNs a constant, so this
+  // compiles to a mask, a multiply, and a reciprocal multiply.
+  uint64_t EpochFor(uint32_t internal_row, uint64_t now_ns) const {
+    const uint64_t phase = (internal_row % kRefreshBins) * kRefreshIntervalNs;
+    return (now_ns + kRefreshWindowNs - phase) / kRefreshWindowNs;
+  }
 
-  std::vector<InternalFlip> AddDisturbance(uint32_t bank_key, HalfRowSide side,
-                                           uint32_t aggressor_row, double amount, uint64_t now_ns);
-  void DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row, double amount,
-                     uint64_t now_ns, std::vector<InternalFlip>& flips);
+  // Slab of `rows_per_subarray_` entries for (bank_key, side, subarray),
+  // allocated (zeroed) on first use (out-of-line AllocateSlab).
+  VictimState* SlabFor(uint32_t bank_key, HalfRowSide side, uint32_t subarray) {
+    const size_t slot = static_cast<size_t>(bank_key) * 2 + static_cast<size_t>(side);
+    if (slot < slabs_.size()) [[likely]] {
+      const std::vector<std::unique_ptr<VictimState[]>>& bank = slabs_[slot];
+      if (!bank.empty()) [[likely]] {
+        VictimState* slab = bank[subarray].get();
+        if (slab != nullptr) [[likely]] {
+          return slab;
+        }
+      }
+    }
+    return AllocateSlab(slot, subarray);
+  }
+  VictimState* AllocateSlab(size_t slot, uint32_t subarray);
+
+  void AddDisturbance(uint32_t bank_key, HalfRowSide side, uint32_t aggressor_row,
+                      uint32_t subarray, VictimState* slab, double amount, uint64_t now_ns,
+                      FlipSink& sink) {
+    const uint32_t base = subarray * rows_per_subarray_;
+    const uint32_t offset = aggressor_row - base;
+    // Distance-1 and distance-2 neighbours, clipped to the aggressor's
+    // subarray: cells in other subarrays are electrically isolated (§2.5).
+    // Probe order (-1, +1, -2, +2) is part of the determinism contract: the
+    // flip RNG is a single sequential stream.
+    if (offset >= 2 && offset + 2 < rows_per_subarray_) [[likely]] {
+      // Interior aggressor: all four neighbours are in-slab, no clipping.
+      disturb_probes_ += 4;
+      const double d2 = amount * profile_.distance2_factor;
+      DisturbVictim(bank_key, side, aggressor_row - 1, slab[offset - 1], amount, now_ns, sink);
+      DisturbVictim(bank_key, side, aggressor_row + 1, slab[offset + 1], amount, now_ns, sink);
+      DisturbVictim(bank_key, side, aggressor_row - 2, slab[offset - 2], d2, now_ns, sink);
+      DisturbVictim(bank_key, side, aggressor_row + 2, slab[offset + 2], d2, now_ns, sink);
+      return;
+    }
+    AddDisturbanceClipped(bank_key, side, aggressor_row, base, slab, amount, now_ns, sink);
+  }
+  void AddDisturbanceClipped(uint32_t bank_key, HalfRowSide side, uint32_t aggressor_row,
+                             uint32_t base, VictimState* slab, double amount, uint64_t now_ns,
+                             FlipSink& sink);
+  void DisturbVictim(uint32_t bank_key, HalfRowSide side, uint32_t victim_row,
+                     VictimState& state, double amount, uint64_t now_ns, FlipSink& sink) {
+    const uint64_t epoch = EpochFor(victim_row, now_ns);
+    if (epoch != state.refresh_epoch) {
+      // The row's periodic refresh fired since the last probe: charge
+      // restored.
+      state.disturbance = 0.0;
+      state.crossings = 0;
+      state.refresh_epoch = epoch;
+    }
+    state.disturbance += amount;
+
+    // 0.0 marks "not yet computed": real thresholds are strictly positive
+    // for any spread < 1, and an (astronomically unlikely) exact-0.0 draw
+    // merely recomputes the same value on each probe.
+    if (state.threshold == 0.0) [[unlikely]] {
+      state.threshold = ThresholdFor(bank_key, side, victim_row);
+    }
+    if (state.disturbance >= state.threshold * static_cast<double>(state.crossings + 1))
+        [[unlikely]] {
+      EmitFlips(victim_row, state, sink);
+    }
+  }
+  // The threshold-crossing tail of a victim probe: converts crossings into
+  // hash-positioned bit flips. Rare (thresholds are tens of thousands of
+  // ACTs), so it stays out of line to keep DisturbVictim inlineable.
+  void EmitFlips(uint32_t victim_row, VictimState& state, FlipSink& sink);
 
   DisturbanceProfile profile_;
   uint32_t rows_per_bank_;
   uint32_t rows_per_subarray_;
+  uint32_t subarrays_per_bank_;
   uint32_t half_row_bits_;
-  std::unordered_map<uint64_t, VictimState> victims_;
+  FastDivider subarray_div_;  // row -> subarray index
+  // slabs_[bank_key * 2 + side][subarray] -> slab (null until touched).
+  // bank_key is open-ended (tests use synthetic keys), so the outer vector
+  // grows on demand; the inner one is sized subarrays_per_bank_ on first use.
+  std::vector<std::vector<std::unique_ptr<VictimState[]>>> slabs_;
   Rng flip_rng_;
   uint64_t total_flip_events_ = 0;
   uint64_t disturb_probes_ = 0;

@@ -35,14 +35,6 @@ std::string MediaAddress::ToString() const {
   return out.str();
 }
 
-uint32_t SocketBankIndex(const DramGeometry& geometry, const MediaAddress& addr) {
-  uint32_t index = addr.channel;
-  index = index * geometry.dimms_per_channel + addr.dimm;
-  index = index * geometry.ranks_per_dimm + addr.rank;
-  index = index * geometry.banks_per_rank + addr.bank;
-  return index;
-}
-
 Status ValidateAddress(const DramGeometry& geometry, const MediaAddress& addr) {
   if (addr.socket >= geometry.sockets || addr.channel >= geometry.channels_per_socket ||
       addr.dimm >= geometry.dimms_per_channel || addr.rank >= geometry.ranks_per_dimm ||

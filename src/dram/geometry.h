@@ -58,6 +58,8 @@ struct DramGeometry {
   Status Validate() const;
 
   std::string ToString() const;
+
+  bool operator==(const DramGeometry&) const = default;
 };
 
 // DDR5-generation platform preset (§8.2): DDR5 raises the bank count per
@@ -86,8 +88,15 @@ struct MediaAddress {
 };
 
 // Flat bank index within a socket: channel-major, then dimm, rank, bank.
-// Range [0, banks_per_socket()).
-uint32_t SocketBankIndex(const DramGeometry& geometry, const MediaAddress& addr);
+// Range [0, banks_per_socket()). Inline: the controller computes this for
+// every request served.
+inline uint32_t SocketBankIndex(const DramGeometry& geometry, const MediaAddress& addr) {
+  uint32_t index = addr.channel;
+  index = index * geometry.dimms_per_channel + addr.dimm;
+  index = index * geometry.ranks_per_dimm + addr.rank;
+  index = index * geometry.banks_per_rank + addr.bank;
+  return index;
+}
 
 // Media-level subarray index of a row.
 inline uint32_t SubarrayOfRow(const DramGeometry& geometry, uint32_t row) {

@@ -27,6 +27,44 @@ RowRemapper::RowRemapper(const DramGeometry& geometry, RemapConfig config)
     reverse_repair_map_.emplace(RepairKey(repair.rank, repair.bank, repair.to_row),
                                 repair.from_row);
   }
+  has_repairs_ = !repair_map_.empty();
+
+  // Tabulate the transform chain over the low 10 bits for both rank parities
+  // and both sides. RCD-level transforms first (mirroring on the address bus,
+  // inversion on the B-side copy of the bus), then device-level scrambling;
+  // the inverse applies them in reverse order (each is an involution).
+  for (uint32_t parity = 0; parity < 2; ++parity) {
+    for (uint32_t side_index = 0; side_index < 2; ++side_index) {
+      const auto side = static_cast<HalfRowSide>(side_index);
+      for (uint32_t low = 0; low < kLutSize; ++low) {
+        uint32_t forward = low;
+        if (config_.address_mirroring) {
+          forward = ApplyMirroring(forward, parity);
+        }
+        if (config_.address_inversion) {
+          forward = ApplyInversion(forward, side);
+        }
+        if (config_.vendor_scrambling) {
+          forward = ApplyScrambling(forward);
+        }
+        SILOZ_CHECK_LT(forward, kLutSize);
+        to_internal_lut_[parity][side_index][low] = static_cast<uint16_t>(forward);
+
+        uint32_t reverse = low;
+        if (config_.vendor_scrambling) {
+          reverse = ApplyScrambling(reverse);
+        }
+        if (config_.address_inversion) {
+          reverse = ApplyInversion(reverse, side);
+        }
+        if (config_.address_mirroring) {
+          reverse = ApplyMirroring(reverse, parity);
+        }
+        SILOZ_CHECK_LT(reverse, kLutSize);
+        to_media_lut_[parity][side_index][low] = static_cast<uint16_t>(reverse);
+      }
+    }
+  }
 }
 
 uint32_t RowRemapper::ApplyMirroring(uint32_t row, uint32_t rank) {
@@ -55,54 +93,14 @@ uint32_t RowRemapper::ApplyScrambling(uint32_t row) {
   return static_cast<uint32_t>(r);
 }
 
-uint32_t RowRemapper::ToInternal(uint32_t media_row, uint32_t rank, uint32_t bank,
-                                 HalfRowSide side) const {
-  SILOZ_DCHECK(media_row < geometry_.rows_per_bank);
-  uint32_t row = media_row;
-  // RCD-level transforms first (mirroring on the address bus, inversion on
-  // the B-side copy of the bus), then device-level scrambling, then the
-  // device's repair lookup. Mirroring and inversion commute (bitwise swap and
-  // XOR over the same range), so the order of the first two is immaterial.
-  if (config_.address_mirroring) {
-    row = ApplyMirroring(row, rank);
-  }
-  if (config_.address_inversion) {
-    row = ApplyInversion(row, side);
-  }
-  if (config_.vendor_scrambling) {
-    row = ApplyScrambling(row);
-  }
-  if (!repair_map_.empty()) {
-    auto it = repair_map_.find(RepairKey(rank, bank, row));
-    if (it != repair_map_.end()) {
-      row = it->second;
-    }
-  }
-  return row;
+uint32_t RowRemapper::RepairedToInternal(uint32_t row, uint32_t rank, uint32_t bank) const {
+  auto it = repair_map_.find(RepairKey(rank, bank, row));
+  return it != repair_map_.end() ? it->second : row;
 }
 
-uint32_t RowRemapper::ToMedia(uint32_t internal_row, uint32_t rank, uint32_t bank,
-                              HalfRowSide side) const {
-  uint32_t row = internal_row;
-  if (!reverse_repair_map_.empty()) {
-    auto it = reverse_repair_map_.find(RepairKey(rank, bank, row));
-    if (it != reverse_repair_map_.end()) {
-      row = it->second;
-    }
-  }
-  // Scrambling is an involution: b1/b2 are XORed with b3, which scrambling
-  // itself never modifies, so applying it twice restores the original.
-  if (config_.vendor_scrambling) {
-    row = ApplyScrambling(row);
-  }
-  // Inversion is an XOR (involution); mirroring is a swap (involution).
-  if (config_.address_inversion) {
-    row = ApplyInversion(row, side);
-  }
-  if (config_.address_mirroring) {
-    row = ApplyMirroring(row, rank);
-  }
-  return row;
+uint32_t RowRemapper::RepairedToMedia(uint32_t row, uint32_t rank, uint32_t bank) const {
+  auto it = reverse_repair_map_.find(RepairKey(rank, bank, row));
+  return it != reverse_repair_map_.end() ? it->second : row;
 }
 
 bool TransformsPreserveSubarrayBlocks(const DramGeometry& geometry, const RemapConfig& config,

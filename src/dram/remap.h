@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/dram/geometry.h"
 
 namespace siloz {
@@ -68,18 +69,42 @@ inline RemapConfig Ddr5RemapConfig() {
 }
 
 // Applies the §6 transform chain for one DIMM.
+//
+// Mirroring, inversion, and scrambling only ever touch bits [b1, b9], and
+// mirroring depends only on rank parity, so the whole chain collapses into a
+// per-(rank parity, side) lookup table over the low 10 row bits, built once
+// at construction for both directions. ToInternal/ToMedia are then a mask,
+// a table load, and an OR — the per-activation hot path pays no branches on
+// the transform configuration. The repair maps are consulted only when the
+// config actually has repairs.
 class RowRemapper {
  public:
   RowRemapper(const DramGeometry& geometry, RemapConfig config);
 
   // Internal row actually driven when the controller activates `media_row`
   // on (rank, bank), for the given side.
-  uint32_t ToInternal(uint32_t media_row, uint32_t rank, uint32_t bank, HalfRowSide side) const;
+  uint32_t ToInternal(uint32_t media_row, uint32_t rank, uint32_t bank, HalfRowSide side) const {
+    SILOZ_DCHECK(media_row < geometry_.rows_per_bank);
+    const uint32_t row =
+        (media_row & ~kLutMask) |
+        to_internal_lut_[rank & 1u][static_cast<uint32_t>(side)][media_row & kLutMask];
+    if (has_repairs_) {
+      return RepairedToInternal(row, rank, bank);
+    }
+    return row;
+  }
 
   // Inverse of ToInternal for the non-repaired transform chain; repaired
   // spare rows return the media row they serve, unmapped spares return
   // themselves. (Used by diagnostics and tests.)
-  uint32_t ToMedia(uint32_t internal_row, uint32_t rank, uint32_t bank, HalfRowSide side) const;
+  uint32_t ToMedia(uint32_t internal_row, uint32_t rank, uint32_t bank, HalfRowSide side) const {
+    uint32_t row = internal_row;
+    if (has_repairs_) {
+      row = RepairedToMedia(row, rank, bank);
+    }
+    return (row & ~kLutMask) |
+           to_media_lut_[rank & 1u][static_cast<uint32_t>(side)][row & kLutMask];
+  }
 
   const RemapConfig& config() const { return config_; }
 
@@ -93,11 +118,25 @@ class RowRemapper {
   static uint32_t ApplyScrambling(uint32_t row);
 
  private:
+  // The transforms are confined to bits [b1, b9]: 1024 entries cover every
+  // distinct behaviour of the chain.
+  static constexpr uint32_t kLutSize = 1024;
+  static constexpr uint32_t kLutMask = kLutSize - 1;
+
+  // Out-of-line slow paths keep the inline hot path small.
+  uint32_t RepairedToInternal(uint32_t row, uint32_t rank, uint32_t bank) const;
+  uint32_t RepairedToMedia(uint32_t row, uint32_t rank, uint32_t bank) const;
+
   DramGeometry geometry_;
   RemapConfig config_;
   // (rank, bank, post-transform row) -> spare row, and the reverse.
   std::unordered_map<uint64_t, uint32_t> repair_map_;
   std::unordered_map<uint64_t, uint32_t> reverse_repair_map_;
+  bool has_repairs_ = false;
+  // [rank parity][side][low row bits] for the full transform chain and its
+  // inverse. uint16_t: every value is < kLutSize.
+  uint16_t to_internal_lut_[2][2][kLutSize];
+  uint16_t to_media_lut_[2][2][kLutSize];
 };
 
 // Analysis used by tests and by Siloz's boot-time soundness check: does every

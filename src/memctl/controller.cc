@@ -18,6 +18,16 @@ MemoryController::MemoryController(const DramGeometry& geometry, uint32_t socket
                 geometry_.dimms_per_channel * geometry_.ranks_per_dimm);
   channel_bus_free_.resize(geometry_.channels_per_socket, 0.0);
   bank_group_counts_.resize((banks_.size() + kBanksPerGroup - 1) / kBanksPerGroup);
+  // Hoisted from the per-request path; the expressions match the old inline
+  // forms exactly so every produced double is bit-identical.
+  burst_time_ = timings_.model_refresh
+                    ? timings_.t_burst * timings_.t_refi / (timings_.t_refi - timings_.t_rfc)
+                    : timings_.t_burst;
+  rank_ref_offset_.resize(ranks_.size());
+  for (size_t r = 0; r < ranks_.size(); ++r) {
+    rank_ref_offset_[r] = timings_.t_refi * static_cast<double>(r) /
+                          static_cast<double>(ranks_.size());
+  }
 }
 
 MemoryController::~MemoryController() {
@@ -72,105 +82,6 @@ void MemoryController::ResetState() {
   std::fill(ranks_.begin(), ranks_.end(), RankState{});
   std::fill(channel_bus_free_.begin(), channel_bus_free_.end(), 0.0);
   ResetStats();
-}
-
-double MemoryController::Serve(const MemRequest& request, double ready_ns) {
-  SILOZ_DCHECK(request.address.socket == socket_);
-  ++stats_.requests;
-
-  double t = ready_ns;
-  if (request.source_socket != socket_) {
-    t += timings_.t_remote_numa;  // interconnect hop before the controller
-  }
-
-  const uint32_t bank_index = SocketBankIndex(geometry_, request.address);
-  BankState& bank = banks_[bank_index];
-  BankGroupCounts& group_counts = bank_group_counts_[bank_index / kBanksPerGroup];
-  if (request.is_write) {
-    ++stats_.writes;
-    ++group_counts.wr;
-  } else {
-    ++stats_.reads;
-    ++group_counts.rd;
-  }
-  const uint32_t rank_index =
-      (request.address.channel * geometry_.dimms_per_channel + request.address.dimm) *
-          geometry_.ranks_per_dimm +
-      request.address.rank;
-  RankState& rank = ranks_[rank_index];
-
-  // Wait for the bank's previous column command to clear.
-  t = std::max(t, bank.free_at_ns);
-
-  double data_ready;
-  if (bank.open_row == static_cast<int64_t>(request.address.row)) {
-    ++stats_.row_hits;
-    data_ready = t + timings_.t_cas;
-  } else {
-    ++stats_.row_misses;
-    ++stats_.activates;
-    ++group_counts.act;
-    if (bank.open_row >= 0) {
-      ++stats_.precharges;
-      ++group_counts.pre;
-    }
-    // Precharge the old row (if any), then activate, respecting the bank's
-    // tRC spacing, the rank's tRRD, and the tFAW four-activate window.
-    double act_time = t + (bank.open_row >= 0 ? timings_.t_rp : 0.0);
-    act_time = std::max(act_time, bank.act_allowed_ns);
-    act_time = std::max(act_time, rank.rrd_ready_ns);
-    const double faw_oldest = rank.last_acts[rank.next];
-    if (faw_oldest > 0.0) {
-      act_time = std::max(act_time, faw_oldest + timings_.t_faw);
-    }
-    rank.last_acts[rank.next] = act_time;
-    rank.next = static_cast<uint8_t>((rank.next + 1) % rank.last_acts.size());
-    rank.rrd_ready_ns = act_time + timings_.t_rrd;
-    bank.act_allowed_ns = act_time + timings_.t_rc();
-    bank.open_row = request.address.row;
-    data_ready = act_time + timings_.t_rcd + timings_.t_cas;
-  }
-
-  // The 64-byte burst occupies the channel's data bus. Refresh (§2.3)
-  // steals tRFC out of every tREFI of DRAM time; real controllers hide it
-  // by reordering around the refreshing rank (FR-FCFS), which an in-order
-  // replay cannot express per-request. It is therefore modeled as (a) a
-  // throughput tax inflating effective bus occupancy by tREFI/(tREFI-tRFC)
-  // ~ 4.7%, plus (b) one full-tRFC latency tail per rank per REF epoch
-  // (the request unlucky enough to arrive at the head of the blackout).
-  const double burst_time =
-      timings_.model_refresh
-          ? timings_.t_burst * timings_.t_refi / (timings_.t_refi - timings_.t_rfc)
-          : timings_.t_burst;
-  double& bus_free = channel_bus_free_[request.address.channel];
-  const double burst_start = std::max(data_ready, bus_free);
-  const double completion = burst_start + burst_time;
-  bus_free = completion;
-  // Next column command to this bank cannot start before the burst drains.
-  bank.free_at_ns = completion;
-
-  // The latency tail is charged only to the victim request's observed
-  // completion: the aggregate bank/bus cost of refresh is already paid by
-  // the rate tax, and holding the bank for the full tRFC here would cascade
-  // one REF into a whole-channel stall that real reordering hides.
-  double reported = completion;
-  if (timings_.model_refresh) {
-    const double offset = timings_.t_refi * static_cast<double>(rank_index) /
-                          static_cast<double>(ranks_.size());
-    const double shifted = completion + timings_.t_refi - offset;
-    const double phase = std::fmod(shifted, timings_.t_refi);
-    const double epoch = std::floor(shifted / timings_.t_refi);
-    if (phase < timings_.t_rfc && epoch != rank.ref_epoch_charged) {
-      reported += timings_.t_rfc - phase;
-      rank.ref_epoch_charged = epoch;
-      ++stats_.ref_tail_hits;
-      ++group_counts.ref;
-    }
-  }
-
-  stats_.total_latency_ns += reported - ready_ns;
-  stats_.busy_ns = std::max(stats_.busy_ns, reported);
-  return reported;
 }
 
 }  // namespace siloz

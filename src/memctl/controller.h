@@ -17,10 +17,13 @@
 #ifndef SILOZ_SRC_MEMCTL_CONTROLLER_H_
 #define SILOZ_SRC_MEMCTL_CONTROLLER_H_
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/dram/geometry.h"
 #include "src/memctl/timing.h"
 
@@ -83,7 +86,8 @@ class MemoryController {
 
   // Serve one request that becomes issueable at `ready_ns`; returns its
   // completion time. Requests must be fed in non-decreasing ready order
-  // (the workload engine guarantees this).
+  // (the workload engine guarantees this). Header-inline: the closed-loop
+  // engine calls this once per replayed access.
   double Serve(const MemRequest& request, double ready_ns);
 
   const ControllerStats& stats() const { return stats_; }
@@ -110,6 +114,13 @@ class MemoryController {
     double rrd_ready_ns = 0.0;
     // REF epoch already charged with a latency tail (refresh model).
     double ref_epoch_charged = -1.0;
+    // Shifted-completion value below which no new refresh tail can be
+    // charged: the start of the next tREFI window after the last one
+    // evaluated. Completions are per-rank monotone (each rank lives on one
+    // channel, whose bus-free time only grows), so requests under this bound
+    // can skip the fmod/floor phase math entirely — the slow path would
+    // provably do nothing for them.
+    double ref_check_from_ns = 0.0;
   };
 
   DramGeometry geometry_;
@@ -118,9 +129,117 @@ class MemoryController {
   std::vector<BankState> banks_;       // per bank in socket
   std::vector<RankState> ranks_;       // per (channel, dimm, rank)
   std::vector<double> channel_bus_free_;  // per channel
+  // Precomputed per-request invariants of the refresh model: the effective
+  // burst time under the tREFI/(tREFI-tRFC) rate tax, and each rank's
+  // staggered REF phase offset. Both are computed with exactly the
+  // expressions the per-request code used, so results stay bit-identical.
+  double burst_time_ = 0.0;
+  std::vector<double> rank_ref_offset_;
   ControllerStats stats_;
   std::vector<BankGroupCounts> bank_group_counts_;  // lifetime, per bank group
 };
+
+inline double MemoryController::Serve(const MemRequest& request, double ready_ns) {
+  SILOZ_DCHECK(request.address.socket == socket_);
+  ++stats_.requests;
+
+  double t = ready_ns;
+  if (request.source_socket != socket_) {
+    t += timings_.t_remote_numa;  // interconnect hop before the controller
+  }
+
+  const uint32_t bank_index = SocketBankIndex(geometry_, request.address);
+  BankState& bank = banks_[bank_index];
+  BankGroupCounts& group_counts = bank_group_counts_[bank_index / kBanksPerGroup];
+  if (request.is_write) {
+    ++stats_.writes;
+    ++group_counts.wr;
+  } else {
+    ++stats_.reads;
+    ++group_counts.rd;
+  }
+  const uint32_t rank_index =
+      (request.address.channel * geometry_.dimms_per_channel + request.address.dimm) *
+          geometry_.ranks_per_dimm +
+      request.address.rank;
+  RankState& rank = ranks_[rank_index];
+
+  // Wait for the bank's previous column command to clear.
+  t = std::max(t, bank.free_at_ns);
+
+  double data_ready;
+  if (bank.open_row == static_cast<int64_t>(request.address.row)) {
+    ++stats_.row_hits;
+    data_ready = t + timings_.t_cas;
+  } else {
+    ++stats_.row_misses;
+    ++stats_.activates;
+    ++group_counts.act;
+    if (bank.open_row >= 0) {
+      ++stats_.precharges;
+      ++group_counts.pre;
+    }
+    // Precharge the old row (if any), then activate, respecting the bank's
+    // tRC spacing, the rank's tRRD, and the tFAW four-activate window.
+    double act_time = t + (bank.open_row >= 0 ? timings_.t_rp : 0.0);
+    act_time = std::max(act_time, bank.act_allowed_ns);
+    act_time = std::max(act_time, rank.rrd_ready_ns);
+    const double faw_oldest = rank.last_acts[rank.next];
+    if (faw_oldest > 0.0) {
+      act_time = std::max(act_time, faw_oldest + timings_.t_faw);
+    }
+    rank.last_acts[rank.next] = act_time;
+    rank.next = static_cast<uint8_t>((rank.next + 1) % rank.last_acts.size());
+    rank.rrd_ready_ns = act_time + timings_.t_rrd;
+    bank.act_allowed_ns = act_time + timings_.t_rc();
+    bank.open_row = request.address.row;
+    data_ready = act_time + timings_.t_rcd + timings_.t_cas;
+  }
+
+  // The 64-byte burst occupies the channel's data bus. Refresh (§2.3)
+  // steals tRFC out of every tREFI of DRAM time; real controllers hide it
+  // by reordering around the refreshing rank (FR-FCFS), which an in-order
+  // replay cannot express per-request. It is therefore modeled as (a) a
+  // throughput tax inflating effective bus occupancy by tREFI/(tREFI-tRFC)
+  // ~ 4.7%, plus (b) one full-tRFC latency tail per rank per REF epoch
+  // (the request unlucky enough to arrive at the head of the blackout).
+  double& bus_free = channel_bus_free_[request.address.channel];
+  const double burst_start = std::max(data_ready, bus_free);
+  const double completion = burst_start + burst_time_;
+  bus_free = completion;
+  // Next column command to this bank cannot start before the burst drains.
+  bank.free_at_ns = completion;
+
+  // The latency tail is charged only to the victim request's observed
+  // completion: the aggregate bank/bus cost of refresh is already paid by
+  // the rate tax, and holding the bank for the full tRFC here would cascade
+  // one REF into a whole-channel stall that real reordering hides.
+  double reported = completion;
+  if (timings_.model_refresh) {
+    const double shifted = completion + timings_.t_refi - rank_ref_offset_[rank_index];
+    // Per-rank completions are monotone (one channel per rank), so once a
+    // tREFI window has been evaluated, every later request landing in the
+    // same window is guaranteed to change nothing: either its phase is past
+    // the blackout, or the epoch was already charged. Skip the fmod/floor
+    // for those (~99% of requests); when the slow path does run, it computes
+    // exactly the expressions the unconditional version used.
+    if (shifted >= rank.ref_check_from_ns) {
+      const double phase = std::fmod(shifted, timings_.t_refi);
+      const double epoch = std::floor(shifted / timings_.t_refi);
+      if (phase < timings_.t_rfc && epoch != rank.ref_epoch_charged) {
+        reported += timings_.t_rfc - phase;
+        rank.ref_epoch_charged = epoch;
+        ++stats_.ref_tail_hits;
+        ++group_counts.ref;
+      }
+      rank.ref_check_from_ns = (epoch + 1.0) * timings_.t_refi;
+    }
+  }
+
+  stats_.total_latency_ns += reported - ready_ns;
+  stats_.busy_ns = std::max(stats_.busy_ns, reported);
+  return reported;
+}
 
 }  // namespace siloz
 

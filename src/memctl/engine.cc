@@ -1,39 +1,13 @@
 #include "src/memctl/engine.h"
 
-#include <algorithm>
-#include <queue>
-
-#include "src/base/check.h"
-
 namespace siloz {
 
 EngineResult RunClosedLoop(std::span<const MemRequest> requests,
                            std::span<MemoryController* const> controllers,
                            const EngineConfig& config) {
-  SILOZ_CHECK_GT(config.max_outstanding, 0u);
-  // Min-heap of in-flight completion times.
-  std::priority_queue<double, std::vector<double>, std::greater<>> in_flight;
-  double issue_cursor = 0.0;
-  double last_completion = 0.0;
-
-  for (const MemRequest& request : requests) {
-    if (in_flight.size() >= config.max_outstanding) {
-      // The core stalls until a slot frees up.
-      issue_cursor = std::max(issue_cursor, in_flight.top());
-      in_flight.pop();
-    }
-    SILOZ_DCHECK(request.address.socket < controllers.size());
-    const double completion =
-        controllers[request.address.socket]->Serve(request, issue_cursor);
-    in_flight.push(completion);
-    last_completion = std::max(last_completion, completion);
-    issue_cursor += config.compute_ns_per_access;
-  }
-
-  EngineResult result;
-  result.elapsed_ns = last_completion;
-  result.requests = requests.size();
-  return result;
+  const MemRequest* it = requests.data();
+  return RunClosedLoopOver(
+      requests.size(), [&it]() -> const MemRequest& { return *it++; }, controllers, config);
 }
 
 }  // namespace siloz

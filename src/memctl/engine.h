@@ -5,13 +5,24 @@
 // replays them against the per-socket memory controllers with a fixed number
 // of outstanding misses and an optional compute gap between issues. Elapsed
 // time and achieved bandwidth are what the Fig 4-7 benches report.
+//
+// The core loop is templated over the request source: replaying a
+// materialized trace (RunClosedLoop over a span) and fusing generation with
+// service (RunClosedLoopOver with a TraceStreamer-backed callable) share one
+// implementation, so the two paths are request-for-request identical by
+// construction. The fused path exists because a materialized trace is
+// written once and read once — for a pure timing run, streaming each request
+// straight from the generator into Serve() skips that round-trip through
+// memory entirely.
 #ifndef SILOZ_SRC_MEMCTL_ENGINE_H_
 #define SILOZ_SRC_MEMCTL_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "src/base/check.h"
 #include "src/memctl/controller.h"
 
 namespace siloz {
@@ -37,8 +48,101 @@ struct EngineResult {
   }
 };
 
-// Replays `requests` through the controllers (indexed by socket).
-// Requests route to controllers[address.socket].
+namespace engine_internal {
+
+// Replace the minimum (root) of a flat binary min-heap with `value` in one
+// traversal: promote the min-child chain into the hole all the way down to a
+// leaf, then bubble `value` up from there (bottom-up heapsort style). Once
+// the engine reaches its MLP limit — the steady state for every request
+// after warmup — each issue retires exactly the oldest completion and
+// inserts one new one. The fresh completion nearly always belongs near a
+// leaf, so the descent needs only the one child-vs-child comparison per
+// level and the bubble-up terminates almost immediately, where a classic
+// pop+push pair pays two traversals with two comparisons per level. The
+// internal array layout can differ from a classic sift-down, but the heap
+// holds the same value multiset either way, so every observed minimum — the
+// only thing the engine reads — is identical.
+inline void ReplaceMin(std::vector<double>& heap, double value) {
+  const size_t n = heap.size();
+  size_t i = 0;
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    const size_t right = child + 1;
+    if (right < n && heap[right] < heap[child]) {
+      child = right;
+    }
+    heap[i] = heap[child];
+    i = child;
+  }
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (heap[parent] <= value) {
+      break;
+    }
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = value;
+}
+
+inline void SiftUp(std::vector<double>& heap, size_t i) {
+  const double value = heap[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (heap[parent] <= value) {
+      break;
+    }
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = value;
+}
+
+}  // namespace engine_internal
+
+// Serve `count` requests pulled one at a time from `next` (a callable
+// returning a reference valid until the following call). Requests route to
+// controllers[address.socket].
+template <typename NextRequest>
+EngineResult RunClosedLoopOver(uint64_t count, NextRequest&& next,
+                               std::span<MemoryController* const> controllers,
+                               const EngineConfig& config) {
+  SILOZ_CHECK_GT(config.max_outstanding, 0u);
+  // Min-heap of in-flight completion times.
+  std::vector<double> in_flight;
+  in_flight.reserve(config.max_outstanding);
+  double issue_cursor = 0.0;
+  double last_completion = 0.0;
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const MemRequest& request = next();
+    SILOZ_DCHECK(request.address.socket < controllers.size());
+    double completion;
+    if (in_flight.size() >= config.max_outstanding) {
+      // The core stalls until a slot frees up; the new request takes the
+      // retired slot (replace-min keeps the heap one traversal per request).
+      issue_cursor = std::max(issue_cursor, in_flight.front());
+      completion = controllers[request.address.socket]->Serve(request, issue_cursor);
+      engine_internal::ReplaceMin(in_flight, completion);
+    } else {
+      completion = controllers[request.address.socket]->Serve(request, issue_cursor);
+      in_flight.push_back(completion);
+      engine_internal::SiftUp(in_flight, in_flight.size() - 1);
+    }
+    last_completion = std::max(last_completion, completion);
+    issue_cursor += config.compute_ns_per_access;
+  }
+
+  EngineResult result;
+  result.elapsed_ns = last_completion;
+  result.requests = count;
+  return result;
+}
+
+// Replays a materialized trace through the controllers.
 EngineResult RunClosedLoop(std::span<const MemRequest> requests,
                            std::span<MemoryController* const> controllers,
                            const EngineConfig& config);

@@ -1,10 +1,12 @@
 #include "src/workload/workloads.h"
 
 #include <algorithm>
-
-#include "src/base/check.h"
+#include <memory>
+#include <mutex>
 #include <optional>
 
+#include "src/base/check.h"
+#include "src/base/fastdiv.h"
 #include "src/base/rng.h"
 #include "src/base/units.h"
 
@@ -132,6 +134,107 @@ std::vector<WorkloadSpec> MakeParsecWorkloads() {
   };
 }
 
+// ---------------------------------------------------------------------------
+// Line-stream memoization.
+//
+// A trace factors into (a) the RNG-derived stream of (line index, is_write)
+// ops — a function of the spec's mix parameters, the footprint, and the
+// seed alone — and (b) the placement-dependent mapping of each line to a
+// media address. Experiment grids run the same (workload, trial) under
+// several hypervisor variants whose VMs have identical RAM totals, so (a) is
+// recomputed with identical results once per variant; memoizing it halves
+// the Zipfian/pow and RNG cost of a two-variant grid. Only (a) is cached:
+// content is a pure function of the key, so hits and misses never change
+// what GenerateTrace returns.
+// ---------------------------------------------------------------------------
+
+struct StreamKey {
+  uint64_t accesses;
+  uint64_t footprint_lines;
+  uint64_t seed;
+  double sequential_locality;
+  double zipf_theta;
+  double read_fraction;
+
+  bool operator==(const StreamKey&) const = default;
+};
+
+// FIFO-bounded memo; ~64 entries covers one figure grid's (workload, trial)
+// set (at most ~3 MiB per entry at the largest specs). Exact key equality —
+// no hashing, a figure performs O(100) lookups total.
+struct StreamCacheEntry {
+  StreamKey key;
+  std::shared_ptr<const std::vector<uint32_t>> ops;
+};
+std::mutex stream_cache_mutex;
+std::vector<StreamCacheEntry> stream_cache;
+constexpr size_t kStreamCacheMaxEntries = 64;
+
+// Draws the (line, is_write) stream for `key`. The draw order (locality
+// Bernoulli, optional jump, write Bernoulli per access, after one initial
+// jump) is the determinism contract shared with pre-memoization traces.
+std::vector<uint32_t> GenerateLineOps(const StreamKey& key) {
+  Rng rng(key.seed);
+  std::optional<ZipfianSampler> zipf;
+  if (key.zipf_theta > 0.0) {
+    zipf.emplace(key.footprint_lines, key.zipf_theta);
+  }
+  const FastDivider footprint_div(key.footprint_lines);
+  auto jump = [&]() -> uint64_t {
+    if (!zipf.has_value()) {
+      return rng.NextBelow(key.footprint_lines);
+    }
+    // Scrambled Zipfian (as in YCSB): the sampler's rank-ordered hot items
+    // are hashed across the footprint so hotness is not physically clustered.
+    const uint64_t rank = zipf->Next(rng);
+    uint64_t h = (rank + 1) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 31;
+    return footprint_div.Mod(h);
+  };
+  std::vector<uint32_t> ops;
+  ops.reserve(key.accesses);
+  uint64_t line = jump();
+  for (uint64_t i = 0; i < key.accesses; ++i) {
+    if (rng.NextBernoulli(key.sequential_locality)) {
+      // line < footprint_lines always holds, so the modulo is a wrap test.
+      ++line;
+      if (line == key.footprint_lines) {
+        line = 0;
+      }
+    } else {
+      line = jump();
+    }
+    const bool is_write = !rng.NextBernoulli(key.read_fraction);
+    ops.push_back(static_cast<uint32_t>(line) | (is_write ? kOpWriteBit : 0u));
+  }
+  return ops;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> CachedLineOps(const StreamKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(stream_cache_mutex);
+    for (const StreamCacheEntry& entry : stream_cache) {
+      if (entry.key == key) {
+        return entry.ops;
+      }
+    }
+  }
+  // Generate outside the lock: concurrent misses on the same key do
+  // redundant (identical) work instead of serializing the whole grid.
+  auto ops = std::make_shared<const std::vector<uint32_t>>(GenerateLineOps(key));
+  std::lock_guard<std::mutex> lock(stream_cache_mutex);
+  for (const StreamCacheEntry& entry : stream_cache) {
+    if (entry.key == key) {
+      return entry.ops;
+    }
+  }
+  if (stream_cache.size() >= kStreamCacheMaxEntries) {
+    stream_cache.erase(stream_cache.begin());
+  }
+  stream_cache.push_back(StreamCacheEntry{key, ops});
+  return ops;
+}
+
 }  // namespace
 
 const std::vector<WorkloadSpec>& SpecCpuWorkloads() {
@@ -170,67 +273,91 @@ Result<WorkloadSpec> FindWorkload(const std::string& name) {
   return MakeError(ErrorCode::kNotFound, "no workload '" + name + "'");
 }
 
-std::vector<MemRequest> GenerateTrace(const WorkloadSpec& spec, const AddressDecoder& decoder,
-                                      const std::vector<VmRegion>& regions,
-                                      uint32_t source_socket, uint64_t seed) {
+TraceStreamer::TraceStreamer(const WorkloadSpec& spec, const AddressDecoder& decoder,
+                             const std::vector<VmRegion>& regions, uint32_t source_socket,
+                             uint64_t seed) {
   // The guest's RAM is GPA-contiguous; build a sorted view of the unmediated
   // regions for GPA->HPA translation (what its EPT encodes).
-  std::vector<const VmRegion*> ram;
   uint64_t ram_bytes = 0;
   for (const VmRegion& region : regions) {
     if (region.type == MemoryType::kGuestRam) {
-      ram.push_back(&region);
+      ram_.push_back(&region);
       ram_bytes += region.bytes;
     }
   }
-  SILOZ_CHECK(!ram.empty());
-  std::sort(ram.begin(), ram.end(),
+  SILOZ_CHECK(!ram_.empty());
+  std::sort(ram_.begin(), ram_.end(),
             [](const VmRegion* a, const VmRegion* b) { return a->gpa < b->gpa; });
+  last_region_ = ram_.front();
 
   const uint64_t footprint =
       std::max<uint64_t>(kCacheLineBytes, std::min(spec.footprint_bytes, ram_bytes));
   const uint64_t footprint_lines = footprint / kCacheLineBytes;
+  SILOZ_CHECK_LT(footprint_lines, uint64_t{kOpWriteBit});
+  const StreamKey key{spec.accesses,  footprint_lines, seed,
+                      spec.sequential_locality, spec.zipf_theta, spec.read_fraction};
+  ops_ = CachedLineOps(key);
 
+  decoder_ = &decoder;
+  if (const auto* skylake = dynamic_cast<const SkylakeDecoder*>(&decoder)) {
+    cursor_.emplace(*skylake, 0);
+  }
+  request_.source_socket = source_socket;
+}
+
+void TraceStreamer::MaterializeAll(MemRequest* out) {
+  SILOZ_CHECK_EQ(index_, size_t{0});
+  const std::vector<uint32_t>& ops = *ops_;
+  const uint32_t source_socket = request_.source_socket;
+  const VmRegion* last_region = last_region_;
   auto gpa_to_hpa = [&](uint64_t gpa) {
-    auto it = std::upper_bound(ram.begin(), ram.end(), gpa,
-                               [](uint64_t value, const VmRegion* r) { return value < r->gpa; });
-    SILOZ_CHECK(it != ram.begin());
-    const VmRegion& region = **(it - 1);
-    SILOZ_DCHECK(gpa < region.gpa + region.bytes);
-    return region.hpa + (gpa - region.gpa);
+    if (gpa - last_region->gpa >= last_region->bytes) {
+      auto it = std::upper_bound(ram_.begin(), ram_.end(), gpa,
+                                 [](uint64_t value, const VmRegion* r) { return value < r->gpa; });
+      SILOZ_CHECK(it != ram_.begin());
+      last_region = *(it - 1);
+      SILOZ_DCHECK(gpa < last_region->gpa + last_region->bytes);
+    }
+    return last_region->hpa + (gpa - last_region->gpa);
   };
+  if (cursor_) {
+    SkylakeDecoder::LineCursor cursor = *cursor_;
+    uint64_t next_hpa = ~uint64_t{0};
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const uint32_t op = ops[i];
+      const uint64_t gpa = static_cast<uint64_t>(op & ~kOpWriteBit) * kCacheLineBytes;
+      const uint64_t hpa = gpa_to_hpa(gpa);
+      if (hpa == next_hpa) [[likely]] {
+        cursor.Advance();
+      } else if (hpa != next_hpa - kCacheLineBytes) {
+        cursor.Reset(hpa);
+      }  // else: repeat of the previous line, cursor already there
+      next_hpa = hpa + kCacheLineBytes;
+      MemRequest& request = out[i];
+      request.address = cursor.media();
+      request.is_write = (op & kOpWriteBit) != 0;
+      request.source_socket = source_socket;
+    }
+  } else {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const uint32_t op = ops[i];
+      const uint64_t gpa = static_cast<uint64_t>(op & ~kOpWriteBit) * kCacheLineBytes;
+      MemRequest& request = out[i];
+      request.address = *decoder_->PhysToMedia(gpa_to_hpa(gpa));
+      request.is_write = (op & kOpWriteBit) != 0;
+      request.source_socket = source_socket;
+    }
+  }
+  index_ = ops.size();
+  last_region_ = last_region;
+}
 
-  Rng rng(seed);
-  std::vector<MemRequest> trace;
-  trace.reserve(spec.accesses);
-  // Scrambled Zipfian (as in YCSB): the sampler's rank-ordered hot items are
-  // hashed across the footprint so hotness is not physically clustered.
-  std::optional<ZipfianSampler> zipf;
-  if (spec.zipf_theta > 0.0) {
-    zipf.emplace(footprint_lines, spec.zipf_theta);
-  }
-  auto jump = [&]() -> uint64_t {
-    if (!zipf.has_value()) {
-      return rng.NextBelow(footprint_lines);
-    }
-    const uint64_t rank = zipf->Next(rng);
-    uint64_t h = (rank + 1) * 0x9E3779B97F4A7C15ull;
-    h ^= h >> 31;
-    return h % footprint_lines;
-  };
-  uint64_t line = jump();
-  for (uint64_t i = 0; i < spec.accesses; ++i) {
-    if (rng.NextBernoulli(spec.sequential_locality)) {
-      line = (line + 1) % footprint_lines;
-    } else {
-      line = jump();
-    }
-    MemRequest request;
-    request.address = *decoder.PhysToMedia(gpa_to_hpa(line * kCacheLineBytes));
-    request.is_write = !rng.NextBernoulli(spec.read_fraction);
-    request.source_socket = source_socket;
-    trace.push_back(request);
-  }
+std::vector<MemRequest> GenerateTrace(const WorkloadSpec& spec, const AddressDecoder& decoder,
+                                      const std::vector<VmRegion>& regions,
+                                      uint32_t source_socket, uint64_t seed) {
+  TraceStreamer stream(spec, decoder, regions, source_socket, seed);
+  std::vector<MemRequest> trace(stream.size());
+  stream.MaterializeAll(trace.data());
   return trace;
 }
 

@@ -12,12 +12,17 @@
 #ifndef SILOZ_SRC_WORKLOAD_WORKLOADS_H_
 #define SILOZ_SRC_WORKLOAD_WORKLOADS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/addr/decoder.h"
+#include "src/base/check.h"
 #include "src/base/result.h"
+#include "src/base/units.h"
 #include "src/memctl/controller.h"
 #include "src/siloz/vm.h"
 
@@ -65,9 +70,85 @@ const std::vector<WorkloadSpec>& ParsecWorkloads();
 
 Result<WorkloadSpec> FindWorkload(const std::string& name);
 
-// Generates a request trace over the VM's unmediated regions: the guest
-// walks its own GPA space; addresses translate through the region list (the
-// static GPA->HPA layout its EPT encodes) and then the platform decoder.
+// Packed line-stream op: bit 31 = is_write, bits [0,31) = line index within
+// the footprint (the generator checks footprints fit below the bit).
+inline constexpr uint32_t kOpWriteBit = 0x80000000u;
+
+// Streams the request sequence of one trial, one request at a time: the
+// guest walks its own GPA space; addresses translate through the region list
+// (the static GPA->HPA layout its EPT encodes) and then the platform
+// decoder. GenerateTrace materializes exactly this stream, so the two are
+// request-for-request identical by construction; the streaming form exists
+// so a pure timing run can feed the closed-loop engine directly without
+// writing (and re-reading) a multi-megabyte trace.
+class TraceStreamer {
+ public:
+  TraceStreamer(const WorkloadSpec& spec, const AddressDecoder& decoder,
+                const std::vector<VmRegion>& regions, uint32_t source_socket,
+                uint64_t seed);
+
+  uint64_t size() const { return ops_->size(); }
+
+  // Returns the next request; the reference is valid until the following
+  // call. Must be called exactly size() times.
+  const MemRequest& Next() {
+    const uint32_t op = (*ops_)[index_++];
+    const uint64_t gpa = static_cast<uint64_t>(op & ~kOpWriteBit) * kCacheLineBytes;
+    const uint64_t hpa = GpaToHpa(gpa);
+    if (cursor_) {
+      // Sequential runs dominate most workloads, and a sequential step in
+      // GPA space is almost always a +64 B step in HPA space (EPT regions
+      // are large). Walk those with the decoder's incremental LineCursor — a
+      // one-counter ripple — and fall back to a full Reset (the same divide
+      // chain PhysToMedia runs) only when the stream jumps.
+      if (hpa == next_hpa_) [[likely]] {
+        cursor_->Advance();
+      } else if (hpa != next_hpa_ - kCacheLineBytes) {
+        cursor_->Reset(hpa);
+      }  // else: repeat of the previous line, cursor already there
+      next_hpa_ = hpa + kCacheLineBytes;
+      request_.address = cursor_->media();
+    } else {
+      request_.address = *decoder_->PhysToMedia(hpa);
+    }
+    request_.is_write = (op & kOpWriteBit) != 0;
+    return request_;
+  }
+
+  // Materialize the entire stream into out[0, size()) in one pass.
+  // Equivalent to size() calls of Next() — workloads_test checks the two
+  // element-for-element — but with the hot state (cursor, region hint) in
+  // locals. Must be the first consumption of the stream.
+  void MaterializeAll(MemRequest* out);
+
+ private:
+  uint64_t GpaToHpa(uint64_t gpa) {
+    // GPA streams are bursty (sequential runs, zipfian hot sets), so the
+    // region containing the previous access almost always contains the
+    // next; fall back to the binary search only on a region switch.
+    if (gpa - last_region_->gpa >= last_region_->bytes) {
+      auto it = std::upper_bound(
+          ram_.begin(), ram_.end(), gpa,
+          [](uint64_t value, const VmRegion* r) { return value < r->gpa; });
+      SILOZ_CHECK(it != ram_.begin());
+      last_region_ = *(it - 1);
+      SILOZ_DCHECK(gpa < last_region_->gpa + last_region_->bytes);
+    }
+    return last_region_->hpa + (gpa - last_region_->gpa);
+  }
+
+  std::shared_ptr<const std::vector<uint32_t>> ops_;  // memoized line stream
+  std::vector<const VmRegion*> ram_;                  // sorted by gpa
+  const VmRegion* last_region_ = nullptr;
+  const AddressDecoder* decoder_ = nullptr;
+  std::optional<SkylakeDecoder::LineCursor> cursor_;  // set for SkylakeDecoder
+  MemRequest request_;
+  uint64_t next_hpa_ = ~uint64_t{0};  // hpa that keeps the cursor valid
+  size_t index_ = 0;
+};
+
+// Generates a request trace over the VM's unmediated regions (the
+// materialized form of TraceStreamer; see above).
 std::vector<MemRequest> GenerateTrace(const WorkloadSpec& spec, const AddressDecoder& decoder,
                                       const std::vector<VmRegion>& regions,
                                       uint32_t source_socket, uint64_t seed);

@@ -217,5 +217,68 @@ TEST(DecoderTest, DistinctPhysMapToDistinctMedia) {
   }
 }
 
+// --- LineCursor: the incremental decoder vs. the division cascade ---
+
+// On the small geometry every carry path — channel, bank, column, row,
+// chunk, half, region, AND the socket boundary — occurs within an exhaustive
+// walk: Advance() over the whole physical space must reproduce PhysToMedia
+// line for line.
+TEST(LineCursorTest, ExhaustiveWalkMatchesPhysToMediaOnSmallGeometry) {
+  const DramGeometry geometry = SmallGeometry();
+  SkylakeDecoder decoder(geometry);
+  SkylakeDecoder::LineCursor cursor(decoder, 0);
+  for (uint64_t phys = 0; phys < geometry.total_bytes(); phys += kCacheLineBytes) {
+    if (phys != 0) {
+      cursor.Advance();
+    }
+    const MediaAddress expected = *decoder.PhysToMedia(phys);
+    ASSERT_EQ(cursor.media(), expected)
+        << "phys 0x" << std::hex << phys << ": cursor " << cursor.media().ToString()
+        << " != " << expected.ToString();
+  }
+}
+
+// On the full evaluation geometry, step the cursor across every chunk
+// boundary in the machine (all half/region/socket boundaries are chunk
+// boundaries too) and compare a window of lines on each side.
+TEST(LineCursorTest, MatchesAcrossEveryChunkHalfRegionSocketBoundary) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  const uint64_t chunk = decoder.chunk_bytes();
+  for (uint64_t boundary = chunk; boundary < geometry.total_bytes(); boundary += chunk) {
+    const uint64_t start = boundary - 2 * kCacheLineBytes;
+    SkylakeDecoder::LineCursor cursor(decoder, start);
+    for (uint64_t phys = start; phys < boundary + 2 * kCacheLineBytes;
+         phys += kCacheLineBytes) {
+      if (phys != start) {
+        cursor.Advance();
+      }
+      ASSERT_EQ(cursor.media(), *decoder.PhysToMedia(phys))
+          << "boundary 0x" << std::hex << boundary << " phys 0x" << phys;
+    }
+  }
+}
+
+// Reset() re-seats the cursor with the same divider chain PhysToMedia runs,
+// so a jump-then-walk sequence must agree with full decodes everywhere.
+TEST(LineCursorTest, ResetAfterJumpMatchesFullDecode) {
+  const DramGeometry geometry;
+  SkylakeDecoder decoder(geometry);
+  SkylakeDecoder::LineCursor cursor(decoder, 0);
+  Rng rng(1234);
+  for (int jump = 0; jump < 2000; ++jump) {
+    const uint64_t phys = rng.NextBelow(geometry.total_bytes() / kCacheLineBytes - 8) *
+                          kCacheLineBytes;
+    cursor.Reset(phys);
+    for (uint64_t step = 0; step < 8; ++step) {
+      if (step != 0) {
+        cursor.Advance();
+      }
+      ASSERT_EQ(cursor.media(), *decoder.PhysToMedia(phys + step * kCacheLineBytes))
+          << "jump " << jump << " step " << step;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace siloz

