@@ -1,0 +1,56 @@
+#include "src/base/fault_injector.h"
+
+#include <cstring>
+
+namespace siloz {
+
+std::atomic<bool> FaultInjector::active_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(uint64_t k, std::string site_prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+  k_ = k;
+  matched_ = 0;
+  fired_ = 0;
+  prefix_ = std::move(site_prefix);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  active_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_) {
+    return false;
+  }
+  if (std::strncmp(site, prefix_.c_str(), prefix_.size()) != 0) {
+    return false;
+  }
+  ++matched_;
+  if (matched_ == k_ && fired_ == 0) {
+    fired_ = 1;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::matched_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return matched_;
+}
+
+uint64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+}  // namespace siloz

@@ -1,0 +1,95 @@
+// Deterministic fault injection for error-path testing.
+//
+// Fallible resource operations (buddy allocation, cgroup creation, EPT table
+// page allocation) declare a SILOZ_FAULT_POINT("site") at their entry. When
+// the process-wide injector is armed with (k, prefix), the k-th subsequent
+// call whose site name starts with `prefix` fails with an injected kNoMemory
+// error; every other call proceeds normally. Firing is one-shot per Arm(), so
+// rollback/cleanup code that runs *because* of the injected failure is never
+// itself sabotaged.
+//
+// Site names are namespaced by failure class:
+//   "alloc.*"  acquisition paths (allocation, creation, reservation) — the
+//              set the CreateVm fault sweep iterates over,
+//   "free.*"   release paths (used to exercise DestroyVm retry semantics;
+//              never part of an "alloc." sweep, because transactional
+//              rollback treats release failure as an invariant violation).
+//
+// The disarmed fast path is a single relaxed atomic load, so instrumented
+// sites cost nothing measurable in production runs. Armed bookkeeping takes a
+// mutex; fault injection is a single-threaded test harness feature and makes
+// no cross-thread ordering promises beyond data-race freedom.
+#ifndef SILOZ_SRC_BASE_FAULT_INJECTOR_H_
+#define SILOZ_SRC_BASE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/base/result.h"
+
+namespace siloz {
+
+class FaultInjector {
+ public:
+  // The process-wide injector every SILOZ_FAULT_POINT consults.
+  static FaultInjector& Global();
+
+  // Arms the injector: the k-th (1-based) subsequent matching call fails.
+  // Resets the matched/fired counters. An empty prefix matches every site.
+  void Arm(uint64_t k, std::string site_prefix = "");
+
+  // Disarms and stops counting. Counters keep their values until re-Arm.
+  void Disarm();
+
+  // Consulted by SILOZ_FAULT_POINT. Counts calls matching the armed prefix;
+  // returns true exactly once, on the k-th match since Arm().
+  bool ShouldFail(const char* site);
+
+  // Matching calls observed since the last Arm() (the sweep uses this to
+  // discover how many fault points a code path traverses).
+  uint64_t matched_calls() const;
+  // 0 or 1: whether the armed fault has fired since the last Arm().
+  uint64_t faults_fired() const;
+
+  // Disarmed fast path: false for the lifetime of any process that never
+  // arms the injector.
+  static bool Active() { return active_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<bool> active_;
+
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  uint64_t k_ = 0;
+  uint64_t matched_ = 0;
+  uint64_t fired_ = 0;
+  std::string prefix_;
+};
+
+// RAII arm/disarm for tests: the injector never stays armed past a scope,
+// even when an ASSERT unwinds it.
+class ScopedFault {
+ public:
+  explicit ScopedFault(uint64_t k, std::string site_prefix = "") {
+    FaultInjector::Global().Arm(k, std::move(site_prefix));
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace siloz
+
+// Declares an injectable failure site in a function returning Result/Status.
+#define SILOZ_FAULT_POINT(site)                                             \
+  do {                                                                      \
+    if (::siloz::FaultInjector::Active() &&                                 \
+        ::siloz::FaultInjector::Global().ShouldFail(site)) {                \
+      return ::siloz::MakeError(::siloz::ErrorCode::kNoMemory,              \
+                                std::string("injected fault at ") + (site)); \
+    }                                                                       \
+  } while (0)
+
+#endif  // SILOZ_SRC_BASE_FAULT_INJECTOR_H_

@@ -1,0 +1,57 @@
+// ReservationTransaction: a multi-step scope guard for all-or-nothing
+// resource acquisition.
+//
+// Each step of a compound operation registers its undo action immediately
+// after the step succeeds. If the operation returns early on ANY path —
+// explicit error return, SILOZ_RETURN_IF_ERROR, or an exception unwinding
+// through — the destructor runs the registered undos in reverse registration
+// order, restoring the pre-operation state exactly. Commit() disowns the
+// undos once every step has succeeded.
+//
+// This replaces the "one unwind lambda defined after the fallible steps"
+// pattern, which silently leaks every reservation made before the lambda's
+// definition point (the CreateVm bug class this repo's conservation checker
+// exists to catch).
+#ifndef SILOZ_SRC_BASE_TRANSACTION_H_
+#define SILOZ_SRC_BASE_TRANSACTION_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace siloz {
+
+class ReservationTransaction {
+ public:
+  ReservationTransaction() = default;
+  ~ReservationTransaction() { Rollback(); }
+
+  ReservationTransaction(const ReservationTransaction&) = delete;
+  ReservationTransaction& operator=(const ReservationTransaction&) = delete;
+
+  // Registers the undo for a step that just succeeded. Undo actions must not
+  // fail: they release resources this transaction provably acquired, so a
+  // failure there is an accounting invariant violation (CHECK in the caller).
+  void OnRollback(std::function<void()> undo) { undos_.push_back(std::move(undo)); }
+
+  // The operation succeeded as a whole: keep every acquisition.
+  void Commit() { undos_.clear(); }
+
+  // Runs pending undos newest-first. Idempotent; also invoked by the
+  // destructor, so an early `return error;` rolls back automatically.
+  void Rollback() {
+    while (!undos_.empty()) {
+      undos_.back()();
+      undos_.pop_back();
+    }
+  }
+
+  size_t pending_undos() const { return undos_.size(); }
+
+ private:
+  std::vector<std::function<void()>> undos_;
+};
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_BASE_TRANSACTION_H_

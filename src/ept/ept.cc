@@ -3,6 +3,7 @@
 #include <array>
 
 #include "src/base/check.h"
+#include "src/base/fault_injector.h"
 #include "src/base/units.h"
 
 namespace siloz {
@@ -29,14 +30,13 @@ ExtendedPageTable::ExtendedPageTable(PhysMemory& memory, EptPageAllocator alloca
 Result<std::unique_ptr<ExtendedPageTable>> ExtendedPageTable::Create(PhysMemory& memory,
                                                                      EptPageAllocator allocator,
                                                                      bool secure) {
-  // Probe the allocator for the root before entering the aborting ctor.
-  Result<uint64_t> probe = allocator();
-  SILOZ_RETURN_IF_ERROR(probe);
-  const uint64_t root_page = *probe;
-  auto ept = std::make_unique<ExtendedPageTable>(
-      memory, [root_page]() -> Result<uint64_t> { return root_page; }, secure);
-  // Rebind the real allocator for subsequent table pages.
-  ept->allocator_ = std::move(allocator);
+  // Construct without a root, then allocate it fallibly — the aborting
+  // constructor is reserved for callers that treat exhaustion as a bug.
+  std::unique_ptr<ExtendedPageTable> ept(
+      new ExtendedPageTable(DeferRootTag{}, memory, std::move(allocator), secure));
+  Result<uint64_t> root = ept->AllocateTablePage();
+  SILOZ_RETURN_IF_ERROR(root);
+  ept->root_ = *root;
   return ept;
 }
 
@@ -47,6 +47,7 @@ uint32_t ExtendedPageTable::LevelIndex(uint64_t gpa, uint32_t level) {
 }
 
 Result<uint64_t> ExtendedPageTable::AllocateTablePage() {
+  SILOZ_FAULT_POINT("alloc.ept.table_page");
   Result<uint64_t> page = allocator_();
   SILOZ_RETURN_IF_ERROR(page);
   SILOZ_CHECK_EQ(*page % kPage4K, 0u);

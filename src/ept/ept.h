@@ -46,8 +46,8 @@ class ExtendedPageTable {
   // allocator can legitimately be exhausted.
   ExtendedPageTable(PhysMemory& memory, EptPageAllocator allocator, bool secure = false);
 
-  // Fallible construction: returns kNoMemory instead of aborting when the
-  // allocator cannot supply the root page.
+  // Fallible construction: returns the allocator's error instead of aborting
+  // when it cannot supply the root page.
   static Result<std::unique_ptr<ExtendedPageTable>> Create(PhysMemory& memory,
                                                            EptPageAllocator allocator,
                                                            bool secure = false);
@@ -83,6 +83,12 @@ class ExtendedPageTable {
   bool secure() const { return secure_; }
 
  private:
+  // Non-allocating constructor used by Create(): the caller must follow up
+  // with AllocateTablePage() for the root before the table is usable.
+  struct DeferRootTag {};
+  ExtendedPageTable(DeferRootTag, PhysMemory& memory, EptPageAllocator allocator, bool secure)
+      : memory_(memory), allocator_(std::move(allocator)), secure_(secure) {}
+
   // Index of `gpa` at a given level (0 = PML4 ... 3 = PT).
   static uint32_t LevelIndex(uint64_t gpa, uint32_t level);
 

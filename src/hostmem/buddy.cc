@@ -4,6 +4,7 @@
 
 #include "src/base/bitops.h"
 #include "src/base/check.h"
+#include "src/base/fault_injector.h"
 
 namespace siloz {
 
@@ -29,6 +30,16 @@ BuddyAllocator::BuddyAllocator(const std::vector<PhysRange>& ranges) {
   free_bytes_ = total_bytes_;
 }
 
+void BuddyAllocator::AddFree(uint64_t phys, uint32_t order) {
+  free_[order].insert(phys);
+  free_by_addr_[phys] = order;
+}
+
+void BuddyAllocator::RemoveFree(uint64_t phys, uint32_t order) {
+  free_[order].erase(phys);
+  free_by_addr_.erase(phys);
+}
+
 void BuddyAllocator::Insert(uint64_t phys, uint32_t order) {
   // Coalesce with the buddy while possible.
   while (order < kMaxOrder) {
@@ -37,18 +48,19 @@ void BuddyAllocator::Insert(uint64_t phys, uint32_t order) {
     if (it == free_[order].end()) {
       break;
     }
-    free_[order].erase(it);
+    RemoveFree(buddy, order);
     phys = std::min(phys, buddy);
     ++order;
   }
   // Insert only places blocks; free_bytes_ accounting is the caller's.
-  free_[order].insert(phys);
+  AddFree(phys, order);
 }
 
 Result<uint64_t> BuddyAllocator::Allocate(uint32_t order) {
   if (order > kMaxOrder) {
     return MakeError(ErrorCode::kInvalidArgument, "order too large");
   }
+  SILOZ_FAULT_POINT("alloc.buddy.page");
   // Find the smallest order >= requested with a free block.
   uint32_t have = order;
   while (have <= kMaxOrder && free_[have].empty()) {
@@ -59,11 +71,11 @@ Result<uint64_t> BuddyAllocator::Allocate(uint32_t order) {
                      "no free block of order " + std::to_string(order));
   }
   uint64_t block = *free_[have].begin();
-  free_[have].erase(free_[have].begin());
+  RemoveFree(block, have);
   // Split down, returning the upper halves to the free lists.
   while (have > order) {
     --have;
-    free_[have].insert(block + OrderBytes(have));
+    AddFree(block + OrderBytes(have), have);
   }
   free_bytes_ -= OrderBytes(order);
   return block;
@@ -77,20 +89,20 @@ bool BuddyAllocator::CarveTo(uint64_t phys, uint32_t order) {
     if (it == free_[have].end()) {
       continue;
     }
-    free_[have].erase(it);
+    RemoveFree(candidate, have);
     // Split down toward `phys`.
     uint64_t block = candidate;
     while (have > order) {
       --have;
       const uint64_t half = OrderBytes(have);
       if (phys < block + half) {
-        free_[have].insert(block + half);  // keep low half
+        AddFree(block + half, have);  // keep low half
       } else {
-        free_[have].insert(block);  // keep high half
+        AddFree(block, have);  // keep high half
         block += half;
       }
     }
-    free_[order].insert(block);
+    AddFree(block, order);
     return true;
   }
   return false;
@@ -100,18 +112,45 @@ Status BuddyAllocator::AllocateAt(uint64_t phys, uint32_t order) {
   if (order > kMaxOrder || phys % OrderBytes(order) != 0) {
     return MakeError(ErrorCode::kInvalidArgument, "misaligned AllocateAt");
   }
+  SILOZ_FAULT_POINT("alloc.buddy.at");
   if (!CarveTo(phys, order)) {
     return MakeError(ErrorCode::kNoMemory,
                      "block at " + std::to_string(phys) + " not free");
   }
-  free_[order].erase(phys);
+  RemoveFree(phys, order);
   free_bytes_ -= OrderBytes(order);
   return Status::Ok();
+}
+
+bool BuddyAllocator::OverlapsFreeOrOfflined(uint64_t phys, uint32_t order) const {
+  const uint64_t end = phys + OrderBytes(order);
+  // A free block starting before `phys` that extends into the range...
+  auto next = free_by_addr_.upper_bound(phys);
+  if (next != free_by_addr_.begin()) {
+    const auto prev = std::prev(next);
+    if (prev->first + OrderBytes(prev->second) > phys) {
+      return true;
+    }
+  }
+  // ...or one starting inside it.
+  if (next != free_by_addr_.end() && next->first < end) {
+    return true;
+  }
+  // Offlined pages are permanently carved out; a block covering one was
+  // never handed out whole by Allocate/AllocateAt.
+  auto offlined = offlined_.lower_bound(phys);
+  return offlined != offlined_.end() && *offlined < end;
 }
 
 Status BuddyAllocator::Free(uint64_t phys, uint32_t order) {
   if (order > kMaxOrder || phys % OrderBytes(order) != 0) {
     return MakeError(ErrorCode::kInvalidArgument, "misaligned Free");
+  }
+  SILOZ_FAULT_POINT("free.buddy.page");
+  if (OverlapsFreeOrOfflined(phys, order)) {
+    return MakeError(ErrorCode::kFailedPrecondition,
+                     "double free: block at " + std::to_string(phys) + " order " +
+                         std::to_string(order) + " overlaps free or offlined memory");
   }
   Insert(phys, order);
   free_bytes_ += OrderBytes(order);
@@ -126,7 +165,7 @@ Status BuddyAllocator::OfflinePage(uint64_t phys) {
     return MakeError(ErrorCode::kFailedPrecondition,
                      "page at " + std::to_string(phys) + " not free; cannot offline");
   }
-  free_[0].erase(phys);
+  RemoveFree(phys, 0);
   free_bytes_ -= OrderBytes(0);
   offlined_bytes_ += OrderBytes(0);
   total_bytes_ -= OrderBytes(0);

@@ -9,6 +9,8 @@
 #define SILOZ_SRC_HOSTMEM_BUDDY_H_
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
@@ -38,7 +40,11 @@ class BuddyAllocator {
   // contiguous VM placement (§5.4's EPT-count argument relies on it).
   Status AllocateAt(uint64_t phys, uint32_t order);
 
-  // Return a block obtained from Allocate/AllocateAt.
+  // Return a block obtained from Allocate/AllocateAt. Rejects with
+  // kFailedPrecondition any block that overlaps a currently-free block or an
+  // offlined page: a double (or never-allocated) free would otherwise
+  // corrupt free_bytes_ and the coalescing state silently, which is exactly
+  // the bookkeeping the isolation invariants rest on.
   Status Free(uint64_t phys, uint32_t order);
 
   // Permanently remove a free 4 KiB page from the pool (Linux page
@@ -61,6 +67,10 @@ class BuddyAllocator {
   // apart from hammerable memory.
   bool IsOfflined(uint64_t phys) const;
 
+  // True if [phys, phys + OrderBytes(order)) intersects any free block or
+  // offlined page. O(log n) via the address-ordered free-block mirror.
+  bool OverlapsFreeOrOfflined(uint64_t phys, uint32_t order) const;
+
  private:
   // Splits blocks until a free block of exactly `order` containing `phys`
   // exists; returns false if `phys` is not inside any free block of order
@@ -69,10 +79,20 @@ class BuddyAllocator {
 
   void Insert(uint64_t phys, uint32_t order);
 
+  // The ONLY mutators of the free-block containers, keeping free_ and
+  // free_by_addr_ in lockstep.
+  void AddFree(uint64_t phys, uint32_t order);
+  void RemoveFree(uint64_t phys, uint32_t order);
+
   // free_[order] holds the start addresses of free blocks of that order.
   std::vector<std::unordered_set<uint64_t>> free_;
-  // Pages removed by OfflinePage (4 KiB starts).
-  std::unordered_set<uint64_t> offlined_;
+  // Address-ordered mirror of every free block (start -> order). Free blocks
+  // never overlap, so a start address maps to exactly one order; the mirror
+  // gives Free() O(log n) overlap detection.
+  std::map<uint64_t, uint32_t> free_by_addr_;
+  // Pages removed by OfflinePage (4 KiB starts), address-ordered so overlap
+  // queries are range scans.
+  std::set<uint64_t> offlined_;
   uint64_t free_bytes_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t offlined_bytes_ = 0;

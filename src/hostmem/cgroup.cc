@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "src/base/fault_injector.h"
+
 namespace siloz {
 
 Result<ControlGroup*> CgroupRegistry::Create(const std::string& name,
                                              std::set<uint32_t> mems_allowed,
                                              bool kvm_privileged) {
+  SILOZ_FAULT_POINT("alloc.cgroup.create");
   for (const auto& group : groups_) {
     if (group->name() == name) {
       return MakeError(ErrorCode::kAlreadyExists, "cgroup '" + name + "' exists");

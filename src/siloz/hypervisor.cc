@@ -4,7 +4,9 @@
 
 #include "src/base/bitops.h"
 #include "src/base/check.h"
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
+#include "src/base/transaction.h"
 #include "src/base/units.h"
 #include "src/dram/remap.h"
 #include "src/obs/metrics.h"
@@ -77,6 +79,7 @@ Status SilozHypervisor::Boot() {
     }
     Result<ControlGroup*> host_cgroup = cgroups_.Create("host", host_nodes, true);
     SILOZ_RETURN_IF_ERROR(host_cgroup);
+    UpdateEptGauges();
     booted_ = true;
     return Status::Ok();
   }
@@ -155,6 +158,7 @@ Status SilozHypervisor::Boot() {
   if (config_.ept_protection == EptProtection::kGuardRows) {
     SILOZ_RETURN_IF_ERROR(ReserveEptBlocks());
   }
+  UpdateEptGauges();
   booted_ = true;
   return Status::Ok();
 }
@@ -354,6 +358,7 @@ Status SilozHypervisor::FreePages(uint32_t node_id, uint64_t phys, uint32_t orde
 
 Result<uint64_t> SilozHypervisor::AllocateContiguous(NumaNode& node, uint64_t bytes,
                                                      uint32_t order) {
+  SILOZ_FAULT_POINT("alloc.hv.contiguous");
   const uint64_t block = OrderBytes(order);
   SILOZ_CHECK_EQ(bytes % block, 0u);
   for (const PhysRange& range : node.ranges()) {
@@ -384,6 +389,7 @@ Result<uint64_t> SilozHypervisor::AllocateContiguous(NumaNode& node, uint64_t by
 
 Result<std::vector<PhysRange>> SilozHypervisor::AllocateRuns(NumaNode& node, uint64_t bytes,
                                                              uint32_t order) {
+  SILOZ_FAULT_POINT("alloc.hv.runs");
   const uint64_t block = OrderBytes(order);
   SILOZ_CHECK_EQ(bytes % block, 0u);
   std::vector<PhysRange> runs;
@@ -446,6 +452,8 @@ EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
       const uint64_t page = ept_pool_[socket].back();
       ept_pool_[socket].pop_back();
       pages_out->push_back(page);
+      ++ept_pages_held_;
+      UpdateEptGauges();
       return page;
     };
   }
@@ -457,8 +465,47 @@ EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
     Result<uint64_t> page = (*node)->allocator().Allocate(kOrder4K);
     SILOZ_RETURN_IF_ERROR(page);
     pages_out->push_back(*page);
+    ++ept_pages_held_;
+    UpdateEptGauges();
     return *page;
   };
+}
+
+Status SilozHypervisor::ReturnEptPage(uint32_t socket, uint64_t page) {
+  if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
+    ept_pool_[socket].push_back(page);
+  } else {
+    SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
+  }
+  SILOZ_CHECK_GT(ept_pages_held_, 0u);
+  --ept_pages_held_;
+  UpdateEptGauges();
+  return Status::Ok();
+}
+
+Status SilozHypervisor::FreeBackingBlocks(Backing& backing) {
+  Result<NumaNode*> node = nodes_.Get(backing.node);
+  SILOZ_RETURN_IF_ERROR(node);
+  const uint64_t block = OrderBytes(backing.order);
+  while (backing.bytes > 0) {
+    SILOZ_RETURN_IF_ERROR((*node)->allocator().Free(backing.phys, backing.order));
+    backing.phys += block;
+    backing.bytes -= block;
+  }
+  return Status::Ok();
+}
+
+void SilozHypervisor::UpdateEptGauges() {
+  // Scheduler domain, not model: concurrent trials each run a hypervisor and
+  // these last-writer-wins levels would differ across thread counts.
+  int64_t pool_free = 0;
+  for (const auto& pool : ept_pool_) {
+    pool_free += static_cast<int64_t>(pool.size());
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("hv.ept.pool_free", obs::Domain::kSched).Set(pool_free);
+  registry.GetGauge("hv.ept.pages_in_use", obs::Domain::kSched)
+      .Set(static_cast<int64_t>(ept_pages_held_));
 }
 
 Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
@@ -480,8 +527,20 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
   const VmId id = next_vm_id_++;
   const std::string cgroup_name = config_.enabled ? ("vm-" + vm_config.name) : "host";
   auto vm = std::make_unique<Vm>(id, vm_config, cgroup_name);
-  std::vector<Backing>& backing_log = vm_backing_[id];
-  std::vector<uint64_t>& ept_pages = vm_ept_pages_[id];
+
+  // Every reservation below registers its undo the moment it succeeds; any
+  // early return rolls the whole set back (newest first) via the
+  // transaction's destructor, and only Commit() at the end makes it stick.
+  std::vector<Backing> backing_log;
+  ReservationTransaction txn;
+  auto log_backing = [&](const Backing& run) {
+    backing_log.push_back(run);
+    txn.OnRollback([this, run] {
+      Backing remaining = run;
+      SILOZ_CHECK(FreeBackingBlocks(remaining).ok())
+          << "rollback failed to free backing at " << run.phys;
+    });
+  };
 
   // --- Reserve nodes and allocate unmediated backing ---
   uint64_t gpa_cursor = 0;
@@ -517,8 +576,6 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
       capacity += AlignDown(node.allocator().free_bytes(), backing_bytes);
     }
     if (capacity < unmediated_bytes) {
-      vm_backing_.erase(id);
-      vm_ept_pages_.erase(id);
       return MakeError(ErrorCode::kNoMemory,
                        "socket " + std::to_string(vm_config.socket) + " has only " +
                            std::to_string(capacity) + " free guest-node bytes of " +
@@ -526,14 +583,15 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
     }
     std::set<uint32_t> mems(selected.begin(), selected.end());
     Result<ControlGroup*> cgroup = cgroups_.Create(cgroup_name, mems, /*kvm_privileged=*/true);
-    if (!cgroup.ok()) {
-      vm_backing_.erase(id);
-      vm_ept_pages_.erase(id);
-      return cgroup.error();
-    }
+    SILOZ_RETURN_IF_ERROR(cgroup);
+    txn.OnRollback([this, cgroup_name] {
+      SILOZ_CHECK(cgroups_.Destroy(cgroup_name).ok())
+          << "rollback failed to destroy cgroup " << cgroup_name;
+    });
     uint64_t remaining = unmediated_bytes;
     for (uint32_t node_id : selected) {
       node_owner_[node_id] = cgroup_name;
+      txn.OnRollback([this, node_id] { node_owner_.erase(node_id); });
       NumaNode& node = *nodes_.Get(node_id).value();
       vm->AddGuestNode(node_id, node.first_group());
       const uint64_t chunk =
@@ -545,8 +603,7 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
           AllocateRuns(node, chunk, OrderOf(vm_config.backing));
       SILOZ_RETURN_IF_ERROR(runs);
       for (const PhysRange& run : *runs) {
-        backing_log.push_back(
-            Backing{node_id, run.begin, run.size(), OrderOf(vm_config.backing)});
+        log_backing(Backing{node_id, run.begin, run.size(), OrderOf(vm_config.backing)});
         add_unmediated_regions(run.begin, run.size());
       }
       remaining -= chunk;
@@ -558,8 +615,7 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
     Result<uint64_t> start =
         AllocateContiguous(node, unmediated_bytes, OrderOf(vm_config.backing));
     SILOZ_RETURN_IF_ERROR(start);
-    backing_log.push_back(
-        Backing{node.id(), *start, unmediated_bytes, OrderOf(vm_config.backing)});
+    log_backing(Backing{node.id(), *start, unmediated_bytes, OrderOf(vm_config.backing)});
     add_unmediated_regions(*start, unmediated_bytes);
   }
 
@@ -569,61 +625,47 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
     const uint64_t mmio_bytes = AlignUp(vm_config.mmio_bytes, kPage4K);
     Result<uint64_t> mmio = AllocateContiguous(host, mmio_bytes, kOrder4K);
     SILOZ_RETURN_IF_ERROR(mmio);
-    backing_log.push_back(Backing{host.id(), *mmio, mmio_bytes, kOrder4K});
+    log_backing(Backing{host.id(), *mmio, mmio_bytes, kOrder4K});
     vm->AddRegion(VmRegion{MemoryType::kMmio, gpa_cursor, *mmio, mmio_bytes, PageSize::k4K});
   }
 
   // --- Build the EPT (§5.4) ---
-  // Unwinds every reservation made so far if the EPT cannot be built (e.g.
-  // the per-socket protected pool is exhausted: a real capacity limit — one
-  // row group per socket bounds the EPT working set, §5.4).
-  auto unwind = [&]() {
-    for (const Backing& backing : backing_log) {
-      NumaNode& node = *nodes_.Get(backing.node).value();
-      const uint64_t block = OrderBytes(backing.order);
-      for (uint64_t p = backing.phys; p < backing.phys + backing.bytes; p += block) {
-        SILOZ_CHECK(node.allocator().Free(p, backing.order).ok());
-      }
+  // Creation can fail mid-way (e.g. the per-socket protected pool is
+  // exhausted: a real capacity limit — one row group per socket bounds the
+  // EPT working set, §5.4). The map entry is itself a logged reservation:
+  // pages drawn through the allocator land in it, and the undo returns them
+  // and erases the entry, so no phantom entry survives a failed create. The
+  // entry (not a local) also gives the allocator a stable vector to fill.
+  std::vector<uint64_t>& ept_pages = vm_ept_pages_[id];
+  txn.OnRollback([this, id, socket = vm_config.socket] {
+    auto pages_it = vm_ept_pages_.find(id);
+    SILOZ_CHECK(pages_it != vm_ept_pages_.end());
+    while (!pages_it->second.empty()) {
+      SILOZ_CHECK(ReturnEptPage(socket, pages_it->second.back()).ok())
+          << "rollback failed to return EPT page";
+      pages_it->second.pop_back();
     }
-    for (uint64_t page : ept_pages) {
-      if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
-        ept_pool_[vm_config.socket].push_back(page);
-      } else {
-        SILOZ_CHECK(FreePages(host_node_by_socket_[vm_config.socket], page, kOrder4K).ok());
-      }
-    }
-    for (uint32_t node_id : vm->guest_nodes()) {
-      node_owner_.erase(node_id);
-    }
-    if (config_.enabled) {
-      (void)cgroups_.Destroy(cgroup_name);
-    }
-    vm_backing_.erase(id);
-    vm_ept_pages_.erase(id);
-  };
-
+    vm_ept_pages_.erase(pages_it);
+  });
   Result<std::unique_ptr<ExtendedPageTable>> ept = ExtendedPageTable::Create(
       memory_, MakeEptAllocator(vm_config.socket, &ept_pages),
       /*secure=*/config_.ept_protection == EptProtection::kSecureEpt);
-  if (!ept.ok()) {
-    unwind();
-    return ept.error();
-  }
+  SILOZ_RETURN_IF_ERROR(ept);
   for (const VmRegion& region : vm->regions()) {
     if (!IsUnmediated(region.type)) {
       continue;  // mediated accesses exit; no EPT mapping
     }
     const uint64_t step = OrderBytes(OrderOf(region.page_size));
     for (uint64_t offset = 0; offset < region.bytes; offset += step) {
-      Status mapped = (*ept)->Map(region.gpa + offset, region.hpa + offset, region.page_size);
-      if (!mapped.ok()) {
-        unwind();
-        return mapped.error();
-      }
+      SILOZ_RETURN_IF_ERROR((*ept)->Map(region.gpa + offset, region.hpa + offset,
+                                        region.page_size));
     }
   }
   vm->SetEpt(std::move(*ept));
 
+  // --- Commit: everything reserved; publish and disarm the rollback ---
+  txn.Commit();
+  vm_backing_[id] = std::move(backing_log);
   Vm* raw = vm.get();
   vms_[id] = std::move(vm);
   ++obs_counts_.vms_created;
@@ -647,28 +689,35 @@ Status SilozHypervisor::DestroyVm(VmId id) {
   }
   Vm& vm = *it->second;
   if (destroyed_vms_.count(id) != 0) {
-    return MakeError(ErrorCode::kFailedPrecondition, "VM already destroyed");
+    return Status::Ok();  // idempotent: already torn down
   }
   // Free backing memory to its nodes (§5.3: pages return to the nodes' free
   // pools; the node reservation itself survives until ReleaseVmNodes).
-  for (const Backing& backing : vm_backing_[id]) {
-    NumaNode& node = *nodes_.Get(backing.node).value();
-    const uint64_t block = OrderBytes(backing.order);
-    for (uint64_t p = backing.phys; p < backing.phys + backing.bytes; p += block) {
-      SILOZ_RETURN_IF_ERROR(node.allocator().Free(p, backing.order));
+  // Progress is recorded as it happens — FreeBackingBlocks shrinks the entry
+  // in place and fully-freed entries are popped — so a mid-teardown failure
+  // leaves the log describing exactly what is still allocated, and a retry
+  // resumes there instead of double-freeing.
+  auto backing_it = vm_backing_.find(id);
+  if (backing_it != vm_backing_.end()) {
+    std::vector<Backing>& log = backing_it->second;
+    while (!log.empty()) {
+      SILOZ_RETURN_IF_ERROR(FreeBackingBlocks(log.back()));
+      log.pop_back();
     }
+    vm_backing_.erase(backing_it);
   }
-  vm_backing_.erase(id);
-  // EPT pages: back to the pool (guard mode) or the host node.
+  // EPT pages: back to the pool (guard mode) or the host node, popped one by
+  // one for the same resumability.
   const uint32_t socket = vm.config().socket;
-  for (uint64_t page : vm_ept_pages_[id]) {
-    if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
-      ept_pool_[socket].push_back(page);
-    } else {
-      SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
+  auto pages_it = vm_ept_pages_.find(id);
+  if (pages_it != vm_ept_pages_.end()) {
+    std::vector<uint64_t>& pages = pages_it->second;
+    while (!pages.empty()) {
+      SILOZ_RETURN_IF_ERROR(ReturnEptPage(socket, pages.back()));
+      pages.pop_back();
     }
+    vm_ept_pages_.erase(pages_it);
   }
-  vm_ept_pages_.erase(id);
   destroyed_vms_.insert(id);
   ++obs_counts_.vms_destroyed;
   return Status::Ok();
@@ -749,10 +798,22 @@ Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std:
   PassthroughDevice device;
   device.name = name;
   device.vm = vm_id;
+  // A failed assignment (pool exhaustion mid-Map, say) must return every
+  // table page already drawn; before this undo the pages leaked with the
+  // discarded device struct.
+  ReservationTransaction txn;
+  const uint32_t socket = (*vm)->config().socket;
+  txn.OnRollback([this, socket, &device] {
+    while (!device.table_pages.empty()) {
+      SILOZ_CHECK(ReturnEptPage(socket, device.table_pages.back()).ok())
+          << "rollback failed to return IOMMU table page";
+      device.table_pages.pop_back();
+    }
+  });
   // IOMMU table pages come from the same protected path as EPT pages
   // (requirement (2) of §5.1).
   Result<std::unique_ptr<ExtendedPageTable>> iommu = ExtendedPageTable::Create(
-      memory_, MakeEptAllocator((*vm)->config().socket, &device.table_pages),
+      memory_, MakeEptAllocator(socket, &device.table_pages),
       /*secure=*/config_.ept_protection == EptProtection::kSecureEpt);
   SILOZ_RETURN_IF_ERROR(iommu);
   device.iommu = std::move(*iommu);
@@ -769,6 +830,7 @@ Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std:
       SILOZ_RETURN_IF_ERROR(mapped);
     }
   }
+  txn.Commit();
   devices_.emplace(id, std::move(device));
   return id;
 }
@@ -852,12 +914,10 @@ Status SilozHypervisor::RemovePassthroughDevice(uint32_t device_id) {
     return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
   }
   const uint32_t socket = vms_.at(it->second.vm)->config().socket;
-  for (uint64_t page : it->second.table_pages) {
-    if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
-      ept_pool_[socket].push_back(page);
-    } else {
-      SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
-    }
+  std::vector<uint64_t>& pages = it->second.table_pages;
+  while (!pages.empty()) {
+    SILOZ_RETURN_IF_ERROR(ReturnEptPage(socket, pages.back()));
+    pages.pop_back();
   }
   devices_.erase(it);
   return Status::Ok();

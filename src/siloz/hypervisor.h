@@ -53,6 +53,9 @@ class SilozHypervisor {
 
   // Frees the VM's memory to its nodes' free pools. Per §5.3 the nodes stay
   // reserved until the control group is destroyed (ReleaseVmNodes).
+  // Idempotent: destroying an already-destroyed VM is a no-op returning Ok.
+  // On a mid-teardown failure the freed prefix is recorded, so a retry after
+  // the fault clears resumes where it stopped instead of double-freeing.
   Status DestroyVm(VmId id);
 
   // Destroys the (dead) VM's control group, returning its nodes to the
@@ -121,6 +124,7 @@ class SilozHypervisor {
   NodeRegistry& nodes() { return nodes_; }
   const NodeRegistry& nodes() const { return nodes_; }
   CgroupRegistry& cgroups() { return cgroups_; }
+  const CgroupRegistry& cgroups() const { return cgroups_; }
   const AddressDecoder& decoder() const { return decoder_; }
 
   // Effective subarray size after artificial-group rounding (§6).
@@ -143,7 +147,20 @@ class SilozHypervisor {
   // The host-reserved node of a socket.
   Result<uint32_t> HostNode(uint32_t socket) const;
 
+  // --- Conservation bookkeeping (tested by the fault-injection sweep) ---
+
+  // Guest nodes currently reserved by some VM cgroup.
+  size_t owned_node_count() const { return node_owner_.size(); }
+  // Live entries in the per-VM backing / EPT-page maps. A failed CreateVm
+  // must leave no phantom entry behind.
+  size_t backing_map_entries() const { return vm_backing_.size(); }
+  size_t ept_page_map_entries() const { return vm_ept_pages_.size(); }
+  // EPT/IOMMU table pages drawn from MakeEptAllocator and not yet returned.
+  uint64_t ept_pages_held() const { return ept_pages_held_; }
+
  private:
+  struct Backing;  // defined below
+
   // Contiguously allocate `bytes` from `node` in blocks of `order`,
   // returning the start address (node must have a contiguous free run).
   Result<uint64_t> AllocateContiguous(NumaNode& node, uint64_t bytes, uint32_t order);
@@ -166,6 +183,18 @@ class SilozHypervisor {
   Status QuarantineRepairedRows();
 
   EptPageAllocator MakeEptAllocator(uint32_t socket, std::vector<uint64_t>* pages_out);
+
+  // Return one table page drawn from MakeEptAllocator(socket, ...): back to
+  // the protected pool in guard mode, else to the socket's host node.
+  Status ReturnEptPage(uint32_t socket, uint64_t page);
+
+  // Free `backing` block by block, recording progress in place: each freed
+  // block advances backing.phys and shrinks backing.bytes, so a failure
+  // leaves `backing` describing exactly the still-allocated suffix.
+  Status FreeBackingBlocks(Backing& backing);
+
+  // Refresh the hv.ept.* scheduler-domain gauges after pool/held changes.
+  void UpdateEptGauges();
 
   // Logical node owning a global subarray group id.
   Result<NumaNode*> NodeFor(uint32_t group);
@@ -234,6 +263,8 @@ class SilozHypervisor {
   std::set<VmId> destroyed_vms_;
   // Per-VM EPT pages (for release on destroy).
   std::map<VmId, std::vector<uint64_t>> vm_ept_pages_;
+  // Table pages handed out by MakeEptAllocator and not yet returned.
+  uint64_t ept_pages_held_ = 0;
   // Per-VM backing allocations.
   struct Backing {
     uint32_t node;

@@ -62,6 +62,49 @@ TEST(BuddyTest, AllocateAtRejectsMisaligned) {
   EXPECT_FALSE(buddy.Free(3_MiB, kOrder2M).ok());
 }
 
+TEST(BuddyTest, DoubleFreeRejected) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  Result<uint64_t> block = buddy.Allocate(kOrder2M);
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(buddy.Free(*block, kOrder2M).ok());
+  const uint64_t free_before = buddy.free_bytes();
+  Status again = buddy.Free(*block, kOrder2M);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, ErrorCode::kFailedPrecondition);
+  EXPECT_NE(again.error().message.find("double free"), std::string::npos);
+  // The rejection must not disturb the accounting it protects.
+  EXPECT_EQ(buddy.free_bytes(), free_before);
+}
+
+TEST(BuddyTest, FreeRejectsOverlapWithFreeBlocks) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  ASSERT_TRUE(buddy.AllocateAt(2_MiB, kOrder2M).ok());
+  ASSERT_TRUE(buddy.Free(2_MiB, kOrder2M).ok());
+  // A sub-block of a free block: the predecessor free block extends over it.
+  EXPECT_FALSE(buddy.Free(2_MiB + 4_KiB, kOrder4K).ok());
+  // A super-block containing free memory: a free block starts inside it.
+  ASSERT_TRUE(buddy.AllocateAt(4_MiB, kOrder2M).ok());
+  ASSERT_TRUE(buddy.AllocateAt(6_MiB, kOrder2M).ok());
+  ASSERT_TRUE(buddy.Free(6_MiB, kOrder2M).ok());
+  EXPECT_FALSE(buddy.Free(4_MiB, kOrder2M + 1).ok());
+  // The genuinely-allocated block is still freeable.
+  EXPECT_TRUE(buddy.Free(4_MiB, kOrder2M).ok());
+}
+
+TEST(BuddyTest, FreeRejectsOverlapWithOfflinedPages) {
+  BuddyAllocator buddy({PhysRange{0, 8_MiB}});
+  // Allocate the whole block, then free + offline one interior page so the
+  // only overlap with [2 MiB, 4 MiB) is the offlined page.
+  ASSERT_TRUE(buddy.AllocateAt(2_MiB, kOrder2M).ok());
+  ASSERT_TRUE(buddy.Free(2_MiB + 4_KiB, kOrder4K).ok());
+  ASSERT_TRUE(buddy.OfflinePage(2_MiB + 4_KiB).ok());
+  const uint64_t free_before = buddy.free_bytes();
+  Status freed = buddy.Free(2_MiB, kOrder2M);
+  ASSERT_FALSE(freed.ok());
+  EXPECT_EQ(freed.error().code, ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(buddy.free_bytes(), free_before);
+}
+
 TEST(BuddyTest, OfflinePageRemovesPermanently) {
   BuddyAllocator buddy({PhysRange{0, 8_MiB}});
   ASSERT_TRUE(buddy.OfflinePage(2_MiB).ok());

@@ -22,9 +22,13 @@
 #include "src/addr/decoder.h"
 #include "src/audit/auditor.h"
 #include "src/audit/corrupt_decoder.h"
+#include "src/base/units.h"
 #include "src/dram/remap.h"
+#include "src/ept/phys_memory.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/siloz/conservation.h"
+#include "src/siloz/hypervisor.h"
 
 using namespace siloz;
 
@@ -75,6 +79,10 @@ int Usage() {
                "  --scrambling                    model vendor row-bit scrambling\n"
                "  --threads N                     blast-radius scan workers (0 = auto,\n"
                "                                  1 = serial; findings identical for all N)\n"
+               "  --fault-sweep                   instead of the static audit, run the\n"
+               "                                  CreateVm fault-injection sweep: fail each\n"
+               "                                  allocation point once and verify the\n"
+               "                                  lifecycle conservation invariants\n"
                "  --json                          machine-readable report\n"
                "  --metrics-out FILE              write the metrics registry as JSON (model\n"
                "                                  values identical for every --threads)\n"
@@ -89,8 +97,8 @@ bool ValidateFlags(int argc, char** argv) {
                                       "--stride",    "--random-probes", "--max-findings",
                                       "--corrupt",   "--threads",       "--metrics-out",
                                       "--trace-out"};
-  static const char* kBoolFlags[] = {"--ddr5", "--exhaustive", "--scrambling", "--json",
-                                     "--help", "-h"};
+  static const char* kBoolFlags[] = {"--ddr5",  "--exhaustive", "--scrambling", "--json",
+                                     "--fault-sweep", "--help", "-h"};
   for (int i = 1; i < argc; ++i) {
     bool known = false;
     for (const char* flag : kValueFlags) {
@@ -155,6 +163,39 @@ int main(int argc, char** argv) {
 
   RemapConfig remap = ddr5 ? Ddr5RemapConfig() : RemapConfig{};
   remap.vendor_scrambling = HasFlag(argc, argv, "--scrambling");
+
+  if (HasFlag(argc, argv, "--fault-sweep")) {
+    // Lifecycle mode: prove every CreateVm error path conserves resources
+    // (DESIGN.md §11) on this platform configuration.
+    FlatPhysMemory memory;
+    SilozHypervisor hypervisor(*decoder, memory, config);
+    Status boot = hypervisor.Boot();
+    if (!boot.ok()) {
+      std::fprintf(stderr, "boot failed: %s\n", boot.error().ToString().c_str());
+      return 1;
+    }
+    // A VM touching every reservation class: multi-run RAM, ROM, an MMIO
+    // window, and EPT table pages.
+    VmConfig vm;
+    vm.name = "fault-sweep";
+    vm.memory_bytes = 8_MiB;
+    vm.rom_bytes = 2_MiB;
+    vm.mmio_bytes = 64_KiB;
+    vm.socket = 0;
+    Result<FaultSweepReport> sweep = RunCreateVmFaultSweep(hypervisor, vm);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "fault sweep FAILED: %s\n", sweep.error().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "fault sweep PASS: %llu points probed, %llu faults injected "
+        "(%llu failed the create, %llu tolerated); all error paths conserved\n",
+        static_cast<unsigned long long>(sweep->points_probed),
+        static_cast<unsigned long long>(sweep->faults_injected),
+        static_cast<unsigned long long>(sweep->creates_failed),
+        static_cast<unsigned long long>(sweep->creates_survived));
+    return 0;
+  }
 
   audit::Options options;
   options.silicon_rows_per_subarray =
