@@ -1,10 +1,10 @@
 #include "src/addr/subarray_group.h"
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/mutex.h"
 #include "src/base/units.h"
 
 namespace siloz {
@@ -26,8 +26,8 @@ struct BuildCacheEntry {
   SubarrayGroupMap map;  // decoder_ cleared; re-pointed on every hit
 };
 
-std::mutex build_cache_mutex;
-std::vector<BuildCacheEntry> build_cache;
+Mutex build_cache_mutex;
+std::vector<BuildCacheEntry> build_cache GUARDED_BY(build_cache_mutex);
 constexpr size_t kBuildCacheMaxEntries = 8;
 
 bool IsStockDecoder(const AddressDecoder& decoder) {
@@ -62,7 +62,7 @@ Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
   std::string decoder_name;
   if (cacheable) {
     decoder_name = decoder.name();
-    std::lock_guard<std::mutex> lock(build_cache_mutex);
+    MutexLock lock(build_cache_mutex);
     for (const BuildCacheEntry& entry : build_cache) {
       if (entry.decoder_name == decoder_name && entry.geometry == geometry &&
           entry.rows_per_subarray == rows_per_subarray && entry.probe_page == probe_page) {
@@ -112,7 +112,7 @@ Result<SubarrayGroupMap> SubarrayGroupMap::Build(const AddressDecoder& decoder,
     }
   }
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(build_cache_mutex);
+    MutexLock lock(build_cache_mutex);
     if (build_cache.size() >= kBuildCacheMaxEntries) {
       build_cache.erase(build_cache.begin());
     }

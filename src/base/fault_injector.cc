@@ -12,7 +12,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(uint64_t k, std::string site_prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_ = true;
   k_ = k;
   matched_ = 0;
@@ -22,13 +22,13 @@ void FaultInjector::Arm(uint64_t k, std::string site_prefix) {
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_ = false;
   active_.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ShouldFail(const char* site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!armed_) {
     return false;
   }
@@ -44,12 +44,12 @@ bool FaultInjector::ShouldFail(const char* site) {
 }
 
 uint64_t FaultInjector::matched_calls() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return matched_;
 }
 
 uint64_t FaultInjector::faults_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fired_;
 }
 

@@ -24,9 +24,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "src/base/mutex.h"
 #include "src/base/result.h"
 
 namespace siloz {
@@ -60,12 +60,12 @@ class FaultInjector {
  private:
   static std::atomic<bool> active_;
 
-  mutable std::mutex mutex_;
-  bool armed_ = false;
-  uint64_t k_ = 0;
-  uint64_t matched_ = 0;
-  uint64_t fired_ = 0;
-  std::string prefix_;
+  mutable Mutex mutex_;
+  bool armed_ GUARDED_BY(mutex_) = false;
+  uint64_t k_ GUARDED_BY(mutex_) = 0;
+  uint64_t matched_ GUARDED_BY(mutex_) = 0;
+  uint64_t fired_ GUARDED_BY(mutex_) = 0;
+  std::string prefix_ GUARDED_BY(mutex_);
 };
 
 // RAII arm/disarm for tests: the injector never stays armed past a scope,

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "src/base/mutex.h"
 
 namespace siloz {
 namespace {
@@ -12,8 +13,10 @@ std::atomic<LogLevel> g_level{LogLevel::kWarning};
 // Serializes sink writes: pool workers log concurrently, and while fprintf
 // locks the FILE per call, a mutex keeps whole messages atomic with respect
 // to each other and gives TSan a clean happens-before edge on the sink.
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
+// The guarded resource is the stderr stream itself, so there is no member
+// to GUARDED_BY; every write below goes through MutexLock(SinkMutex()).
+Mutex& SinkMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -48,7 +51,7 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
       base = p + 1;
     }
   }
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
 }
 

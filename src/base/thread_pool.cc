@@ -39,10 +39,10 @@ ThreadPool::~ThreadPool() {
   if (!workers_.empty()) {
     Wait();
     {
-      std::lock_guard<std::mutex> lock(sync_mutex_);
+      MutexLock lock(sync_mutex_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& worker : workers_) {
       worker.join();
     }
@@ -74,21 +74,21 @@ void ThreadPool::Submit(std::function<void()> task) {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % static_cast<uint32_t>(queues_.size());
   pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    MutexLock lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
-    std::lock_guard<std::mutex> lock(sync_mutex_);
+    MutexLock lock(sync_mutex_);
     ++work_epoch_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::NextTask(uint32_t self, bool& stolen) {
   stolen = false;
   {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -98,7 +98,7 @@ std::function<void()> ThreadPool::NextTask(uint32_t self, bool& stolen) {
   const uint32_t n = static_cast<uint32_t>(queues_.size());
   for (uint32_t offset = 1; offset < n; ++offset) {
     WorkerQueue& victim = *queues_[(self + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
@@ -115,8 +115,8 @@ void ThreadPool::FinishTask(bool stolen) {
     steals_.fetch_add(1, std::memory_order_relaxed);
   }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(sync_mutex_);
-    done_cv_.notify_all();
+    MutexLock lock(sync_mutex_);
+    done_cv_.NotifyAll();
   }
 }
 
@@ -125,9 +125,9 @@ void ThreadPool::WorkerLoop(uint32_t self) {
     // Snapshot the epoch BEFORE scanning the deques: any submission that
     // the scan misses bumps the epoch past the snapshot, so the wait below
     // returns immediately instead of sleeping through the notification.
-    uint64_t epoch;
+    uint64_t epoch = 0;
     {
-      std::lock_guard<std::mutex> lock(sync_mutex_);
+      MutexLock lock(sync_mutex_);
       if (stop_) {
         return;
       }
@@ -139,11 +139,14 @@ void ThreadPool::WorkerLoop(uint32_t self) {
       FinishTask(stolen);
       continue;
     }
-    std::unique_lock<std::mutex> lock(sync_mutex_);
+    MutexLock lock(sync_mutex_);
     if (!stop_ && work_epoch_ == epoch) {
       sleeps_.fetch_add(1, std::memory_order_relaxed);  // about to actually block
     }
-    work_cv_.wait(lock, [&] { return stop_ || work_epoch_ != epoch; });
+    work_cv_.Wait(sync_mutex_, [&] {
+      sync_mutex_.AssertHeld();  // predicate runs with the wait mutex held
+      return stop_ || work_epoch_ != epoch;
+    });
     if (stop_) {
       return;
     }
@@ -154,8 +157,8 @@ void ThreadPool::Wait() {
   if (workers_.empty()) {
     return;
   }
-  std::unique_lock<std::mutex> lock(sync_mutex_);
-  done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(sync_mutex_);
+  done_cv_.Wait(sync_mutex_, [&] { return pending_.load(std::memory_order_acquire) == 0; });
 }
 
 void ThreadPool::ParallelFor(uint64_t begin, uint64_t end,

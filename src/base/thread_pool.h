@@ -21,14 +21,14 @@
 #define SILOZ_SRC_BASE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/base/mutex.h"
 
 namespace siloz {
 
@@ -75,8 +75,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mutex);
   };
 
   void WorkerLoop(uint32_t self);
@@ -90,11 +90,11 @@ class ThreadPool {
 
   // sync_mutex_ guards sleep/wake bookkeeping only; deques have their own
   // locks and are never touched while holding it.
-  std::mutex sync_mutex_;
-  std::condition_variable work_cv_;  // workers: "new work may exist"
-  std::condition_variable done_cv_;  // Wait(): "pending_ hit zero"
-  uint64_t work_epoch_ = 0;          // bumped on every submission
-  bool stop_ = false;
+  Mutex sync_mutex_;
+  CondVar work_cv_;  // workers: "new work may exist"
+  CondVar done_cv_;  // Wait(): "pending_ hit zero"
+  uint64_t work_epoch_ GUARDED_BY(sync_mutex_) = 0;  // bumped on every submission
+  bool stop_ GUARDED_BY(sync_mutex_) = false;
 
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> tasks_run_{0};

@@ -72,6 +72,8 @@ void DisturbanceModel::EmitFlips(uint32_t victim_row, VictimState& state, FlipSi
       ++flip_count;
     }
     for (uint32_t i = 0; i < flip_count; ++i) {
+      // siloz-lint: allow(unchecked-status): FlipSink::Append returns void;
+      // the flagged name collides with report.h's Status-returning Append.
       sink.Append(InternalFlip{
           .victim_row = victim_row,
           .bit = static_cast<uint32_t>(flip_rng_.NextBelow(half_row_bits_)),

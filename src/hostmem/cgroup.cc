@@ -42,6 +42,10 @@ Status CgroupRegistry::Destroy(const std::string& name) {
   if (it == groups_.end()) {
     return MakeError(ErrorCode::kNotFound, "no cgroup '" + name + "'");
   }
+  // After the lookup so an injected failure models the kernel rejecting the
+  // rmdir of a real, still-populated cgroup — the retryable case
+  // ReleaseVmNodes must surface — not a bogus name.
+  SILOZ_FAULT_POINT("free.cgroup.destroy");
   groups_.erase(it);
   return Status::Ok();
 }

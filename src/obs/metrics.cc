@@ -127,22 +127,22 @@ void AppendHistogram(std::ostringstream& out, const HistogramSnapshot& snapshot)
 }  // namespace
 
 Counter& Registry::GetCounter(const std::string& name, Domain domain) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return GetOrCreate<decltype(counters_), Counter>(counters_, name, domain);
 }
 
 Gauge& Registry::GetGauge(const std::string& name, Domain domain) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return GetOrCreate<decltype(gauges_), Gauge>(gauges_, name, domain);
 }
 
 Histogram& Registry::GetHistogram(const std::string& name, Domain domain) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return GetOrCreate<decltype(histograms_), Histogram>(histograms_, name, domain);
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, entry] : counters_) {
     entry.metric->Reset();
   }
@@ -155,7 +155,7 @@ void Registry::Reset() {
 }
 
 std::string Registry::SectionJson(Domain domain) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;

@@ -31,8 +31,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "src/base/mutex.h"
 
 namespace siloz::obs {
 
@@ -159,12 +160,14 @@ class Registry {
     std::unique_ptr<T> metric;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: iteration is name-sorted, which makes serialization order (and
-  // the golden-tested schema) deterministic for free.
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  // the golden-tested schema) deterministic for free. The mutex guards the
+  // map structure (registration, serialization walks); the metric objects
+  // pointed to are lock-free and updated outside it.
+  std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, Entry<Histogram>> histograms_ GUARDED_BY(mutex_);
 };
 
 // Serializes Registry::Global() to `path`. Returns false (with a message on

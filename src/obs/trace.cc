@@ -70,17 +70,17 @@ void Tracer::RecordSpan(const std::string& name, const std::string& category, ui
   event.start_us = start_us;
   event.duration_us = duration_us;
   event.tid = ThreadTraceId();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::string Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   for (size_t i = 0; i < events_.size(); ++i) {
@@ -100,7 +100,7 @@ std::string Tracer::ToJson() const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
   epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
 }

@@ -19,9 +19,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/base/mutex.h"
 
 namespace siloz::obs {
 
@@ -60,8 +61,8 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
   // steady_clock time_since_epoch in ns; atomic so Reset() cannot race a
   // concurrent span's clock read.
   std::atomic<int64_t> epoch_ns_{0};

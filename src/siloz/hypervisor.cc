@@ -38,6 +38,7 @@ SilozHypervisor::~SilozHypervisor() {
   // count or timing (see DESIGN.md on the metrics determinism contract).
   // Zero counts are skipped; zero-ness is deterministic, so the exported
   // key set still matches across thread counts.
+  MutexLock lock(mu_);
   obs::Registry& registry = obs::Registry::Global();
   const auto flush = [&registry](const char* name, uint64_t value) {
     if (value > 0) {
@@ -55,6 +56,7 @@ SilozHypervisor::~SilozHypervisor() {
 
 Status SilozHypervisor::Boot() {
   obs::TraceSpan span("hv.Boot");
+  MutexLock lock(mu_);
   if (booted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "already booted");
   }
@@ -319,6 +321,7 @@ Status SilozHypervisor::ReserveEptBlocks() {
 
 Result<uint64_t> SilozHypervisor::AllocatePages(const ControlGroup& group, uint32_t node_id,
                                                 uint32_t order, bool unmediated) {
+  MutexLock lock(mu_);
   if (!booted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not booted");
   }
@@ -351,6 +354,11 @@ Result<uint64_t> SilozHypervisor::AllocatePages(const ControlGroup& group, uint3
 }
 
 Status SilozHypervisor::FreePages(uint32_t node_id, uint64_t phys, uint32_t order) {
+  MutexLock lock(mu_);
+  return FreePagesLocked(node_id, phys, order);
+}
+
+Status SilozHypervisor::FreePagesLocked(uint32_t node_id, uint64_t phys, uint32_t order) {
   Result<NumaNode*> node = nodes_.Get(node_id);
   SILOZ_RETURN_IF_ERROR(node);
   return (*node)->allocator().Free(phys, order);
@@ -425,6 +433,11 @@ Result<std::vector<PhysRange>> SilozHypervisor::AllocateRuns(NumaNode& node, uin
 }
 
 std::vector<uint32_t> SilozHypervisor::AvailableGuestNodes(uint32_t socket) const {
+  MutexLock lock(mu_);
+  return AvailableGuestNodesLocked(socket);
+}
+
+std::vector<uint32_t> SilozHypervisor::AvailableGuestNodesLocked(uint32_t socket) const {
   std::vector<uint32_t> available;
   for (const auto& node : const_cast<NodeRegistry&>(nodes_).NodesOnSocket(socket)) {
     if (node->kind() == NodeKind::kGuestReserved && node_owner_.count(node->id()) == 0) {
@@ -446,6 +459,7 @@ EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
   if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
     // The GFP_EPT path (§5.4): pages come from the protected row group.
     return [this, socket, pages_out]() -> Result<uint64_t> {
+      mu_.AssertHeld();  // runs inside CreateVm/AssignPassthroughDevice
       if (ept_pool_[socket].empty()) {
         return MakeError(ErrorCode::kNoMemory, "EPT pool exhausted");
       }
@@ -460,6 +474,7 @@ EptPageAllocator SilozHypervisor::MakeEptAllocator(uint32_t socket,
   // Baseline / secure-EPT: ordinary host-node memory.
   const uint32_t host_node = host_node_by_socket_[socket];
   return [this, host_node, pages_out]() -> Result<uint64_t> {
+    mu_.AssertHeld();  // runs inside CreateVm/AssignPassthroughDevice
     Result<NumaNode*> node = nodes_.Get(host_node);
     SILOZ_RETURN_IF_ERROR(node);
     Result<uint64_t> page = (*node)->allocator().Allocate(kOrder4K);
@@ -475,7 +490,7 @@ Status SilozHypervisor::ReturnEptPage(uint32_t socket, uint64_t page) {
   if (config_.enabled && config_.ept_protection == EptProtection::kGuardRows) {
     ept_pool_[socket].push_back(page);
   } else {
-    SILOZ_RETURN_IF_ERROR(FreePages(host_node_by_socket_[socket], page, kOrder4K));
+    SILOZ_RETURN_IF_ERROR(FreePagesLocked(host_node_by_socket_[socket], page, kOrder4K));
   }
   SILOZ_CHECK_GT(ept_pages_held_, 0u);
   --ept_pages_held_;
@@ -510,6 +525,11 @@ void SilozHypervisor::UpdateEptGauges() {
 
 Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
   obs::TraceSpan span("hv.CreateVm");
+  MutexLock lock(mu_);
+  return CreateVmLocked(vm_config);
+}
+
+Result<VmId> SilozHypervisor::CreateVmLocked(const VmConfig& vm_config) {
   if (!booted_) {
     return MakeError(ErrorCode::kFailedPrecondition, "not booted");
   }
@@ -536,6 +556,7 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
   auto log_backing = [&](const Backing& run) {
     backing_log.push_back(run);
     txn.OnRollback([this, run] {
+      mu_.AssertHeld();  // txn unwinds inside CreateVmLocked
       Backing remaining = run;
       SILOZ_CHECK(FreeBackingBlocks(remaining).ok())
           << "rollback failed to free backing at " << run.phys;
@@ -564,7 +585,7 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
     // Whole subarray groups, same socket (§5.2-§5.3). Select enough free
     // guest nodes by their actual free capacity (guard offlining can shave a
     // few rows off a group).
-    const std::vector<uint32_t> available = AvailableGuestNodes(vm_config.socket);
+    const std::vector<uint32_t> available = AvailableGuestNodesLocked(vm_config.socket);
     std::vector<uint32_t> selected;
     uint64_t capacity = 0;
     for (uint32_t node_id : available) {
@@ -591,7 +612,10 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
     uint64_t remaining = unmediated_bytes;
     for (uint32_t node_id : selected) {
       node_owner_[node_id] = cgroup_name;
-      txn.OnRollback([this, node_id] { node_owner_.erase(node_id); });
+      txn.OnRollback([this, node_id] {
+        mu_.AssertHeld();
+        node_owner_.erase(node_id);
+      });
       NumaNode& node = *nodes_.Get(node_id).value();
       vm->AddGuestNode(node_id, node.first_group());
       const uint64_t chunk =
@@ -636,8 +660,12 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
   // pages drawn through the allocator land in it, and the undo returns them
   // and erases the entry, so no phantom entry survives a failed create. The
   // entry (not a local) also gives the allocator a stable vector to fill.
+  // siloz-lint: allow(map-bracket-probe): the default-insert IS the logged
+  // reservation — the rollback registered next erases it, so no phantom
+  // entry survives a failed create.
   std::vector<uint64_t>& ept_pages = vm_ept_pages_[id];
   txn.OnRollback([this, id, socket = vm_config.socket] {
+    mu_.AssertHeld();  // txn unwinds inside CreateVmLocked
     auto pages_it = vm_ept_pages_.find(id);
     SILOZ_CHECK(pages_it != vm_ept_pages_.end());
     while (!pages_it->second.empty()) {
@@ -675,6 +703,11 @@ Result<VmId> SilozHypervisor::CreateVm(const VmConfig& vm_config) {
 }
 
 Result<Vm*> SilozHypervisor::GetVm(VmId id) {
+  MutexLock lock(mu_);
+  return GetVmLocked(id);
+}
+
+Result<Vm*> SilozHypervisor::GetVmLocked(VmId id) {
   auto it = vms_.find(id);
   if (it == vms_.end()) {
     return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
@@ -683,6 +716,11 @@ Result<Vm*> SilozHypervisor::GetVm(VmId id) {
 }
 
 Status SilozHypervisor::DestroyVm(VmId id) {
+  MutexLock lock(mu_);
+  return DestroyVmLocked(id);
+}
+
+Status SilozHypervisor::DestroyVmLocked(VmId id) {
   auto it = vms_.find(id);
   if (it == vms_.end()) {
     return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
@@ -724,6 +762,11 @@ Status SilozHypervisor::DestroyVm(VmId id) {
 }
 
 Status SilozHypervisor::ReleaseVmNodes(VmId id) {
+  MutexLock lock(mu_);
+  return ReleaseVmNodesLocked(id);
+}
+
+Status SilozHypervisor::ReleaseVmNodesLocked(VmId id) {
   if (destroyed_vms_.count(id) == 0) {
     return MakeError(ErrorCode::kFailedPrecondition,
                      "VM " + std::to_string(id) + " must be destroyed first");
@@ -743,6 +786,7 @@ Status SilozHypervisor::ReleaseVmNodes(VmId id) {
 }
 
 Status SilozHypervisor::AuditVmIsolation(VmId id) const {
+  MutexLock lock(mu_);
   auto it = vms_.find(id);
   if (it == vms_.end()) {
     return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));
@@ -789,7 +833,8 @@ Status SilozHypervisor::AuditVmIsolation(VmId id) const {
 }
 
 Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std::string& name) {
-  Result<Vm*> vm = GetVm(vm_id);
+  MutexLock lock(mu_);
+  Result<Vm*> vm = GetVmLocked(vm_id);
   SILOZ_RETURN_IF_ERROR(vm);
   if (destroyed_vms_.count(vm_id) != 0) {
     return MakeError(ErrorCode::kFailedPrecondition, "VM is destroyed");
@@ -804,6 +849,7 @@ Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std:
   ReservationTransaction txn;
   const uint32_t socket = (*vm)->config().socket;
   txn.OnRollback([this, socket, &device] {
+    mu_.AssertHeld();  // txn unwinds inside AssignPassthroughDevice
     while (!device.table_pages.empty()) {
       SILOZ_CHECK(ReturnEptPage(socket, device.table_pages.back()).ok())
           << "rollback failed to return IOMMU table page";
@@ -836,6 +882,7 @@ Result<uint32_t> SilozHypervisor::AssignPassthroughDevice(VmId vm_id, const std:
 }
 
 Result<uint64_t> SilozHypervisor::DeviceDma(uint32_t device_id, uint64_t iova) {
+  MutexLock lock(mu_);
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
@@ -852,7 +899,7 @@ Result<uint64_t> SilozHypervisor::DeviceDma(uint32_t device_id, uint64_t iova) {
   }
   // Defense in depth: the translated address must stay inside the owning
   // VM's provisioned ranges, else the table was corrupted.
-  Result<Vm*> vm = GetVm(device.vm);
+  Result<Vm*> vm = GetVmLocked(device.vm);
   SILOZ_RETURN_IF_ERROR(vm);
   for (const PhysRange& range : (*vm)->AllowedHpaRanges()) {
     if (range.Contains(*hpa)) {
@@ -866,6 +913,7 @@ Result<uint64_t> SilozHypervisor::DeviceDma(uint32_t device_id, uint64_t iova) {
 }
 
 Status SilozHypervisor::AuditDeviceIsolation(uint32_t device_id) const {
+  MutexLock lock(mu_);
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
@@ -909,6 +957,11 @@ Status SilozHypervisor::AuditDeviceIsolation(uint32_t device_id) const {
 }
 
 Status SilozHypervisor::RemovePassthroughDevice(uint32_t device_id) {
+  MutexLock lock(mu_);
+  return RemovePassthroughDeviceLocked(device_id);
+}
+
+Status SilozHypervisor::RemovePassthroughDeviceLocked(uint32_t device_id) {
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
@@ -924,6 +977,7 @@ Status SilozHypervisor::RemovePassthroughDevice(uint32_t device_id) {
 }
 
 Result<std::vector<uint64_t>> SilozHypervisor::DeviceTablePages(uint32_t device_id) const {
+  MutexLock lock(mu_);
   auto it = devices_.find(device_id);
   if (it == devices_.end()) {
     return MakeError(ErrorCode::kNotFound, "no device " + std::to_string(device_id));
@@ -934,8 +988,9 @@ Result<std::vector<uint64_t>> SilozHypervisor::DeviceTablePages(uint32_t device_
 Status SilozHypervisor::HostShutdown() {
   // Privileged teardown: kill every VM and release every reservation,
   // ignoring active subarray-group constraints (§5.3).
+  MutexLock lock(mu_);
   while (!devices_.empty()) {
-    SILOZ_RETURN_IF_ERROR(RemovePassthroughDevice(devices_.begin()->first));
+    SILOZ_RETURN_IF_ERROR(RemovePassthroughDeviceLocked(devices_.begin()->first));
   }
   std::vector<VmId> ids;
   for (const auto& [id, vm] : vms_) {
@@ -943,14 +998,15 @@ Status SilozHypervisor::HostShutdown() {
   }
   for (VmId id : ids) {
     if (destroyed_vms_.count(id) == 0) {
-      SILOZ_RETURN_IF_ERROR(DestroyVm(id));
+      SILOZ_RETURN_IF_ERROR(DestroyVmLocked(id));
     }
-    SILOZ_RETURN_IF_ERROR(ReleaseVmNodes(id));
+    SILOZ_RETURN_IF_ERROR(ReleaseVmNodesLocked(id));
   }
   return Status::Ok();
 }
 
 size_t SilozHypervisor::ept_pool_free(uint32_t socket) const {
+  MutexLock lock(mu_);
   SILOZ_CHECK_LT(socket, ept_pool_.size());
   return ept_pool_[socket].size();
 }

@@ -18,6 +18,7 @@
 
 #include "src/addr/decoder.h"
 #include "src/addr/subarray_group.h"
+#include "src/base/mutex.h"
 #include "src/base/result.h"
 #include "src/ept/ept.h"
 #include "src/ept/phys_memory.h"
@@ -28,6 +29,14 @@
 
 namespace siloz {
 
+// Thread-safety: the VM lifecycle (CreateVm/DestroyVm/ReleaseVmNodes/
+// HostShutdown), the passthrough-device plane, and the allocation-policy
+// entry points are serialized on an internal mutex, so concurrent callers
+// (the fleet-churn simulator's arrival/departure threads) are safe. Boot()
+// must still happen-before any other call, and the objects reachable by
+// reference — nodes(), cgroups(), Vm* from GetVm() — are only mutated under
+// that mutex by lifecycle operations; callers that mutate them directly
+// need external synchronization.
 class SilozHypervisor {
  public:
   // `decoder` is the platform's fixed physical-to-media mapping; `memory` is
@@ -36,8 +45,9 @@ class SilozHypervisor {
   SilozHypervisor(const AddressDecoder& decoder, PhysMemory& memory, SilozConfig config);
   // Flushes lifetime event counts into the global metrics registry.
   ~SilozHypervisor();
-  // Moving transfers the pending counts (the moved-from shell flushes zeros).
-  SilozHypervisor(SilozHypervisor&&) = default;
+
+  SilozHypervisor(const SilozHypervisor&) = delete;
+  SilozHypervisor& operator=(const SilozHypervisor&) = delete;
 
   // Early-boot computation (§5.3): derive subarray groups from the decoder,
   // provision logical nodes, reserve + guard the EPT block, offline guard
@@ -150,16 +160,38 @@ class SilozHypervisor {
   // --- Conservation bookkeeping (tested by the fault-injection sweep) ---
 
   // Guest nodes currently reserved by some VM cgroup.
-  size_t owned_node_count() const { return node_owner_.size(); }
+  size_t owned_node_count() const {
+    MutexLock lock(mu_);
+    return node_owner_.size();
+  }
   // Live entries in the per-VM backing / EPT-page maps. A failed CreateVm
   // must leave no phantom entry behind.
-  size_t backing_map_entries() const { return vm_backing_.size(); }
-  size_t ept_page_map_entries() const { return vm_ept_pages_.size(); }
+  size_t backing_map_entries() const {
+    MutexLock lock(mu_);
+    return vm_backing_.size();
+  }
+  size_t ept_page_map_entries() const {
+    MutexLock lock(mu_);
+    return vm_ept_pages_.size();
+  }
   // EPT/IOMMU table pages drawn from MakeEptAllocator and not yet returned.
-  uint64_t ept_pages_held() const { return ept_pages_held_; }
+  uint64_t ept_pages_held() const {
+    MutexLock lock(mu_);
+    return ept_pages_held_;
+  }
 
  private:
   struct Backing;  // defined below
+
+  // Lock-requiring bodies of the public lifecycle/device entry points, for
+  // callers that already hold mu_ (HostShutdown, the device plane).
+  Result<VmId> CreateVmLocked(const VmConfig& vm_config) REQUIRES(mu_);
+  Status DestroyVmLocked(VmId id) REQUIRES(mu_);
+  Status ReleaseVmNodesLocked(VmId id) REQUIRES(mu_);
+  Result<Vm*> GetVmLocked(VmId id) REQUIRES(mu_);
+  Status RemovePassthroughDeviceLocked(uint32_t device_id) REQUIRES(mu_);
+  Status FreePagesLocked(uint32_t node_id, uint64_t phys, uint32_t order) REQUIRES(mu_);
+  std::vector<uint32_t> AvailableGuestNodesLocked(uint32_t socket) const REQUIRES(mu_);
 
   // Contiguously allocate `bytes` from `node` in blocks of `order`,
   // returning the start address (node must have a contiguous free run).
@@ -176,17 +208,19 @@ class SilozHypervisor {
   // Reserve the §5.4 EPT block in the first host group of each socket:
   // offline the b-1 guard row groups, seed the EPT pool from the EPT row
   // group.
-  Status ReserveEptBlocks();
+  Status ReserveEptBlocks() REQUIRES(mu_);
   Status OfflineArtificialBoundaryGuards();
   // §6 row-repair handling: offline every page with bytes in a quarantined
   // (inter-subarray-repaired) row.
   Status QuarantineRepairedRows();
 
+  // The returned allocator runs inside CreateVm/AssignPassthroughDevice with
+  // mu_ held (its body asserts so).
   EptPageAllocator MakeEptAllocator(uint32_t socket, std::vector<uint64_t>* pages_out);
 
   // Return one table page drawn from MakeEptAllocator(socket, ...): back to
   // the protected pool in guard mode, else to the socket's host node.
-  Status ReturnEptPage(uint32_t socket, uint64_t page);
+  Status ReturnEptPage(uint32_t socket, uint64_t page) REQUIRES(mu_);
 
   // Free `backing` block by block, recording progress in place: each freed
   // block advances backing.phys and shrinks backing.bytes, so a failure
@@ -194,7 +228,7 @@ class SilozHypervisor {
   Status FreeBackingBlocks(Backing& backing);
 
   // Refresh the hv.ept.* scheduler-domain gauges after pool/held changes.
-  void UpdateEptGauges();
+  void UpdateEptGauges() REQUIRES(mu_);
 
   // Logical node owning a global subarray group id.
   Result<NumaNode*> NodeFor(uint32_t group);
@@ -215,20 +249,14 @@ class SilozHypervisor {
     uint64_t ept_pool_pages = 0;   // pages seeded into per-socket EPT pools
     uint64_t ept_guard_pages = 0;  // guard-row pages offlined around them
     uint64_t ept_violations = 0;   // kIntegrityViolation detections
-
-    HvCounters() = default;
-    // Zero the source so a moved-from hypervisor cannot flush the counts a
-    // second time at its own destruction.
-    HvCounters(HvCounters&& other) noexcept
-        : alloc_pages(std::exchange(other.alloc_pages, 0)),
-          alloc_denied(std::exchange(other.alloc_denied, 0)),
-          vms_created(std::exchange(other.vms_created, 0)),
-          vms_destroyed(std::exchange(other.vms_destroyed, 0)),
-          ept_pool_pages(std::exchange(other.ept_pool_pages, 0)),
-          ept_guard_pages(std::exchange(other.ept_guard_pages, 0)),
-          ept_violations(std::exchange(other.ept_violations, 0)) {}
   };
-  mutable HvCounters obs_counts_;
+
+  // Serializes the VM lifecycle, the device plane, the allocation-policy
+  // entry points, and the bookkeeping below. Mutable so const paths (audits,
+  // DMA translation) can serialize their violation counting.
+  mutable Mutex mu_;
+
+  mutable HvCounters obs_counts_ GUARDED_BY(mu_);
 
   uint32_t effective_rows_per_subarray_ = 0;
   bool using_artificial_groups_ = false;
@@ -237,13 +265,14 @@ class SilozHypervisor {
   CgroupRegistry cgroups_;
 
   // node id -> owning VM cgroup name (empty when free).
-  std::map<uint32_t, std::string> node_owner_;
+  std::map<uint32_t, std::string> node_owner_ GUARDED_BY(mu_);
+  // Boot-time-only layout (stable after Boot(); read without the lock).
   std::vector<uint32_t> host_node_by_socket_;
   // global subarray group id -> node id (Siloz mode only).
   std::vector<uint32_t> node_of_group_;
 
   // Per-socket EPT page pools (guard-row mode).
-  std::vector<std::vector<uint64_t>> ept_pool_;
+  std::vector<std::vector<uint64_t>> ept_pool_ GUARDED_BY(mu_);
   std::vector<std::vector<PhysRange>> ept_pool_ranges_;
   uint64_t ept_reserved_bytes_ = 0;
   uint64_t artificial_guard_bytes_ = 0;
@@ -255,16 +284,16 @@ class SilozHypervisor {
     std::unique_ptr<ExtendedPageTable> iommu;
     std::vector<uint64_t> table_pages;
   };
-  std::map<uint32_t, PassthroughDevice> devices_;
-  uint32_t next_device_id_ = 1;
+  std::map<uint32_t, PassthroughDevice> devices_ GUARDED_BY(mu_);
+  uint32_t next_device_id_ GUARDED_BY(mu_) = 1;
 
-  VmId next_vm_id_ = 1;
-  std::map<VmId, std::unique_ptr<Vm>> vms_;
-  std::set<VmId> destroyed_vms_;
+  VmId next_vm_id_ GUARDED_BY(mu_) = 1;
+  std::map<VmId, std::unique_ptr<Vm>> vms_ GUARDED_BY(mu_);
+  std::set<VmId> destroyed_vms_ GUARDED_BY(mu_);
   // Per-VM EPT pages (for release on destroy).
-  std::map<VmId, std::vector<uint64_t>> vm_ept_pages_;
+  std::map<VmId, std::vector<uint64_t>> vm_ept_pages_ GUARDED_BY(mu_);
   // Table pages handed out by MakeEptAllocator and not yet returned.
-  uint64_t ept_pages_held_ = 0;
+  uint64_t ept_pages_held_ GUARDED_BY(mu_) = 0;
   // Per-VM backing allocations.
   struct Backing {
     uint32_t node;
@@ -272,7 +301,7 @@ class SilozHypervisor {
     uint64_t bytes;
     uint32_t order;  // block order the run was allocated in
   };
-  std::map<VmId, std::vector<Backing>> vm_backing_;
+  std::map<VmId, std::vector<Backing>> vm_backing_ GUARDED_BY(mu_);
 };
 
 }  // namespace siloz

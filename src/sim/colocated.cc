@@ -124,11 +124,13 @@ Result<std::vector<std::vector<TenantResult>>> RunColocatedSweep(
   std::vector<ScenarioResult> runs(scenarios.size(), ScenarioResult(std::vector<TenantResult>{}));
   PhaseTimer timer("colocated");
   ThreadPool pool(threads);
+  ProgressMeter progress("colocated", scenarios.size());
   pool.ParallelFor(0, scenarios.size(), [&](uint64_t i) {
     // Each scenario boots a private machine + hypervisor inside RunColocated,
     // so tasks share no mutable state; results depend only on the scenario,
     // never on scheduling.
     runs[i] = RunColocated(scenarios[i].config, scenarios[i].tenants);
+    progress.Tick();
   });
   if (metrics != nullptr) {
     *metrics = timer.Finish(pool.metrics());

@@ -151,9 +151,11 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
     // any metrics file below is written.
     ThreadPool pool(config.threads);
     obs::TraceSpan span("trials:" + spec.name);
+    ProgressMeter progress("trials:" + spec.name, config.trials);
     pool.ParallelFor(0, config.trials, [&](uint64_t trial) {
       outcomes[trial] =
           RunTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
+      progress.Tick();
     });
     pool_metrics = pool.metrics();
   }
@@ -193,6 +195,7 @@ Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>
   {
     ThreadPool pool(threads);
     obs::TraceSpan span("grid");
+    ProgressMeter progress("grid", points.size());
     pool.ParallelFor(0, points.size(), [&](uint64_t i) {
       GridPoint point = points[i];
       point.config.threads = 1;  // the grid is the only level of parallelism
@@ -201,6 +204,7 @@ Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>
       point.config.metrics_out.clear();
       point.config.trace_out.clear();
       runs[i] = RunWorkload(point.config, point.workload);
+      progress.Tick();
     });
     pool_metrics = pool.metrics();
   }

@@ -99,6 +99,8 @@ size_t Machine::DeviceIndex(uint32_t socket, uint32_t channel, uint32_t dimm) co
 
 DramDevice& Machine::device(uint32_t socket, uint32_t channel, uint32_t dimm) {
   SILOZ_CHECK(config_.fault_tracking) << "devices exist only in fault mode";
+  // siloz-lint: allow(map-bracket-probe): devices_ here is the sim Machine's
+  // std::vector (index checked by DeviceIndex), not the hypervisor's map.
   return *devices_[DeviceIndex(socket, channel, dimm)];
 }
 
@@ -136,7 +138,8 @@ uint64_t Machine::PatrolScrubAll() {
 std::vector<PhysFlip> Machine::DrainFlips() {
   std::vector<PhysFlip> flips;
   for (size_t index = 0; index < devices_.size(); ++index) {
-    DramDevice& dram = *devices_[index];
+    // siloz-lint: allow(map-bracket-probe): std::vector indexing, see device().
+  DramDevice& dram = *devices_[index];
     const uint32_t socket =
         static_cast<uint32_t>(index / (config_.geometry.channels_per_socket *
                                        config_.geometry.dimms_per_channel));

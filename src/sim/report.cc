@@ -11,6 +11,44 @@
 
 namespace siloz {
 
+ProgressMeter::ProgressMeter(std::string phase, uint64_t total)
+    : phase_(std::move(phase)),
+      total_(total),
+      enabled_(total > 0 && std::getenv("SILOZ_PROGRESS") != nullptr) {}
+
+ProgressMeter::~ProgressMeter() {
+  MutexLock lock(mutex_);
+  if (enabled_ && last_rendered_pct_ >= 0) {
+    std::fputc('\n', stderr);
+  }
+}
+
+void ProgressMeter::Tick(uint64_t completed_delta) {
+  MutexLock lock(mutex_);
+  completed_ += completed_delta;
+  if (enabled_) {
+    RenderLocked();
+  }
+}
+
+uint64_t ProgressMeter::completed() const {
+  MutexLock lock(mutex_);
+  return completed_;
+}
+
+void ProgressMeter::RenderLocked() {
+  const uint64_t capped = completed_ < total_ ? completed_ : total_;
+  const int pct = static_cast<int>(capped * 100 / total_);
+  if (pct == last_rendered_pct_) {
+    return;
+  }
+  last_rendered_pct_ = pct;
+  std::fprintf(stderr, "\r%s: %llu/%llu (%d%%)", phase_.c_str(),
+               static_cast<unsigned long long>(capped),
+               static_cast<unsigned long long>(total_), pct);
+  std::fflush(stderr);
+}
+
 std::string PoolPhaseMetrics::ToText() const {
   char line[192];
   std::snprintf(line, sizeof(line),
@@ -33,6 +71,8 @@ PhaseTimer::PhaseTimer(std::string phase)
       wall_start_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
                          std::chrono::steady_clock::now().time_since_epoch())
                          .count()),
+      // siloz-lint: allow(raw-nondeterminism): host CPU time feeding the
+      // sched-domain pool metrics, which are outside the determinism contract.
       cpu_start_clocks_(static_cast<int64_t>(std::clock())) {}
 
 PoolPhaseMetrics PhaseTimer::Finish(const PoolMetrics& pool) const {
@@ -43,6 +83,7 @@ PoolPhaseMetrics PhaseTimer::Finish(const PoolMetrics& pool) const {
                                   std::chrono::steady_clock::now().time_since_epoch())
                                   .count();
   metrics.wall_ms = static_cast<double>(wall_end_ns - wall_start_ns_) / 1e6;
+  // siloz-lint: allow(raw-nondeterminism): sched-domain CPU time, as above.
   metrics.cpu_ms = static_cast<double>(static_cast<int64_t>(std::clock()) - cpu_start_clocks_) *
                    1000.0 / CLOCKS_PER_SEC;
   return metrics;

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "src/base/check.h"
 #include "src/base/fastdiv.h"
+#include "src/base/mutex.h"
 #include "src/base/rng.h"
 #include "src/base/units.h"
 
@@ -166,8 +166,8 @@ struct StreamCacheEntry {
   StreamKey key;
   std::shared_ptr<const std::vector<uint32_t>> ops;
 };
-std::mutex stream_cache_mutex;
-std::vector<StreamCacheEntry> stream_cache;
+Mutex stream_cache_mutex;
+std::vector<StreamCacheEntry> stream_cache GUARDED_BY(stream_cache_mutex);
 constexpr size_t kStreamCacheMaxEntries = 64;
 
 // Draws the (line, is_write) stream for `key`. The draw order (locality
@@ -212,7 +212,7 @@ std::vector<uint32_t> GenerateLineOps(const StreamKey& key) {
 
 std::shared_ptr<const std::vector<uint32_t>> CachedLineOps(const StreamKey& key) {
   {
-    std::lock_guard<std::mutex> lock(stream_cache_mutex);
+    MutexLock lock(stream_cache_mutex);
     for (const StreamCacheEntry& entry : stream_cache) {
       if (entry.key == key) {
         return entry.ops;
@@ -222,7 +222,7 @@ std::shared_ptr<const std::vector<uint32_t>> CachedLineOps(const StreamKey& key)
   // Generate outside the lock: concurrent misses on the same key do
   // redundant (identical) work instead of serializing the whole grid.
   auto ops = std::make_shared<const std::vector<uint32_t>>(GenerateLineOps(key));
-  std::lock_guard<std::mutex> lock(stream_cache_mutex);
+  MutexLock lock(stream_cache_mutex);
   for (const StreamCacheEntry& entry : stream_cache) {
     if (entry.key == key) {
       return entry.ops;

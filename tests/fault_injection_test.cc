@@ -8,6 +8,7 @@
 // contiguous allocation, and the MMIO window — each get a targeted
 // regression; the sweeps then cover every reachable fault point k = 1..N.
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "src/addr/decoder.h"
 #include "src/base/fault_injector.h"
@@ -73,9 +74,9 @@ class LifecycleFaultTest : public ::testing::Test {
  protected:
   LifecycleFaultTest() : decoder_(geometry_) {}
 
-  SilozHypervisor MakeBooted(SilozConfig config = {}) {
-    SilozHypervisor hypervisor(decoder_, memory_, config);
-    Status status = hypervisor.Boot();
+  std::unique_ptr<SilozHypervisor> MakeBooted(SilozConfig config = {}) {
+    auto hypervisor = std::make_unique<SilozHypervisor>(decoder_, memory_, config);
+    Status status = hypervisor->Boot();
     [&] { ASSERT_TRUE(status.ok()) << status.error().ToString(); }();
     return hypervisor;
   }
@@ -106,7 +107,8 @@ class LifecycleFaultTest : public ::testing::Test {
 // node's runs, the cgroup, both node reservations, and the phantom
 // vm_backing_/vm_ept_pages_ entries.
 TEST_F(LifecycleFaultTest, RunsFailureOnSecondNodeConservesEverything) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // 3 GiB spans two 1.5 GiB guest nodes, so AllocateRuns is called twice.
   VmConfig vm{.name = "a", .memory_bytes = 3_GiB, .socket = 0};
   const size_t available_before = hypervisor.AvailableGuestNodes(0).size();
@@ -123,7 +125,8 @@ TEST_F(LifecycleFaultTest, RunsFailureOnSecondNodeConservesEverything) {
 TEST_F(LifecycleFaultTest, BaselineContiguousFailureConservesEverything) {
   SilozConfig config;
   config.enabled = false;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "b", .memory_bytes = 64_MiB, .socket = 0};
   ExpectConservedFailure(hypervisor, vm, /*k=*/1, "alloc.hv.contiguous");
   Result<VmId> id = hypervisor.CreateVm(vm);
@@ -133,7 +136,8 @@ TEST_F(LifecycleFaultTest, BaselineContiguousFailureConservesEverything) {
 // Regression: an MMIO window failure used to leak every RAM/ROM run
 // allocated before it (the unwind lambda was defined later).
 TEST_F(LifecycleFaultTest, MmioFailureRollsBackRamAndRom) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "c", .memory_bytes = 64_MiB, .rom_bytes = 2_MiB, .mmio_bytes = 64_KiB,
               .socket = 0};
   // In Siloz mode the only AllocateContiguous call is the MMIO window, so
@@ -147,7 +151,8 @@ TEST_F(LifecycleFaultTest, MmioFailureRollsBackRamAndRom) {
 // backing. k=1 fails the root allocation (the fallible Create path), larger
 // k fail inside the mapping loop.
 TEST_F(LifecycleFaultTest, EptTablePageFailureConservesPool) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "d", .memory_bytes = 64_MiB, .socket = 0};
   for (uint64_t k : {1u, 2u, 3u}) {
     ExpectConservedFailure(hypervisor, vm, k, "alloc.ept.table_page");
@@ -159,7 +164,8 @@ TEST_F(LifecycleFaultTest, EptTablePageFailureConservesPool) {
 
 // A failed passthrough assignment must return the IOMMU table pages it drew.
 TEST_F(LifecycleFaultTest, PassthroughAssignFailureReturnsTablePages) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "e", .memory_bytes = 64_MiB, .socket = 0};
   Result<VmId> id = hypervisor.CreateVm(vm);
   ASSERT_TRUE(id.ok()) << id.error().ToString();
@@ -175,7 +181,8 @@ TEST_F(LifecycleFaultTest, PassthroughAssignFailureReturnsTablePages) {
 // Regression: a mid-teardown Free failure used to abandon the remaining
 // blocks with no record of progress, so a retry double-freed the prefix.
 TEST_F(LifecycleFaultTest, DestroyVmResumesAfterInterruptedFree) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "f", .memory_bytes = 64_MiB, .socket = 0};
   const ConservationSnapshot pristine = CaptureConservation(hypervisor);
   Result<VmId> id = hypervisor.CreateVm(vm);
@@ -194,7 +201,8 @@ TEST_F(LifecycleFaultTest, DestroyVmResumesAfterInterruptedFree) {
 }
 
 TEST_F(LifecycleFaultTest, DestroyVmIsIdempotent) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "g", .memory_bytes = 64_MiB, .socket = 0};
   Result<VmId> id = hypervisor.CreateVm(vm);
   ASSERT_TRUE(id.ok()) << id.error().ToString();
@@ -212,7 +220,8 @@ TEST_F(LifecycleFaultTest, DestroyVmIsIdempotent) {
 // creates must conserve; tolerated faults must leave create->destroy->
 // release a fixed point.
 TEST_F(LifecycleFaultTest, FaultSweepSilozConfig) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "sweep", .memory_bytes = 8_MiB, .rom_bytes = 2_MiB, .socket = 0};
   Result<FaultSweepReport> report = RunCreateVmFaultSweep(hypervisor, vm);
   ASSERT_TRUE(report.ok()) << report.error().ToString();
@@ -224,7 +233,8 @@ TEST_F(LifecycleFaultTest, FaultSweepSilozConfig) {
 TEST_F(LifecycleFaultTest, FaultSweepBaselineConfig) {
   SilozConfig config;
   config.enabled = false;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig vm{.name = "sweep", .memory_bytes = 4_MiB, .rom_bytes = 2_MiB, .mmio_bytes = 16_KiB,
               .socket = 0};
   Result<FaultSweepReport> report = RunCreateVmFaultSweep(hypervisor, vm);

@@ -1,6 +1,7 @@
 // Tests for the Siloz hypervisor core (src/siloz): boot-time provisioning,
 // VM lifecycle, allocation policy, EPT placement, isolation audit.
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "src/addr/decoder.h"
 #include "src/base/units.h"
@@ -14,9 +15,9 @@ class HypervisorTest : public ::testing::Test {
  protected:
   HypervisorTest() : decoder_(geometry_) {}
 
-  SilozHypervisor MakeBooted(SilozConfig config = {}) {
-    SilozHypervisor hypervisor(decoder_, memory_, config);
-    Status status = hypervisor.Boot();
+  std::unique_ptr<SilozHypervisor> MakeBooted(SilozConfig config = {}) {
+    auto hypervisor = std::make_unique<SilozHypervisor>(decoder_, memory_, config);
+    Status status = hypervisor->Boot();
     [&] { ASSERT_TRUE(status.ok()) << status.error().ToString(); }();
     return hypervisor;
   }
@@ -27,7 +28,8 @@ class HypervisorTest : public ::testing::Test {
 };
 
 TEST_F(HypervisorTest, BootProvisionsLogicalNodes) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // 128 groups/socket, 2 host groups -> 1 host node + 126 guest nodes per
   // socket (§5.2).
   EXPECT_EQ(hypervisor.nodes().node_count(), 2u * (1 + 126));
@@ -44,19 +46,22 @@ TEST_F(HypervisorTest, BootProvisionsLogicalNodes) {
 TEST_F(HypervisorTest, BaselineBootIsOneNodePerSocket) {
   SilozConfig config;
   config.enabled = false;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   EXPECT_EQ(hypervisor.nodes().node_count(), 2u);
   EXPECT_TRUE(hypervisor.AvailableGuestNodes(0).empty());
   EXPECT_EQ(hypervisor.ept_reserved_bytes(), 0u);
 }
 
 TEST_F(HypervisorTest, DoubleBootRejected) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   EXPECT_FALSE(hypervisor.Boot().ok());
 }
 
 TEST_F(HypervisorTest, EptBlockReservationMatchesPaperNumbers) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // §5.4: b=32 row groups per socket reserved; 32 8 KiB rows per 1 GiB bank
   // = 0.024% of DRAM.
   const uint64_t expected = 2ull * 32 * geometry_.row_group_bytes();
@@ -74,7 +79,8 @@ TEST_F(HypervisorTest, EptBlockReservationMatchesPaperNumbers) {
 }
 
 TEST_F(HypervisorTest, CreateVmReservesWholeGroups) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   VmConfig config{.name = "a", .memory_bytes = 3_GiB, .socket = 0};
   Result<VmId> id = hypervisor.CreateVm(config);
   ASSERT_TRUE(id.ok()) << id.error().ToString();
@@ -101,7 +107,8 @@ TEST_F(HypervisorTest, CreateVmReservesWholeGroups) {
 }
 
 TEST_F(HypervisorTest, VmMemoryStaysInItsGroups) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
   Vm& vm = **hypervisor.GetVm(*id);
@@ -116,7 +123,8 @@ TEST_F(HypervisorTest, VmMemoryStaysInItsGroups) {
 }
 
 TEST_F(HypervisorTest, TwoVmsGetDisjointGroups) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> a = hypervisor.CreateVm({.name = "a", .memory_bytes = 3_GiB, .socket = 0});
   Result<VmId> b = hypervisor.CreateVm({.name = "b", .memory_bytes = 3_GiB, .socket = 0});
   ASSERT_TRUE(a.ok());
@@ -133,7 +141,8 @@ TEST_F(HypervisorTest, TwoVmsGetDisjointGroups) {
 }
 
 TEST_F(HypervisorTest, EptPagesComeFromProtectedRowGroup) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
   Vm& vm = **hypervisor.GetVm(*id);
@@ -148,7 +157,8 @@ TEST_F(HypervisorTest, EptPagesComeFromProtectedRowGroup) {
 }
 
 TEST_F(HypervisorTest, AllocationPolicyEnforced) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // 1024 MiB leaves slack in the VM's 1.5 GiB group for the policy probes.
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 1024_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
@@ -185,7 +195,8 @@ TEST_F(HypervisorTest, AllocationPolicyEnforced) {
 }
 
 TEST_F(HypervisorTest, DestroyAndReleaseLifecycle) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 3_GiB, .socket = 0});
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(hypervisor.AvailableGuestNodes(0).size(), 124u);
@@ -209,7 +220,8 @@ TEST_F(HypervisorTest, DestroyAndReleaseLifecycle) {
 }
 
 TEST_F(HypervisorTest, SocketCapacityExhaustion) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // 126 guest groups = 189 GiB; a 190 GiB VM cannot fit on one socket.
   Result<VmId> id = hypervisor.CreateVm({.name = "big", .memory_bytes = 190_GiB, .socket = 0});
   ASSERT_FALSE(id.ok());
@@ -219,7 +231,8 @@ TEST_F(HypervisorTest, SocketCapacityExhaustion) {
 }
 
 TEST_F(HypervisorTest, AuditDetectsEptCorruption) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
   Vm& vm = **hypervisor.GetVm(*id);
@@ -237,7 +250,8 @@ TEST_F(HypervisorTest, AuditDetectsEptCorruption) {
 TEST_F(HypervisorTest, SecureEptModeDetectsCorruption) {
   SilozConfig config;
   config.ept_protection = EptProtection::kSecureEpt;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   EXPECT_EQ(hypervisor.ept_reserved_bytes(), 0u);  // no guard rows needed
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
@@ -253,7 +267,8 @@ TEST_F(HypervisorTest, SecureEptModeDetectsCorruption) {
 TEST_F(HypervisorTest, ArtificialGroupsForNonPowerOfTwo) {
   SilozConfig config;
   config.rows_per_subarray = 768;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   EXPECT_TRUE(hypervisor.using_artificial_groups());
   EXPECT_EQ(hypervisor.effective_rows_per_subarray(), 1024u);
   // §6: n=4 guard rows per artificial group boundary, doubled to 8 media
@@ -275,7 +290,8 @@ TEST_F(HypervisorTest, ArtificialGroupsCanBeDisallowed) {
 }
 
 TEST_F(HypervisorTest, RomRegionIsUnmediatedAndMapped) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm(
       {.name = "a", .memory_bytes = 1024_MiB, .rom_bytes = 16_MiB, .socket = 0});
   ASSERT_TRUE(id.ok()) << id.error().ToString();
@@ -302,7 +318,8 @@ TEST_F(HypervisorTest, RomRegionIsUnmediatedAndMapped) {
 }
 
 TEST_F(HypervisorTest, MmioRegionIsMediatedAndUnmapped) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm(
       {.name = "a", .memory_bytes = 1536_MiB, .mmio_bytes = 16_MiB, .socket = 0});
   ASSERT_TRUE(id.ok());
@@ -324,7 +341,8 @@ TEST_F(HypervisorTest, MmioRegionIsMediatedAndUnmapped) {
 }
 
 TEST_F(HypervisorTest, VmOnSecondSocketUsesItsNodes) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> id = hypervisor.CreateVm({.name = "a", .memory_bytes = 3_GiB, .socket = 1});
   ASSERT_TRUE(id.ok());
   Vm& vm = **hypervisor.GetVm(*id);
@@ -336,14 +354,16 @@ TEST_F(HypervisorTest, VmOnSecondSocketUsesItsNodes) {
 }
 
 TEST_F(HypervisorTest, CreateVmValidatesArguments) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   EXPECT_FALSE(hypervisor.CreateVm({.name = "z", .memory_bytes = 0}).ok());
   EXPECT_FALSE(hypervisor.CreateVm({.name = "z", .memory_bytes = 3_MiB}).ok());  // not 2M-mult.
   EXPECT_FALSE(hypervisor.CreateVm({.name = "z", .memory_bytes = 2_MiB, .socket = 9}).ok());
 }
 
 TEST_F(HypervisorTest, StatSweepOptimization) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   // Siloz manages 254 nodes but periodic sweeps touch only the 2 host nodes.
   EXPECT_EQ(hypervisor.nodes().StatSweepNodeCount(false), 254u);
   EXPECT_EQ(hypervisor.nodes().StatSweepNodeCount(true), 2u);

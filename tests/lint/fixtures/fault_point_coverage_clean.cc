@@ -1,0 +1,23 @@
+// Fixture: fault-sweep-reachable resource operations — a direct
+// SILOZ_FAULT_POINT, transitive coverage through a callee, and a
+// non-resource helper outside the name shape. Zero findings expected.
+#define SILOZ_FAULT_POINT(site)
+
+struct Status {
+  bool ok() const;
+};
+
+Status AllocateSlab(int order) {
+  SILOZ_FAULT_POINT("alloc.slab");
+  (void)order;
+  return Status{};
+}
+
+Status CreateRegion(int order) {
+  return AllocateSlab(order);
+}
+
+Status LookupRegion(int id) {
+  (void)id;
+  return Status{};
+}

@@ -1,0 +1,18 @@
+// Fixture: resource operations (Allocate*/Free* name shapes, Status-ish
+// returns) with no SILOZ_FAULT_POINT anywhere on their call path. Both must
+// be reported by fault-point-coverage.
+#define SILOZ_FAULT_POINT(site)
+
+struct Status {
+  bool ok() const;
+};
+
+Status AllocateScratch(int order) {
+  (void)order;
+  return Status{};
+}
+
+Status FreeScratch(int order) {
+  (void)order;
+  return Status{};
+}

@@ -1,0 +1,20 @@
+// Fixture: bookkeeping-map access in sanctioned shapes only — explicit
+// insertion, insert-or-extend, and find()-based reads. Zero findings.
+#include <map>
+#include <vector>
+
+struct Hypervisor {
+  std::map<int, int> vm_backing_;
+  std::map<int, std::vector<int>> vm_ept_pages_;
+};
+
+void Insert(Hypervisor& hv, int id, int node) { hv.vm_backing_[id] = node; }
+
+void Extend(Hypervisor& hv, int id, int page) {
+  hv.vm_ept_pages_[id].push_back(page);
+}
+
+int Read(const Hypervisor& hv, int id) {
+  auto it = hv.vm_backing_.find(id);
+  return it == hv.vm_backing_.end() ? -1 : it->second;
+}

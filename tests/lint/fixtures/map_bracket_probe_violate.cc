@@ -1,0 +1,13 @@
+// Fixture: operator[] reads on bookkeeping maps — the phantom-entry bug.
+// Both bodies must be reported by map-bracket-probe.
+#include <map>
+#include <vector>
+
+struct Hypervisor {
+  std::map<int, int> vm_backing_;
+  std::map<int, std::vector<int>> vm_ept_pages_;
+};
+
+int ProbeBacking(Hypervisor& hv, int id) { return hv.vm_backing_[id]; }
+
+bool ProbeEpt(Hypervisor& hv, int id) { return hv.vm_ept_pages_[id].empty(); }

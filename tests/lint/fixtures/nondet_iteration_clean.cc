@@ -1,0 +1,21 @@
+// Fixture: order-safe uses of unordered containers — integer reduction
+// (commutative, order-invisible) and emission from a sorted copy. Zero
+// findings expected.
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+long CountEvents(const std::unordered_map<int, long>& totals_by_vm) {
+  long event_count = 0;
+  for (const auto& entry : totals_by_vm) {
+    event_count += entry.second;
+  }
+  return event_count;
+}
+
+void EmitSorted(const std::unordered_map<int, long>& totals_by_vm) {
+  std::map<int, long> sorted(totals_by_vm.begin(), totals_by_vm.end());
+  for (const auto& entry : sorted) {
+    printf("vm %d: %ld\n", entry.first, entry.second);
+  }
+}

@@ -1,0 +1,18 @@
+// Fixture: unordered iteration leaking hash order into emitted output and
+// a float accumulation. Both loops must be reported by nondet-iteration.
+#include <cstdio>
+#include <unordered_map>
+
+void EmitPerVm(const std::unordered_map<int, long>& totals_by_vm) {
+  for (const auto& entry : totals_by_vm) {
+    printf("vm %d: %ld\n", entry.first, entry.second);
+  }
+}
+
+double SumRates(const std::unordered_map<int, double>& rate_by_vm) {
+  double total = 0.0;
+  for (const auto& entry : rate_by_vm) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,21 @@
+// Fixture: determinism-safe counterparts — stable-id keys, a method named
+// time() on a simulated clock (member access, not the libc call), and
+// seed-derived generation. Zero findings expected.
+#include <cstdint>
+#include <map>
+
+struct SimClock {
+  uint64_t time() const;
+};
+
+struct SplitMix {
+  explicit SplitMix(uint64_t seed);
+  uint64_t Next();
+};
+
+uint64_t SeedFromFlag(uint64_t seed, const SimClock& clock_model) {
+  SplitMix rng(seed);
+  return rng.Next() ^ clock_model.time();
+}
+
+std::map<int, int> g_hits_by_probe_id;

@@ -1,0 +1,17 @@
+// Fixture: raw entropy/clock sources and an address-ordered container.
+// Every marked line must be reported by raw-nondeterminism.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Probe {};
+
+unsigned SeedFromWallClock() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return static_cast<unsigned>(std::rand());
+}
+
+std::random_device g_entropy;
+
+std::map<Probe*, int> g_hits_by_probe;

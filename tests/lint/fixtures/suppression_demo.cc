@@ -1,0 +1,18 @@
+// Fixture: a would-be map-bracket-probe finding silenced by an annotated
+// allow() comment — the suppression contract itself is under test. Zero
+// findings expected.
+#include <map>
+
+struct Hypervisor {
+  std::map<int, int> vm_backing_;
+};
+
+int ProbeWithRationale(Hypervisor& hv, int id) {
+  // siloz-lint: allow(map-bracket-probe): fixture proving block-comment
+  // suppression attaches to the next statement.
+  return hv.vm_backing_[id];
+}
+
+int ProbeInline(Hypervisor& hv, int id) {
+  return hv.vm_backing_[id];  // siloz-lint: allow(map-bracket-probe): same-line form.
+}

@@ -1,0 +1,30 @@
+// Fixture: the same calls as unchecked_status_violate.cc with every result
+// bound, tested, or explicitly (void)-discarded — zero findings expected.
+struct Status {
+  bool ok() const;
+};
+template <typename T>
+struct Result {
+  bool ok() const;
+};
+
+Status Teardown();
+Result<int> ReservePages(int count);
+
+struct Pool {
+  Status Drain();
+};
+
+bool Clean(Pool& pool) {
+  Status status = Teardown();
+  if (!status.ok()) {
+    return false;
+  }
+  Result<int> pages = ReservePages(4);
+  if (pool.Drain().ok() && pages.ok()) {
+    return true;
+  }
+  // An explicit (void) cast is a visible, greppable discard: allowed.
+  (void)Teardown();
+  return false;
+}

@@ -1,0 +1,23 @@
+// Fixture: every statement in Violate() drops a Status/Result value on the
+// floor and must be reported by unchecked-status. Never compiled — parsed by
+// the lint goldens only.
+struct Status {
+  bool ok() const;
+};
+template <typename T>
+struct Result {
+  bool ok() const;
+};
+
+Status Teardown();
+Result<int> ReservePages(int count);
+
+struct Pool {
+  Status Drain();
+};
+
+void Violate(Pool& pool) {
+  Teardown();
+  ReservePages(4);
+  pool.Drain();
+}

@@ -1,5 +1,6 @@
 // Tests for passthrough-IO / IOMMU support and host shutdown (§5.1, §5.3).
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "src/addr/decoder.h"
 #include "src/base/units.h"
@@ -13,9 +14,9 @@ class PassthroughTest : public ::testing::Test {
  protected:
   PassthroughTest() : decoder_(geometry_) {}
 
-  SilozHypervisor MakeBooted(SilozConfig config = {}) {
-    SilozHypervisor hypervisor(decoder_, memory_, config);
-    Status status = hypervisor.Boot();
+  std::unique_ptr<SilozHypervisor> MakeBooted(SilozConfig config = {}) {
+    auto hypervisor = std::make_unique<SilozHypervisor>(decoder_, memory_, config);
+    Status status = hypervisor->Boot();
     [&] { ASSERT_TRUE(status.ok()) << status.error().ToString(); }();
     return hypervisor;
   }
@@ -26,7 +27,8 @@ class PassthroughTest : public ::testing::Test {
 };
 
 TEST_F(PassthroughTest, AssignAndDmaWithinGuestRanges) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   Result<uint32_t> nic = hypervisor.AssignPassthroughDevice(*vm, "nic0");
@@ -43,7 +45,8 @@ TEST_F(PassthroughTest, AssignAndDmaWithinGuestRanges) {
 }
 
 TEST_F(PassthroughTest, DmaOutsideGuestIsBlocked) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   Result<uint32_t> nic = hypervisor.AssignPassthroughDevice(*vm, "nic0");
@@ -56,7 +59,8 @@ TEST_F(PassthroughTest, DmaOutsideGuestIsBlocked) {
 }
 
 TEST_F(PassthroughTest, IommuTablesComeFromProtectedPool) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   const size_t pool_before = hypervisor.ept_pool_free(0);
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
@@ -69,7 +73,8 @@ TEST_F(PassthroughTest, IommuTablesComeFromProtectedPool) {
 TEST_F(PassthroughTest, CorruptedIommuEntryCaughtByDmaBoundsCheck) {
   SilozConfig config;
   config.ept_protection = EptProtection::kNone;  // tables hammerable
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   Result<uint32_t> nic = hypervisor.AssignPassthroughDevice(*vm, "nic0");
@@ -91,7 +96,8 @@ TEST_F(PassthroughTest, CorruptedIommuEntryCaughtByDmaBoundsCheck) {
 }
 
 TEST_F(PassthroughTest, RemoveDeviceReturnsPoolPages) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   const size_t pool_before = hypervisor.ept_pool_free(0);
@@ -107,7 +113,8 @@ TEST_F(PassthroughTest, RemoveDeviceReturnsPoolPages) {
 TEST_F(PassthroughTest, SecureIommuDetectsCorruption) {
   SilozConfig config;
   config.ept_protection = EptProtection::kSecureEpt;
-  SilozHypervisor hypervisor = MakeBooted(config);
+  auto hypervisor_owner = MakeBooted(config);
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   Result<uint32_t> nic = hypervisor.AssignPassthroughDevice(*vm, "nic0");
@@ -125,7 +132,8 @@ TEST_F(PassthroughTest, SecureIommuDetectsCorruption) {
 }
 
 TEST_F(PassthroughTest, DeviceOnDestroyedVmRejected) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   Result<VmId> vm = hypervisor.CreateVm({.name = "a", .memory_bytes = 1536_MiB, .socket = 0});
   ASSERT_TRUE(vm.ok());
   ASSERT_TRUE(hypervisor.DestroyVm(*vm).ok());
@@ -138,7 +146,8 @@ TEST_F(PassthroughTest, DeviceOnDestroyedVmRejected) {
 }
 
 TEST_F(PassthroughTest, HostShutdownReleasesEverything) {
-  SilozHypervisor hypervisor = MakeBooted();
+  auto hypervisor_owner = MakeBooted();
+  SilozHypervisor& hypervisor = *hypervisor_owner;
   for (int i = 0; i < 4; ++i) {
     Result<VmId> vm = hypervisor.CreateVm(
         {.name = "vm" + std::to_string(i), .memory_bytes = 3_GiB, .socket = 0});

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/base/thread_pool.h"
 #include "src/sim/report.h"
 
 namespace siloz {
@@ -88,6 +89,33 @@ PoolPhaseMetrics GoldenMetrics() {
   metrics.wall_ms = 1234.5678;
   metrics.cpu_ms = 9876.5;
   return metrics;
+}
+
+TEST(ProgressMeterTest, ConcurrentTicksSumExactly) {
+  // Disabled rendering path (SILOZ_PROGRESS unset in tests): ticking must
+  // still count, and must count exactly under concurrency.
+  unsetenv("SILOZ_PROGRESS");
+  ProgressMeter meter("ticks", 64 * 100);
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 64, [&](uint64_t) {
+    for (int i = 0; i < 100; ++i) {
+      meter.Tick();
+    }
+  });
+  EXPECT_EQ(meter.completed(), 64u * 100u);
+}
+
+TEST(ProgressMeterTest, EnabledRenderingCountsTheSame) {
+  // With SILOZ_PROGRESS set the meter writes a status line to stderr;
+  // counting semantics are unchanged and Tick stays safe cross-thread.
+  setenv("SILOZ_PROGRESS", "1", /*overwrite=*/1);
+  {
+    ProgressMeter meter("render", 8);
+    ThreadPool pool(2);
+    pool.ParallelFor(0, 8, [&](uint64_t) { meter.Tick(); });
+    EXPECT_EQ(meter.completed(), 8u);
+  }
+  unsetenv("SILOZ_PROGRESS");
 }
 
 TEST(PoolPhaseMetricsTest, GoldenText) {

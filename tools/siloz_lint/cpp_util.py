@@ -1,0 +1,164 @@
+"""Token-pattern helpers shared by the siloz-lint rules.
+
+These encode the handful of C++ shapes the rules care about — statement
+starts, callee chains, Status/Result function signatures — against the
+lexer.py token stream. They are heuristics, tuned so that misclassification
+errs toward *not* reporting (rules stay quiet rather than noisy) except
+where a rule's contract explicitly prefers over-reporting plus suppression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from lexer import Token, match_angle, match_brace, match_paren
+
+_STMT_PREV = frozenset({";", "{", "}", "else", "do", ":"})
+_CONTROL_KEYWORDS = frozenset({"if", "while", "for", "switch"})
+
+_SPECIFIERS = frozenset({"const", "noexcept", "override", "final", "mutable"})
+
+
+def is_statement_start(tokens: List[Token], idx: int) -> bool:
+    """True when tokens[idx] can begin an expression statement."""
+    if idx == 0:
+        return True
+    prev = tokens[idx - 1]
+    if prev.kind == "pp":
+        return True
+    if prev.text in _STMT_PREV:
+        return True
+    if prev.text == ")":
+        open_idx = _match_paren_backward(tokens, idx - 1)
+        if open_idx > 0 and tokens[open_idx - 1].text in _CONTROL_KEYWORDS:
+            return True
+    return False
+
+
+def _match_paren_backward(tokens: List[Token], close_idx: int) -> int:
+    depth = 0
+    for j in range(close_idx, -1, -1):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text == ")":
+            depth += 1
+        elif t.text == "(":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def callee_chain_start(tokens: List[Token], callee_idx: int) -> int:
+    """First token of the `a.b->c::d` chain whose last name is callee_idx."""
+    s = callee_idx
+    while (
+        s >= 2
+        and tokens[s - 1].text in ("::", ".", "->")
+        and tokens[s - 2].kind == "id"
+    ):
+        s -= 2
+    return s
+
+
+def collect_status_functions(tokens: List[Token]) -> Set[str]:
+    """Names of functions declared to return Status or Result<...>."""
+    names: Set[str] = set()
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in ("Status", "Result"):
+            continue
+        if i > 0 and tokens[i - 1].text in (".", "->"):
+            continue
+        j = i + 1
+        if tok.text == "Result":
+            if j >= n or tokens[j].text != "<":
+                continue
+            j = match_angle(tokens, j)
+            if j < 0:
+                continue
+            j += 1
+        # Qualified name: (id ::)* id '('
+        while j + 1 < n and tokens[j].kind == "id" and tokens[j + 1].text == "::":
+            j += 2
+        if j + 1 < n and tokens[j].kind == "id" and tokens[j + 1].text == "(":
+            names.add(tokens[j].text)
+    return names
+
+
+class FunctionDef(NamedTuple):
+    name: str
+    name_token: Token
+    body_start: int  # index of '{'
+    body_end: int  # index of matching '}'
+
+
+def iter_function_defs(tokens: List[Token]) -> Iterator[FunctionDef]:
+    """Yields function definitions recognizable as `... name(args) ... {`.
+
+    Recognition is syntactic: an identifier followed by a parameter list
+    whose closing ')' leads (through cv/ref/specifier tokens) to a '{', and
+    that is not itself a control keyword or preceded by one. That covers
+    free functions, methods, and out-of-line `Class::Method` definitions;
+    lambdas have no name and are skipped.
+    """
+    n = len(tokens)
+    i = 0
+    while i < n - 1:
+        tok = tokens[i]
+        if tok.kind != "id" or tokens[i + 1].text != "(":
+            i += 1
+            continue
+        if tok.text in _CONTROL_KEYWORDS or tok.text in ("return", "sizeof"):
+            i += 1
+            continue
+        close = match_paren(tokens, i + 1)
+        if close < 0:
+            i += 1
+            continue
+        m = close + 1
+        while m < n and (
+            (tokens[m].kind == "id" and tokens[m].text in _SPECIFIERS)
+            or tokens[m].text in ("&", "&&")
+        ):
+            m += 1
+        if m < n and tokens[m].text == "{":
+            end = match_brace(tokens, m)
+            if end > 0:
+                yield FunctionDef(tok.text, tok, m, end)
+                # Do not skip the body: nested local definitions are rare,
+                # but calls inside bodies are scanned by callers anyway.
+        i += 1
+
+
+def called_names(tokens: List[Token], start: int, end: int) -> Set[str]:
+    """Identifiers used as `name(` within tokens[start:end]."""
+    out: Set[str] = set()
+    for j in range(start, min(end, len(tokens) - 1)):
+        if tokens[j].kind == "id" and tokens[j + 1].text == "(":
+            out.add(tokens[j].text)
+    return out
+
+
+def first_template_arg_has_pointer(tokens: List[Token], angle_idx: int) -> bool:
+    """True if the first template argument of the '<' at angle_idx has a '*'."""
+    depth = 0
+    for j in range(angle_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            depth += 1
+        elif t.text and set(t.text) == {">"}:
+            depth -= len(t.text)
+            if depth <= 0:
+                return False
+        elif t.text == "," and depth == 1:
+            return False
+        elif t.text == "*" and depth == 1:
+            return True
+        elif t.text in (";", "{", "}"):
+            return False
+    return False

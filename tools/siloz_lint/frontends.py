@@ -1,0 +1,100 @@
+"""Frontend selection for siloz-lint.
+
+The rules are written against the token stream in lexer.py, so a frontend
+only has to deliver file text (the `tokens` frontend) or pre-lexed text
+recovered from a real compiler tokenizer (the `libclang` frontend). Keeping
+rules token-based means both frontends feed the identical rule logic and the
+golden lint tests stay byte-stable regardless of which one is installed.
+
+`tokens`   — pure Python, zero dependencies, always available. Canonical:
+             the fixture goldens and the CI gate pin this frontend.
+`libclang` — uses clang.cindex when the Python bindings AND a loadable
+             libclang shared object are present; preprocesses each file with
+             the flags from compile_commands.json so tokens reflect the real
+             compile (macro-heavy code lexes the way clang saw it). Optional
+             fidelity upgrade, never required.
+`auto`     — libclang when importable, else tokens (with a one-line notice).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+
+class TokenFrontend:
+    name = "tokens"
+
+    def read(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            return f.read()
+
+
+class LibclangFrontend:
+    """Reads files via clang.cindex translation units when available.
+
+    Rules still lex with lexer.py for a uniform token shape; what libclang
+    adds is validation that every file parses under its real compile flags,
+    so rule findings are never reported against code that does not compile.
+    """
+
+    name = "libclang"
+
+    def __init__(self, compile_commands: Optional[str]):
+        import clang.cindex  # noqa: F401 — availability is the gate
+
+        self._cindex = sys.modules["clang.cindex"]
+        self._index = self._cindex.Index.create()
+        self._flags: Dict[str, list] = {}
+        if compile_commands and os.path.exists(compile_commands):
+            with open(compile_commands, "r", encoding="utf-8") as f:
+                for entry in json.load(f):
+                    args = entry.get("arguments")
+                    if args is None:
+                        args = entry.get("command", "").split()
+                    # Drop compiler, -c/-o pairs, and the source file itself.
+                    keep = []
+                    skip_next = False
+                    for arg in args[1:]:
+                        if skip_next:
+                            skip_next = False
+                            continue
+                        if arg in ("-c", "-o"):
+                            skip_next = arg == "-o"
+                            continue
+                        if arg == entry.get("file"):
+                            continue
+                        keep.append(arg)
+                    self._flags[os.path.abspath(entry["file"])] = keep
+
+    def read(self, path: str) -> str:
+        flags = self._flags.get(os.path.abspath(path), [])
+        tu = self._index.parse(path, args=flags)
+        errors = [
+            d for d in tu.diagnostics
+            if d.severity >= self._cindex.Diagnostic.Error
+        ]
+        if errors:
+            raise RuntimeError(f"{path}: does not parse: {errors[0].spelling}")
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            return f.read()
+
+
+def make_frontend(name: str, compile_commands: Optional[str]):
+    """Builds the requested frontend; `auto` degrades gracefully."""
+    if name == "tokens":
+        return TokenFrontend()
+    if name == "libclang":
+        return LibclangFrontend(compile_commands)
+    if name == "auto":
+        try:
+            return LibclangFrontend(compile_commands)
+        except Exception:  # ImportError or libclang.so load failure
+            print(
+                "siloz-lint: libclang unavailable, using token frontend",
+                file=sys.stderr,
+            )
+            return TokenFrontend()
+    raise ValueError(f"unknown frontend: {name}")

@@ -1,0 +1,41 @@
+"""Finding reporters: human text and byte-stable JSON.
+
+The JSON form is the machine contract: findings sorted by
+(file, line, col, rule, message), fixed separators, sorted keys, one
+trailing newline. The lint goldens in tests/lint/golden compare this output
+byte-for-byte, so any formatting change here is a deliberate golden update.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from engine import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def to_text(findings: List[Finding]) -> str:
+    lines = [
+        f"{f.file}:{f.line}:{f.col}: [{f.rule}] {f.message}" for f in findings
+    ]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(findings: List[Finding]) -> str:
+    doc = {
+        "schema": JSON_SCHEMA_VERSION,
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,23 @@
+"""Rule registry for siloz-lint. Order here fixes nothing user-visible —
+findings are globally sorted by the engine — but keep it alphabetical."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from rules.fault_point_coverage import FaultPointCoverageRule
+from rules.map_bracket_probe import MapBracketProbeRule
+from rules.nondet_iteration import NondetIterationRule
+from rules.raw_nondeterminism import RawNondeterminismRule
+from rules.unchecked_status import UncheckedStatusRule
+
+ALL_RULES = [
+    FaultPointCoverageRule(),
+    MapBracketProbeRule(),
+    NondetIterationRule(),
+    RawNondeterminismRule(),
+    UncheckedStatusRule(),
+]
+
+RULE_NAMES = sorted(r.name for r in ALL_RULES)

@@ -1,0 +1,63 @@
+"""map-bracket-probe: `operator[]` reads on bookkeeping maps.
+
+The PR 5 phantom-entry bug class: probing `vm_backing_[id]` on a map that
+tracks live resources default-constructs an entry for absent keys, so a
+read in an audit/teardown path silently corrupts the bookkeeping it was
+inspecting. The rule flags `m[k]` on configured member maps unless the
+expression is an insertion context:
+
+  * direct assignment:            m[k] = v;  m[k] += v;  (any op=)
+  * insert-or-extend idiom:       m[k].push_back(v);  m[k].emplace_back(...)
+
+Everything else — comparisons, argument passing, chained reads — must go
+through find()/at()/contains() so absence stays observable. Maps are named
+in the `bookkeeping_maps` config list; the defaults are the hypervisor's
+lifecycle tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from engine import FileContext, Finding, ProjectContext
+from lexer import match_bracket
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+)
+_EXTEND_METHODS = frozenset({"push_back", "emplace_back", "insert", "assign"})
+
+
+class MapBracketProbeRule:
+    name = "map-bracket-probe"
+
+    def run(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        maps = frozenset(project.config["bookkeeping_maps"])
+        tokens = ctx.tokens
+        findings: List[Finding] = []
+        for i, tok in enumerate(tokens[:-1]):
+            if tok.kind != "id" or tok.text not in maps:
+                continue
+            if tokens[i + 1].text != "[":
+                continue
+            close = match_bracket(tokens, i + 1)
+            if close < 0 or close + 1 >= len(tokens):
+                continue
+            nxt = tokens[close + 1]
+            if nxt.text in _ASSIGN_OPS:
+                continue
+            if (
+                nxt.text == "."
+                and close + 2 < len(tokens)
+                and tokens[close + 2].text in _EXTEND_METHODS
+            ):
+                continue
+            findings.append(
+                ctx.finding(
+                    tok,
+                    self.name,
+                    f"operator[] read on bookkeeping map '{tok.text}' inserts "
+                    "a phantom entry for absent keys; use find()/at()",
+                )
+            )
+        return findings

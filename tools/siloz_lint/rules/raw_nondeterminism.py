@@ -1,0 +1,102 @@
+"""raw-nondeterminism: entropy and clock sources outside src/base/rng.
+
+Every random draw in the simulator must route through the seeded
+SplitMix64/xoshiro layer in src/base/rng so runs replay bit-identically
+from a --seed. Raw sources break that: `rand()`/`srand()` use hidden global
+state, `time()`/`clock()`/`gettimeofday()` read the host clock,
+`std::random_device` is entropy by definition, and unseeded standard
+engines default to nondeterministic construction. All are flagged outside
+the configured `rng_exempt_paths`.
+
+The rule also flags pointer-keyed *ordered* containers
+(`std::map<T*, ...>`, `std::set<T*>`): their iteration order is address
+order, which ASLR re-rolls every run — determinism-hostile in exactly the
+way an unordered container is, but invisible to the nondet-iteration rule
+because ordered containers are normally safe to iterate.
+
+steady_clock/system_clock reads are deliberately NOT flagged: wall-time
+measurement for traces and benchmarks is outside the determinism contract
+(DESIGN.md §9); only *model-visible* values may not depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from cpp_util import first_template_arg_has_pointer
+from engine import FileContext, Finding, ProjectContext
+
+_RAW_CALLS = frozenset({"rand", "srand", "time", "clock", "gettimeofday"})
+_RAW_TYPES = frozenset(
+    {"random_device", "mt19937", "mt19937_64", "minstd_rand",
+     "default_random_engine"}
+)
+_ORDERED_CONTAINERS = frozenset({"map", "set", "multimap", "multiset"})
+
+
+class RawNondeterminismRule:
+    name = "raw-nondeterminism"
+
+    def run(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        exempt = project.config["rng_exempt_paths"]
+        if any(ctx.display_path.startswith(p) for p in exempt):
+            return []
+        tokens = ctx.tokens
+        findings: List[Finding] = []
+        n = len(tokens)
+        for i, tok in enumerate(tokens):
+            if tok.kind != "id":
+                continue
+            prev = tokens[i - 1].text if i > 0 else ""
+            nxt = tokens[i + 1].text if i + 1 < n else ""
+
+            # A preceding identifier other than `return` means this is a
+            # declaration (`uint64_t time() const`) or a typed declarator,
+            # not a call of the libc function.
+            prev_is_decl = (
+                i > 0 and tokens[i - 1].kind == "id"
+                and tokens[i - 1].text not in ("return", "co_return")
+            )
+            if (
+                tok.text in _RAW_CALLS
+                and nxt == "("
+                and prev not in (".", "->")
+                and not prev_is_decl
+            ):
+                findings.append(
+                    ctx.finding(
+                        tok,
+                        self.name,
+                        f"raw nondeterministic call '{tok.text}()'; route "
+                        "randomness/time through src/base/rng or the obs clock",
+                    )
+                )
+                continue
+
+            if tok.text in _RAW_TYPES and prev not in (".", "->"):
+                findings.append(
+                    ctx.finding(
+                        tok,
+                        self.name,
+                        f"'{tok.text}' bypasses the seeded rng layer; "
+                        "construct generators from src/base/rng seeds",
+                    )
+                )
+                continue
+
+            if (
+                tok.text in _ORDERED_CONTAINERS
+                and nxt == "<"
+                and (prev == "::" or prev in ("", ";", "{", "}", "(", ",", "<"))
+                and first_template_arg_has_pointer(tokens, i + 1)
+            ):
+                findings.append(
+                    ctx.finding(
+                        tok,
+                        self.name,
+                        f"pointer-keyed std::{tok.text} iterates in address "
+                        "order, which ASLR randomizes per run; key by a "
+                        "stable id instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,60 @@
+"""unchecked-status: a Status/Result-returning call whose value is dropped.
+
+Pass 1 indexes every function declared with a `Status`/`Result<...>` return
+type across the lint file set. Pass 2 flags expression statements of the
+form `chain.to.Callee(...);` where Callee is in that index — the value was
+neither tested, propagated (`SILOZ_RETURN_IF_ERROR`), nor bound.
+
+An explicit `(void)` cast is treated as a deliberate, visible discard and is
+not flagged (the cast's close-paren keeps the call off a statement start).
+The `[[nodiscard]]` attribute already catches the plain form at compile
+time inside this repo; the lint exists so the invariant also holds for
+code paths compiled out (platform #ifdefs), templates never instantiated,
+and future types that forget the attribute.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from cpp_util import callee_chain_start, collect_status_functions, is_statement_start
+from engine import FileContext, Finding, ProjectContext
+from lexer import match_paren
+
+
+class UncheckedStatusRule:
+    name = "unchecked-status"
+
+    def collect(self, ctx: FileContext, project: ProjectContext) -> None:
+        state = project.rule_state(self.name)
+        state.setdefault("status_functions", set()).update(
+            collect_status_functions(ctx.tokens)
+        )
+
+    def run(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        status_functions = project.rule_state(self.name).get("status_functions", set())
+        tokens = ctx.tokens
+        findings: List[Finding] = []
+        for i, tok in enumerate(tokens[:-1]):
+            if tok.kind != "id" or tok.text not in status_functions:
+                continue
+            if tokens[i + 1].text != "(":
+                continue
+            start = callee_chain_start(tokens, i)
+            if not is_statement_start(tokens, start):
+                continue
+            close = match_paren(tokens, i + 1)
+            if close < 0 or close + 1 >= len(tokens):
+                continue
+            if tokens[close + 1].text != ";":
+                continue
+            findings.append(
+                ctx.finding(
+                    tok,
+                    self.name,
+                    f"result of Status/Result-returning call '{tok.text}' is "
+                    "discarded; bind it, test .ok(), or propagate with "
+                    "SILOZ_RETURN_IF_ERROR",
+                )
+            )
+        return findings
