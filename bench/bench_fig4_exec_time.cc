@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t channels_per_shard = bench::ChannelsPerShardFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 4: baseline-normalized execution time (Siloz vs Linux/KVM)",
                      DramGeometry{});
@@ -18,6 +19,6 @@ int main(int argc, char** argv) {
   const bool ok = bench::RunFigure(ExecutionTimeWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig4_exec_time",
-                                   threads);
+                                   threads, channels_per_shard);
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -10,18 +10,20 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t channels_per_shard = bench::ChannelsPerShardFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 4 (extended): per-benchmark execution time, Siloz vs baseline", DramGeometry{});
   std::printf("SPEC CPU 2017 subset:\n\n");
   std::vector<WorkloadSpec> spec = SpecCpuWorkloads();
   bool ok = bench::RunFigure(spec, {"baseline", bench::BaselineKernel()},
-                             {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_spec", threads);
+                             {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_spec", threads,
+                             channels_per_shard);
   std::printf("PARSEC 3.0 subset:\n\n");
   std::vector<WorkloadSpec> parsec = ParsecWorkloads();
   ok = bench::RunFigure(parsec, {"baseline", bench::BaselineKernel()},
                         {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_parsec",
-                        threads) &&
+                        threads, channels_per_shard) &&
        ok;
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

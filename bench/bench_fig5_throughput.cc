@@ -18,6 +18,6 @@ int main(int argc, char** argv) {
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput",
-                                   threads);
+                                   threads, bench::ChannelsPerShardFromArgs(argc, argv));
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

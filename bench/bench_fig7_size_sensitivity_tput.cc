@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
                                    {"siloz-1024", bench::SilozKernel(1024)},
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
-                                   5, 42, "fig7_size_tput", threads);
+                                   5, 42, "fig7_size_tput", threads,
+                                   bench::ChannelsPerShardFromArgs(argc, argv));
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

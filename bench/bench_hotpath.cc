@@ -18,7 +18,9 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "src/dram/fault_model.h"
 #include "src/memctl/controller.h"
 #include "src/memctl/engine.h"
+#include "src/memctl/sharded_engine.h"
 
 namespace siloz {
 namespace {
@@ -56,6 +59,9 @@ struct BenchResult {
   double ns_per_op = 0.0;
   uint64_t checksum = 0;
   bool deterministic = true;
+  // Per-shard request counts in shard-plan order (sharded benches only);
+  // deterministic, so the regression script gates them exactly.
+  std::vector<uint64_t> shard_requests;
 };
 
 double NowNs() {
@@ -225,6 +231,68 @@ BenchResult BenchClosedLoop() {
   });
 }
 
+// Sharded end-to-end run: the same decode-once discipline, but over a
+// whole-machine (both sockets) stream served through the per-channel shard
+// path. Single worker — worker count is never observable (DESIGN.md §13), so
+// this checksum stands for every thread count. The per-shard request census
+// is reported alongside and gated exactly by the regression script.
+BenchResult BenchShardedClosedLoop() {
+  constexpr uint64_t kIters = 2'000'000;
+  const SkylakeDecoder decoder(Geometry());
+  std::vector<MemRequest> requests;
+  requests.reserve(kIters);
+  const uint64_t lines = Geometry().total_bytes() / kCacheLineBytes;
+  uint64_t jump_state = 11;
+  uint64_t phys = 0;
+  for (uint64_t i = 0; i < kIters; ++i) {
+    MemRequest request;
+    request.address = *decoder.PhysToMedia(phys);
+    request.is_write = (i & 3) == 3;
+    requests.push_back(request);
+    if (i % 23 == 0) {
+      phys = (NextJump(jump_state) % lines) * kCacheLineBytes;
+    } else {
+      phys = (phys + kCacheLineBytes) % Geometry().total_bytes();
+    }
+  }
+  std::vector<uint64_t> shard_requests;
+  BenchResult result =
+      RunBench("sharded_closed_loop", kIters, [&requests, &shard_requests](Checksum& checksum) {
+        std::vector<std::unique_ptr<MemoryController>> owned;
+        std::vector<MemoryController*> controllers;
+        for (uint32_t socket = 0; socket < Geometry().sockets; ++socket) {
+          owned.push_back(std::make_unique<MemoryController>(Geometry(), socket));
+          controllers.push_back(owned.back().get());
+        }
+        ShardedEngineConfig config;
+        config.engine.max_outstanding = 10;
+        config.engine.compute_ns_per_access = 10.0;
+        config.channels_per_shard = 1;
+        config.threads = 1;
+        const Result<ShardedEngineResult> run =
+            RunShardedClosedLoop(requests, controllers, config);
+        if (!run.ok()) {
+          std::fprintf(stderr, "FATAL: sharded_closed_loop failed: %s\n",
+                       run.error().ToString().c_str());
+          std::abort();
+        }
+        checksum.FoldDouble(run->elapsed_ns);
+        checksum.Fold(run->requests);
+        shard_requests.clear();
+        for (const ShardTelemetry& shard : run->shards) {
+          shard_requests.push_back(shard.requests);
+          checksum.Fold(shard.requests);
+          checksum.FoldDouble(shard.elapsed_ns);
+        }
+        for (const MemoryController* controller : controllers) {
+          checksum.Fold(controller->stats().row_hits);
+          checksum.Fold(controller->stats().row_misses);
+        }
+      });
+  result.shard_requests = std::move(shard_requests);
+  return result;
+}
+
 }  // namespace
 }  // namespace siloz
 
@@ -244,6 +312,7 @@ int main(int argc, char** argv) {
       siloz::BenchActDisturb(),
       siloz::BenchReadEcc(),
       siloz::BenchClosedLoop(),
+      siloz::BenchShardedClosedLoop(),
   };
 
   bool deterministic = true;
@@ -252,8 +321,16 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < results.size(); ++i) {
       const siloz::BenchResult& r = results[i];
       std::printf("%s\"%s\":{\"iters\":%" PRIu64
-                  ",\"ns_per_op\":%.3f,\"checksum\":\"%016" PRIx64 "\"}",
+                  ",\"ns_per_op\":%.3f,\"checksum\":\"%016" PRIx64 "\"",
                   i == 0 ? "" : ",", r.name.c_str(), r.iters, r.ns_per_op, r.checksum);
+      if (!r.shard_requests.empty()) {
+        std::printf(",\"shard_requests\":[");
+        for (size_t s = 0; s < r.shard_requests.size(); ++s) {
+          std::printf("%s%" PRIu64, s == 0 ? "" : ",", r.shard_requests[s]);
+        }
+        std::printf("]");
+      }
+      std::printf("}");
       deterministic &= r.deterministic;
     }
     std::printf("}}\n");

@@ -33,6 +33,21 @@ inline uint32_t ThreadsFromArgs(int argc, char** argv) {
   return 0;
 }
 
+// Parses the `--channels-per-shard N` model knob (DESIGN.md §13): 0 selects
+// the serial reference engine, N >= 1 the sharded engine with N channels per
+// command-queue shard. Unlike --threads this is part of the model
+// configuration — reported times legitimately depend on it — so benches
+// default it to 1 (one shard per channel, the realistic controller shape)
+// and print the value with their telemetry.
+inline uint32_t ChannelsPerShardFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--channels-per-shard") == 0) {
+      return static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 1;
+}
+
 inline std::string StringFromArgs(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) {

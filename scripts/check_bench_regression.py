@@ -7,7 +7,11 @@ Two contracts, enforced at different strengths:
   Any mismatch against the committed baseline is a HARD FAILURE (exit 1):
   an optimization changed what the hot paths compute, not just how fast.
   The benchmark binary itself also exits nonzero if a checksum differs
-  between its own repetitions; that failure is propagated.
+  between its own repetitions; that failure is propagated. Deterministic
+  side-channel fields (today: shard_requests, the per-shard request census
+  of the sharded engine bench) are gated exactly the same way, and a
+  benchmark appearing in the output but not in the baseline is also a hard
+  failure — every bench must be baselined the commit it lands.
 
 - Timings are advisory. Wall-clock depends on the host, so a ns/op outside
   the tolerance band (default +/-25%) prints a warning but still exits 0.
@@ -65,6 +69,15 @@ def main() -> int:
             )
             failed = True
             continue
+        if base.get("shard_requests") != cur.get("shard_requests"):
+            print(
+                f"FAIL: {name}: shard_requests {cur.get('shard_requests')} "
+                f"!= committed {base.get('shard_requests')} "
+                "(the per-shard request census is deterministic; a change means "
+                "the shard plan or the partition changed)"
+            )
+            failed = True
+            continue
         ratio = cur["ns_per_op"] / base["ns_per_op"]
         status = "ok"
         if ratio > 1.0 + args.tolerance:
@@ -77,7 +90,11 @@ def main() -> int:
         )
 
     for name in sorted(set(current) - set(baseline)):
-        print(f"ADVISORY: {name}: not in baseline (add it to {args.baseline})")
+        print(
+            f"FAIL: {name}: not in baseline — every bench must be baselined "
+            f"(add it to {args.baseline})"
+        )
+        failed = True
 
     return 1 if failed else 0
 

@@ -1,9 +1,12 @@
 #include "src/base/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "src/base/check.h"
+#include "src/base/mutex.h"
 
 namespace siloz {
 namespace {
@@ -51,6 +54,50 @@ double Zeta(uint64_t n, double theta) {
   return sum;
 }
 
+// The head sum is O(n) pow calls and dominates sampler construction; the
+// experiment runners rebuild samplers for every trial from a handful of
+// distinct (n, theta) pairs, so memoize it. Thetas come from workload
+// literals, so keying on the exact bit pattern is the right equality.
+class ZetaCache {
+ public:
+  double Get(uint64_t n, double theta) {
+    const uint64_t bits = std::bit_cast<uint64_t>(theta);
+    {
+      MutexLock lock(mutex_);
+      for (const Entry& entry : entries_) {
+        if (entry.n == n && entry.theta_bits == bits) {
+          return entry.value;
+        }
+      }
+    }
+    // Compute outside the lock; a racing duplicate computes the identical
+    // value, and the recheck below keeps the cache entry unique.
+    const double value = Zeta(n, theta);
+    MutexLock lock(mutex_);
+    for (const Entry& entry : entries_) {
+      if (entry.n == n && entry.theta_bits == bits) {
+        return entry.value;
+      }
+    }
+    entries_.push_back(Entry{n, bits, value});
+    return value;
+  }
+
+ private:
+  struct Entry {
+    uint64_t n = 0;
+    uint64_t theta_bits = 0;
+    double value = 0.0;
+  };
+  Mutex mutex_;
+  std::vector<Entry> entries_ GUARDED_BY(mutex_);
+};
+
+ZetaCache& GlobalZetaCache() {
+  static ZetaCache* cache = new ZetaCache();  // leaked: outlives static dtors
+  return *cache;
+}
+
 }  // namespace
 
 ZipfianSampler::ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
@@ -61,9 +108,9 @@ ZipfianSampler::ZipfianSampler(uint64_t n, double theta) : n_(n), theta_(theta) 
   // (the constructor must stay O(1)-ish for multi-GiB footprints).
   constexpr uint64_t kExactLimit = 100000;
   if (n <= kExactLimit) {
-    zetan_ = Zeta(n, theta);
+    zetan_ = GlobalZetaCache().Get(n, theta);
   } else {
-    const double zeta_head = Zeta(kExactLimit, theta);
+    const double zeta_head = GlobalZetaCache().Get(kExactLimit, theta);
     // integral_{kExactLimit}^{n} x^-theta dx
     const double tail = (std::pow(static_cast<double>(n), 1.0 - theta) -
                          std::pow(static_cast<double>(kExactLimit), 1.0 - theta)) /

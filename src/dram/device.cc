@@ -135,29 +135,41 @@ void DramDevice::AdvanceTo(uint64_t now_ns) {
     }
   }
   while (next_ref_ns_ <= now_ns) {
+    if (!trr_config_.enabled || trr_armed_ == 0) {
+      // No tracker holds a count at its threshold, so SelectTargets() would
+      // return empty for every bank: each remaining tick is a pure REF with
+      // no TRR side effects. Take them all at once — idle refresh windows
+      // between hammer patterns are thousands of such ticks per device.
+      const uint64_t pending = (now_ns - next_ref_ns_) / kRefreshIntervalNs + 1;
+      counters_.ref_ticks += pending;
+      next_ref_ns_ += pending * kRefreshIntervalNs;
+      break;
+    }
     ++counters_.ref_ticks;
-    if (trr_config_.enabled) {
-      // Each REF gives every bank's TRR logic a chance to proactively
-      // refresh victims of its hottest tracked aggressors.
-      for (uint32_t bank_key = 0; bank_key < bank_state_.size(); ++bank_key) {
-        for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
-          TrrTracker& tracker = trr_trackers_[bank_key * 2 + static_cast<uint32_t>(side)];
-          if (tracker.tracked_rows() == 0) {
-            continue;
-          }
-          for (uint32_t aggressor : tracker.SelectTargets()) {
-            const auto radius = static_cast<int64_t>(trr_config_.victim_radius);
-            for (int64_t delta = -radius; delta <= radius; ++delta) {
-              const int64_t victim = static_cast<int64_t>(aggressor) + delta;
-              if (victim < 0 || victim >= static_cast<int64_t>(geometry_.rows_per_bank) ||
-                  delta == 0) {
-                continue;
-              }
-              disturbance_.RefreshRow(bank_key, side, static_cast<uint32_t>(victim),
-                                      next_ref_ns_);
-              ++counters_.trr_victim_refreshes;
+    // Each REF gives every bank's TRR logic a chance to proactively refresh
+    // victims of its hottest tracked aggressors. Unarmed trackers are
+    // skipped: SelectTargets() on them returns empty without mutating.
+    for (uint32_t bank_key = 0; bank_key < bank_state_.size(); ++bank_key) {
+      for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
+        TrrTracker& tracker = trr_trackers_[bank_key * 2 + static_cast<uint32_t>(side)];
+        if (!tracker.armed()) {
+          continue;
+        }
+        for (uint32_t aggressor : tracker.SelectTargets()) {
+          const auto radius = static_cast<int64_t>(trr_config_.victim_radius);
+          for (int64_t delta = -radius; delta <= radius; ++delta) {
+            const int64_t victim = static_cast<int64_t>(aggressor) + delta;
+            if (victim < 0 || victim >= static_cast<int64_t>(geometry_.rows_per_bank) ||
+                delta == 0) {
+              continue;
             }
+            disturbance_.RefreshRow(bank_key, side, static_cast<uint32_t>(victim),
+                                    next_ref_ns_);
+            ++counters_.trr_victim_refreshes;
           }
+        }
+        if (!tracker.armed()) {
+          --trr_armed_;
         }
       }
     }
@@ -201,7 +213,10 @@ void DramDevice::Activate(uint32_t rank, uint32_t bank, uint32_t media_row, uint
   for (HalfRowSide side : {HalfRowSide::kA, HalfRowSide::kB}) {
     const uint32_t internal = remapper_.ToInternal(media_row, rank, bank, side);
     if (trr_config_.enabled) {
-      Tracker(rank, bank, side).OnActivate(internal);
+      TrrTracker& tracker = Tracker(rank, bank, side);
+      const bool was_armed = tracker.armed();
+      tracker.OnActivate(internal);
+      trr_armed_ += static_cast<uint32_t>(tracker.armed()) - static_cast<uint32_t>(was_armed);
     }
     flip_scratch_.Clear();
     disturbance_.OnActivate(BankKey(rank, bank), side, internal, now_ns, flip_scratch_);

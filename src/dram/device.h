@@ -167,6 +167,10 @@ class DramDevice {
 
   std::vector<BankState> bank_state_;          // indexed by BankKey
   std::vector<TrrTracker> trr_trackers_;       // indexed by BankKey*2 + side
+  // Number of trackers currently armed (holding a count at act_threshold).
+  // Zero means a REF tick has no TRR work anywhere on the device, letting
+  // AdvanceTo() take whole idle windows in O(1).
+  uint32_t trr_armed_ = 0;
   // row_slots_[BankKey][media_row] -> arena slot; the per-bank index is
   // sized rows_per_bank on the bank's first stored row.
   std::vector<std::vector<uint32_t>> row_slots_;

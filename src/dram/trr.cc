@@ -4,14 +4,29 @@
 
 namespace siloz {
 
+void TrrTracker::Rearm() {
+  armed_ = false;
+  for (const auto& [row, count] : counts_) {
+    if (count >= config_.act_threshold) {
+      armed_ = true;
+      return;
+    }
+  }
+}
+
 void TrrTracker::OnActivate(uint32_t internal_row) {
   auto it = counts_.find(internal_row);
   if (it != counts_.end()) {
-    ++it->second;
+    if (++it->second >= config_.act_threshold) {
+      armed_ = true;
+    }
     return;
   }
   if (counts_.size() < config_.tracker_entries) {
     counts_.emplace(internal_row, 1);
+    if (config_.act_threshold <= 1) {
+      armed_ = true;
+    }
     return;
   }
   // Misra-Gries: a new row with a full table decrements every counter; rows
@@ -24,9 +39,18 @@ void TrrTracker::OnActivate(uint32_t internal_row) {
       ++iter;
     }
   }
+  // A count sitting exactly at the threshold just dropped below it; the
+  // eviction sweep is already O(entries), so the rescan is free by
+  // comparison.
+  if (armed_) {
+    Rearm();
+  }
 }
 
 std::vector<uint32_t> TrrTracker::SelectTargets() {
+  if (!armed_) {
+    return {};
+  }
   std::vector<uint32_t> targets;
   for (uint32_t i = 0; i < config_.targets_per_ref; ++i) {
     auto best = counts_.end();
@@ -42,6 +66,7 @@ std::vector<uint32_t> TrrTracker::SelectTargets() {
     targets.push_back(best->first);
     best->second = 0;  // handled; leave the entry so steady hammering re-arms it
   }
+  Rearm();
   return targets;
 }
 

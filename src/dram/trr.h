@@ -45,9 +45,20 @@ class TrrTracker {
 
   size_t tracked_rows() const { return counts_.size(); }
 
+  // True iff some tracked count has reached act_threshold — i.e. the next
+  // SelectTargets() call would pick a target. Maintained exactly across
+  // every mutation, so REF ticks can skip banks where SelectTargets() would
+  // be a no-op (idle refresh windows between hammer patterns are thousands
+  // of such ticks per bank).
+  bool armed() const { return armed_; }
+
  private:
+  // Recompute armed_ by scanning counts_ (used after bulk decrements).
+  void Rearm();
+
   TrrConfig config_;
   std::unordered_map<uint32_t, uint64_t> counts_;
+  bool armed_ = false;
 };
 
 }  // namespace siloz

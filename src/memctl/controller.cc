@@ -77,6 +77,33 @@ MemoryController::~MemoryController() {
   }
 }
 
+void MemoryController::AbsorbShard(MemoryController& shard) {
+  SILOZ_CHECK(shard.socket_ == socket_);
+  SILOZ_CHECK(shard.geometry_ == geometry_);
+  stats_.requests += shard.stats_.requests;
+  stats_.row_hits += shard.stats_.row_hits;
+  stats_.row_misses += shard.stats_.row_misses;
+  stats_.activates += shard.stats_.activates;
+  stats_.precharges += shard.stats_.precharges;
+  stats_.reads += shard.stats_.reads;
+  stats_.writes += shard.stats_.writes;
+  stats_.ref_tail_hits += shard.stats_.ref_tail_hits;
+  stats_.busy_ns = std::max(stats_.busy_ns, shard.stats_.busy_ns);
+  stats_.total_latency_ns += shard.stats_.total_latency_ns;
+  SILOZ_CHECK(shard.bank_group_counts_.size() == bank_group_counts_.size());
+  for (size_t g = 0; g < bank_group_counts_.size(); ++g) {
+    BankGroupCounts& into = bank_group_counts_[g];
+    BankGroupCounts& from = shard.bank_group_counts_[g];
+    into.act += from.act;
+    into.pre += from.pre;
+    into.rd += from.rd;
+    into.wr += from.wr;
+    into.ref += from.ref;
+    from = BankGroupCounts{};
+  }
+  shard.ResetStats();
+}
+
 void MemoryController::ResetState() {
   std::fill(banks_.begin(), banks_.end(), BankState{});
   std::fill(ranks_.begin(), ranks_.end(), RankState{});

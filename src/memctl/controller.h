@@ -37,6 +37,45 @@ struct MemRequest {
   uint32_t source_socket = 0;
 };
 
+// A request pre-resolved to the controller's internal coordinates: the flat
+// bank/rank indices Serve() would otherwise recompute per call, plus the two
+// flags it reads. 12 bytes against MemRequest's 36 — the sharded engine
+// partitions streams into per-shard batches of these so the serve loop runs
+// multiply-free and the batch fits higher up the cache hierarchy.
+struct DecodedCmd {
+  uint32_t row = 0;
+  uint16_t bank_index = 0;  // SocketBankIndex(geometry, address)
+  uint16_t rank_index = 0;  // flat (channel, dimm, rank) within socket
+  uint8_t channel = 0;      // within socket
+  uint8_t flags = 0;        // kDecodedWrite | kDecodedRemote
+};
+static_assert(sizeof(DecodedCmd) == 12);
+
+inline constexpr uint8_t kDecodedWrite = 0x1;   // request is a write
+inline constexpr uint8_t kDecodedRemote = 0x2;  // issued from the other socket
+
+// Resolves a media address to DecodedCmd coordinates. The single source of
+// the index arithmetic: MemoryController::DecodeCmd and the workload
+// streamer's fused decode pass (TraceStreamer::ForEachDecoded) both call
+// this, so their commands are field-for-field identical by construction.
+inline DecodedCmd DecodeMediaCmd(const DramGeometry& geometry, const MediaAddress& address,
+                                 uint8_t flags) {
+  const uint32_t bank_index = SocketBankIndex(geometry, address);
+  const uint32_t rank_index =
+      (address.channel * geometry.dimms_per_channel + address.dimm) * geometry.ranks_per_dimm +
+      address.rank;
+  SILOZ_DCHECK(bank_index <= UINT16_MAX);
+  SILOZ_DCHECK(rank_index <= UINT16_MAX);
+  SILOZ_DCHECK(address.channel <= UINT8_MAX);
+  DecodedCmd cmd;
+  cmd.row = address.row;
+  cmd.bank_index = static_cast<uint16_t>(bank_index);
+  cmd.rank_index = static_cast<uint16_t>(rank_index);
+  cmd.channel = static_cast<uint8_t>(address.channel);
+  cmd.flags = flags;
+  return cmd;
+}
+
 struct ControllerStats {
   uint64_t requests = 0;
   uint64_t row_hits = 0;
@@ -90,6 +129,24 @@ class MemoryController {
   // engine calls this once per replayed access.
   double Serve(const MemRequest& request, double ready_ns);
 
+  // Pre-resolved form of Serve(): identical arithmetic over coordinates
+  // decoded once by DecodeCmd(). Serve() is a thin wrapper, so the two paths
+  // are bit-identical by construction.
+  double ServeDecoded(const DecodedCmd& cmd, double ready_ns);
+
+  // Resolves a request to this controller's internal coordinates (the
+  // sharded engine's partition pass runs this once per request).
+  DecodedCmd DecodeCmd(const MemRequest& request) const;
+
+  // Folds a shard controller's statistics and lifetime command census into
+  // this controller, then zeroes the shard's copies so its destructor
+  // flushes nothing to the metrics registry (the absorb target owns the
+  // export). Counter fields add; busy_ns takes the max (shards complete
+  // concurrently in simulated time). Callers absorb shards in a fixed order
+  // (DESIGN.md §13), which pins the one order-sensitive fold —
+  // total_latency_ns double summation — to a deterministic sequence.
+  void AbsorbShard(MemoryController& shard);
+
   const ControllerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ControllerStats{}; }
   // Lifetime command counts, indexed by socket-local bank group
@@ -99,6 +156,7 @@ class MemoryController {
   // measurement run).
   void ResetState();
   uint32_t socket() const { return socket_; }
+  const DramGeometry& geometry() const { return geometry_; }
   const DdrTimings& timings() const { return timings_; }
 
  private:
@@ -139,36 +197,41 @@ class MemoryController {
   std::vector<BankGroupCounts> bank_group_counts_;  // lifetime, per bank group
 };
 
-inline double MemoryController::Serve(const MemRequest& request, double ready_ns) {
+inline DecodedCmd MemoryController::DecodeCmd(const MemRequest& request) const {
   SILOZ_DCHECK(request.address.socket == socket_);
+  const auto flags = static_cast<uint8_t>((request.is_write ? kDecodedWrite : 0) |
+                                          (request.source_socket != socket_ ? kDecodedRemote : 0));
+  return DecodeMediaCmd(geometry_, request.address, flags);
+}
+
+inline double MemoryController::Serve(const MemRequest& request, double ready_ns) {
+  return ServeDecoded(DecodeCmd(request), ready_ns);
+}
+
+inline double MemoryController::ServeDecoded(const DecodedCmd& cmd, double ready_ns) {
   ++stats_.requests;
 
   double t = ready_ns;
-  if (request.source_socket != socket_) {
+  if ((cmd.flags & kDecodedRemote) != 0) {
     t += timings_.t_remote_numa;  // interconnect hop before the controller
   }
 
-  const uint32_t bank_index = SocketBankIndex(geometry_, request.address);
-  BankState& bank = banks_[bank_index];
-  BankGroupCounts& group_counts = bank_group_counts_[bank_index / kBanksPerGroup];
-  if (request.is_write) {
+  BankState& bank = banks_[cmd.bank_index];
+  BankGroupCounts& group_counts = bank_group_counts_[cmd.bank_index / kBanksPerGroup];
+  if ((cmd.flags & kDecodedWrite) != 0) {
     ++stats_.writes;
     ++group_counts.wr;
   } else {
     ++stats_.reads;
     ++group_counts.rd;
   }
-  const uint32_t rank_index =
-      (request.address.channel * geometry_.dimms_per_channel + request.address.dimm) *
-          geometry_.ranks_per_dimm +
-      request.address.rank;
-  RankState& rank = ranks_[rank_index];
+  RankState& rank = ranks_[cmd.rank_index];
 
   // Wait for the bank's previous column command to clear.
   t = std::max(t, bank.free_at_ns);
 
   double data_ready;
-  if (bank.open_row == static_cast<int64_t>(request.address.row)) {
+  if (bank.open_row == static_cast<int64_t>(cmd.row)) {
     ++stats_.row_hits;
     data_ready = t + timings_.t_cas;
   } else {
@@ -192,7 +255,7 @@ inline double MemoryController::Serve(const MemRequest& request, double ready_ns
     rank.next = static_cast<uint8_t>((rank.next + 1) % rank.last_acts.size());
     rank.rrd_ready_ns = act_time + timings_.t_rrd;
     bank.act_allowed_ns = act_time + timings_.t_rc();
-    bank.open_row = request.address.row;
+    bank.open_row = cmd.row;
     data_ready = act_time + timings_.t_rcd + timings_.t_cas;
   }
 
@@ -203,7 +266,7 @@ inline double MemoryController::Serve(const MemRequest& request, double ready_ns
   // throughput tax inflating effective bus occupancy by tREFI/(tREFI-tRFC)
   // ~ 4.7%, plus (b) one full-tRFC latency tail per rank per REF epoch
   // (the request unlucky enough to arrive at the head of the blackout).
-  double& bus_free = channel_bus_free_[request.address.channel];
+  double& bus_free = channel_bus_free_[cmd.channel];
   const double burst_start = std::max(data_ready, bus_free);
   const double completion = burst_start + burst_time_;
   bus_free = completion;
@@ -216,7 +279,7 @@ inline double MemoryController::Serve(const MemRequest& request, double ready_ns
   // one REF into a whole-channel stall that real reordering hides.
   double reported = completion;
   if (timings_.model_refresh) {
-    const double shifted = completion + timings_.t_refi - rank_ref_offset_[rank_index];
+    const double shifted = completion + timings_.t_refi - rank_ref_offset_[cmd.rank_index];
     // Per-rank completions are monotone (one channel per rank), so once a
     // tREFI window has been evaluated, every later request landing in the
     // same window is guaranteed to change nothing: either its phase is past

@@ -18,7 +18,10 @@
 #define SILOZ_SRC_MEMCTL_ENGINE_H_
 
 #include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -50,56 +53,116 @@ struct EngineResult {
 
 namespace engine_internal {
 
-// Replace the minimum (root) of a flat binary min-heap with `value` in one
-// traversal: promote the min-child chain into the hole all the way down to a
-// leaf, then bubble `value` up from there (bottom-up heapsort style). Once
-// the engine reaches its MLP limit — the steady state for every request
-// after warmup — each issue retires exactly the oldest completion and
-// inserts one new one. The fresh completion nearly always belongs near a
-// leaf, so the descent needs only the one child-vs-child comparison per
-// level and the bubble-up terminates almost immediately, where a classic
-// pop+push pair pays two traversals with two comparisons per level. The
-// internal array layout can differ from a classic sift-down, but the heap
-// holds the same value multiset either way, so every observed minimum — the
-// only thing the engine reads — is identical.
-inline void ReplaceMin(std::vector<double>& heap, double value) {
-  const size_t n = heap.size();
-  size_t i = 0;
-  while (true) {
-    size_t child = 2 * i + 1;
-    if (child >= n) {
-      break;
-    }
-    const size_t right = child + 1;
-    if (right < n && heap[right] < heap[child]) {
-      child = right;
-    }
-    heap[i] = heap[child];
-    i = child;
-  }
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (heap[parent] <= value) {
-      break;
-    }
-    heap[i] = heap[parent];
-    i = parent;
-  }
-  heap[i] = value;
-}
+// The closed loop observes exactly one property of the in-flight multiset:
+// its minimum (the oldest completion, which frees the issue slot). For the
+// MLP windows real cores sustain (8-16) a linear scan over a flat array is
+// fastest: completion times arrive in near-random order, so tree-walk
+// comparisons are data-dependent, while the scan compiles to conditional
+// moves. The cmov chain is a serial ~2-cycles-per-element dependence though,
+// so for the wide windows the MLC-style saturation probes use (64
+// outstanding) an O(log n) structure wins decisively — hence the low
+// cutover.
+inline constexpr uint32_t kLinearWindowLimit = 16;
 
-inline void SiftUp(std::vector<double>& heap, size_t i) {
-  const double value = heap[i];
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (heap[parent] <= value) {
-      break;
+// Bounded multiset of in-flight completion times exposing its minimum — the
+// one shared window structure behind both the serial engine and the sharded
+// ShardServer. Two representations behind one interface:
+//
+//  - capacity <= kLinearWindowLimit: a flat array min-scanned per query.
+//  - above: a tournament (winner) tree over a power-of-two leaf array padded
+//    with +inf. Internal node j caches the leaf index of the minimum in its
+//    subtree, so MinSlot() is one array read and Replace() walks one
+//    leaf-to-root path of branchless index selections (~log2(capacity)
+//    cmovs). A binary heap's replace-min pays the same depth but with
+//    data-dependent *layout* movement per level; the tree only rewrites its
+//    cached winner indices, and was measured faster on the Fig 5 sweep's
+//    64-wide windows.
+//
+// Either way the window holds the same value multiset and callers observe
+// only minimum *values* (ties between equal minima are irrelevant: replacing
+// either slot yields the same multiset), so engine results are bit-identical
+// across representations and capacities on either side of the cutover
+// behave consistently.
+class CompletionWindow {
+ public:
+  explicit CompletionWindow(uint32_t capacity)
+      : capacity_(capacity), linear_(capacity <= kLinearWindowLimit) {
+    SILOZ_CHECK_GT(capacity, 0u);
+    if (linear_) {
+      values_.reserve(capacity_);
+    } else {
+      leaves_ = std::bit_ceil(static_cast<size_t>(capacity_));
+      values_.assign(leaves_, std::numeric_limits<double>::infinity());
+      winners_.assign(leaves_, 0);
+      // Seed every internal node with the leftmost leaf of its subtree —
+      // consistent with the all-+inf leaves, where the left child wins every
+      // tie.
+      for (size_t j = leaves_ - 1; j >= 1; --j) {
+        winners_[j] =
+            (j >= leaves_ / 2) ? static_cast<uint32_t>(2 * j - leaves_) : winners_[2 * j];
+      }
     }
-    heap[i] = heap[parent];
-    i = parent;
   }
-  heap[i] = value;
-}
+
+  bool full() const { return size_ >= capacity_; }
+
+  // Slot holding the minimum (only meaningful once full()).
+  size_t MinSlot() const {
+    if (!linear_) {
+      return winners_[1];
+    }
+    size_t best = 0;
+    double bestv = values_[0];
+    for (size_t i = 1; i < values_.size(); ++i) {
+      const bool lt = values_[i] < bestv;
+      best = lt ? i : best;
+      bestv = lt ? values_[i] : bestv;
+    }
+    return best;
+  }
+
+  double ValueAt(size_t slot) const { return values_[slot]; }
+
+  void Replace(size_t slot, double value) {
+    values_[slot] = value;
+    if (!linear_) {
+      UpdateFrom(slot);
+    }
+  }
+
+  // Insert into the next free slot (warmup; callers Push only while !full()).
+  void Push(double value) {
+    if (linear_) {
+      values_.push_back(value);
+    } else {
+      values_[size_] = value;
+      UpdateFrom(size_);
+    }
+    ++size_;
+  }
+
+ private:
+  // Replay the matches on the leaf's path to the root. The first level
+  // compares the two leaves directly; every level above selects between two
+  // cached winner indices.
+  void UpdateFrom(size_t leaf) {
+    const size_t base = leaf & ~size_t{1};
+    size_t j = (leaf + leaves_) >> 1;
+    winners_[j] = static_cast<uint32_t>(values_[base + 1] < values_[base] ? base + 1 : base);
+    for (j >>= 1; j >= 1; j >>= 1) {
+      const uint32_t a = winners_[2 * j];
+      const uint32_t b = winners_[2 * j + 1];
+      winners_[j] = values_[b] < values_[a] ? b : a;
+    }
+  }
+
+  uint32_t capacity_;
+  bool linear_;
+  size_t leaves_ = 0;  // bit_ceil(capacity), tree mode only
+  size_t size_ = 0;
+  std::vector<double> values_;    // linear: grows to capacity; tree: +inf-padded leaves
+  std::vector<uint32_t> winners_;  // tree: internal nodes [1, leaves_), leaf index of min
+};
 
 }  // namespace engine_internal
 
@@ -111,9 +174,7 @@ EngineResult RunClosedLoopOver(uint64_t count, NextRequest&& next,
                                std::span<MemoryController* const> controllers,
                                const EngineConfig& config) {
   SILOZ_CHECK_GT(config.max_outstanding, 0u);
-  // Min-heap of in-flight completion times.
-  std::vector<double> in_flight;
-  in_flight.reserve(config.max_outstanding);
+  engine_internal::CompletionWindow window(config.max_outstanding);
   double issue_cursor = 0.0;
   double last_completion = 0.0;
 
@@ -121,16 +182,16 @@ EngineResult RunClosedLoopOver(uint64_t count, NextRequest&& next,
     const MemRequest& request = next();
     SILOZ_DCHECK(request.address.socket < controllers.size());
     double completion;
-    if (in_flight.size() >= config.max_outstanding) {
+    if (window.full()) {
       // The core stalls until a slot frees up; the new request takes the
-      // retired slot (replace-min keeps the heap one traversal per request).
-      issue_cursor = std::max(issue_cursor, in_flight.front());
+      // retired slot.
+      const size_t slot = window.MinSlot();
+      issue_cursor = std::max(issue_cursor, window.ValueAt(slot));
       completion = controllers[request.address.socket]->Serve(request, issue_cursor);
-      engine_internal::ReplaceMin(in_flight, completion);
+      window.Replace(slot, completion);
     } else {
       completion = controllers[request.address.socket]->Serve(request, issue_cursor);
-      in_flight.push_back(completion);
-      engine_internal::SiftUp(in_flight, in_flight.size() - 1);
+      window.Push(completion);
     }
     last_completion = std::max(last_completion, completion);
     issue_cursor += config.compute_ns_per_access;

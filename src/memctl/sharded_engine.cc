@@ -1,0 +1,119 @@
+#include "src/memctl/sharded_engine.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/thread_pool.h"
+#include "src/obs/metrics.h"
+
+namespace siloz {
+namespace {
+
+// One shard's closed loop over a pre-partitioned batch. ShardServer holds
+// the heap discipline, so this is the same arithmetic the fused streaming
+// path runs — a single-channel machine sharded 1-way reproduces the serial
+// engine's timing bit-for-bit.
+EngineResult ServeShard(std::span<const DecodedCmd> batch, MemoryController& controller,
+                        const EngineConfig& config) {
+  ShardServer server(controller, config);
+  for (const DecodedCmd& cmd : batch) {
+    server.Feed(cmd);
+  }
+  return server.result();
+}
+
+}  // namespace
+
+namespace sharded_internal {
+
+Result<ShardedEngineResult> MergeShards(const ShardPlan& plan,
+                                        std::span<std::optional<MemoryController>> shard_controllers,
+                                        std::span<const EngineResult> shard_results,
+                                        std::span<MemoryController* const> controllers,
+                                        uint64_t expected_requests) {
+  SILOZ_CHECK(shard_controllers.size() == plan.shard_count());
+  SILOZ_CHECK(shard_results.size() == plan.shard_count());
+
+  // Fixed-order merge: ascending shard index (socket-major, then channel
+  // block). AbsorbShard zeroes each shard controller, so their destructors
+  // flush nothing — the absorb targets own the metrics export. The
+  // model-domain per-shard census stages through ShardMetrics and folds in
+  // the same shard order, keeping registry contents thread-count-invariant.
+  ShardedEngineResult result;
+  result.shards.reserve(plan.shard_count());
+  obs::Registry& registry = obs::Registry::Global();
+  obs::ShardMetrics staged;
+  for (uint32_t shard = 0; shard < plan.shard_count(); ++shard) {
+    const ControllerStats& stats = shard_controllers[shard]->stats();
+    const std::string prefix = "engine.shard" + std::to_string(shard) + ".";
+    staged.Add(prefix + "requests", stats.requests);
+    staged.Add(prefix + "row_hits", stats.row_hits);
+    staged.Add(prefix + "row_misses", stats.row_misses);
+    controllers[plan.SocketOf(shard)]->AbsorbShard(*shard_controllers[shard]);
+    const EngineResult& served = shard_results[shard];
+    result.elapsed_ns = std::max(result.elapsed_ns, served.elapsed_ns);
+    result.requests += served.requests;
+    ShardTelemetry telemetry;
+    telemetry.socket = plan.SocketOf(shard);
+    telemetry.first_channel = plan.FirstChannelOf(shard);
+    telemetry.channels = plan.ChannelsOf(shard);
+    telemetry.requests = served.requests;
+    telemetry.elapsed_ns = served.elapsed_ns;
+    result.shards.push_back(telemetry);
+  }
+  staged.FoldInto(registry);
+
+  // Conservation checker: partition + serve + merge must neither drop nor
+  // duplicate a request. A violation here means a shard-dispatch bug, not a
+  // model disagreement, so it is an integrity error rather than a CHECK —
+  // the fault-injection battery drives this path deliberately.
+  if (result.requests != expected_requests) {
+    return MakeError(ErrorCode::kIntegrityViolation,
+                     "shard conservation violated: served " +
+                         std::to_string(result.requests) + " of " +
+                         std::to_string(expected_requests) + " requests");
+  }
+  return result;
+}
+
+Result<ShardedEngineResult> RunOnBatches(const ShardPlan& plan,
+                                         std::vector<std::vector<DecodedCmd>>&& batches,
+                                         uint64_t expected_requests,
+                                         std::span<MemoryController* const> controllers,
+                                         const ShardedEngineConfig& config) {
+  SILOZ_CHECK(batches.size() == plan.shard_count());
+  // Fires before any shard serves: an injected dispatch failure must leave
+  // the absorb-target controllers untouched (tested by the sharded stress
+  // battery's fault-injection leg).
+  SILOZ_FAULT_POINT("alloc.shard.dispatch");
+
+  // Worker tasks fill only their own slot; the barrier below makes the
+  // coordinating thread's ordered merge race-free.
+  std::vector<std::optional<MemoryController>> shard_controllers(plan.shard_count());
+  std::vector<EngineResult> shard_results(plan.shard_count());
+  {
+    ThreadPool pool(config.threads);
+    pool.ParallelFor(0, plan.shard_count(), [&](uint64_t shard) {
+      const uint32_t socket = plan.SocketOf(static_cast<uint32_t>(shard));
+      shard_controllers[shard].emplace(controllers[socket]->geometry(), socket,
+                                       controllers[socket]->timings());
+      shard_results[shard] =
+          ServeShard(batches[shard], *shard_controllers[shard], config.engine);
+    });
+  }
+
+  return MergeShards(plan, shard_controllers, shard_results, controllers, expected_requests);
+}
+
+}  // namespace sharded_internal
+
+Result<ShardedEngineResult> RunShardedClosedLoop(std::span<const MemRequest> requests,
+                                                 std::span<MemoryController* const> controllers,
+                                                 const ShardedEngineConfig& config) {
+  const MemRequest* it = requests.data();
+  return RunShardedClosedLoopOver(
+      requests.size(), [&it]() -> const MemRequest& { return *it++; }, controllers, config);
+}
+
+}  // namespace siloz

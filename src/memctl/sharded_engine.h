@@ -1,0 +1,281 @@
+// Sharded closed-loop engine: per-channel command queues served in parallel.
+//
+// The serial engine (engine.h) couples every channel through one MLP window:
+// request i+1 cannot issue until the globally-oldest in-flight request
+// retires, wherever it lives. Real controllers are not built that way —
+// each channel owns an independent command queue, and cores sustain their
+// MLP against the channel actually servicing the miss. The sharded engine
+// models that decomposition (ROADMAP item 4, DESIGN.md §13): the request
+// stream is partitioned by (socket, channel block) into per-shard batches of
+// pre-decoded commands, every shard runs its own closed loop against a
+// shard-private MemoryController, and the per-shard results are merged in a
+// fixed shard order.
+//
+// Determinism contract (DESIGN.md §8/§13): the shard decomposition is a
+// property of the *model configuration* (channels_per_shard), never of the
+// worker count. Shards share no mutable state while serving, and the merge —
+// stats absorption, elapsed fold, telemetry — walks shards in ascending
+// shard index on the coordinating thread. Results are therefore bit-identical
+// for every `threads` value, including 1.
+//
+// Relation to the serial engine: per-bank command subsequences are identical
+// under partition, so row hits/misses, ACT/PRE censuses, and read/write
+// counts match the serial engine exactly (the differential harness in
+// tests/sharded_differential_test.cc pins this). Completion *times* differ
+// by design — per-channel queues against a global window — which is why both
+// engines stay in-tree: serial is the reference semantics, sharded the
+// scalable one.
+#ifndef SILOZ_SRC_MEMCTL_SHARDED_ENGINE_H_
+#define SILOZ_SRC_MEMCTL_SHARDED_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/fault_injector.h"
+#include "src/base/result.h"
+#include "src/memctl/engine.h"
+
+namespace siloz {
+
+struct ShardedEngineConfig {
+  // Per-shard closed-loop parameters: each shard (channel command queue)
+  // sustains its own MLP window and compute gap.
+  EngineConfig engine;
+  // Channels folded into one shard (clamped to [1, channels_per_socket]).
+  // Part of the model configuration: results depend on this knob.
+  uint32_t channels_per_shard = 1;
+  // Workers for the shard serve loop (ThreadPool semantics; 1 = inline).
+  // NOT part of the model: results are bit-identical for every value.
+  uint32_t threads = 1;
+};
+
+// Fixed decomposition of the platform's channels into shards, enumerated
+// socket-major then channel-block — the canonical merge order.
+class ShardPlan {
+ public:
+  ShardPlan(const DramGeometry& geometry, uint32_t sockets, uint32_t channels_per_shard)
+      : channels_per_socket_(geometry.channels_per_socket),
+        channels_per_shard_(
+            std::clamp(channels_per_shard, 1u, geometry.channels_per_socket)),
+        blocks_per_socket_((geometry.channels_per_socket + channels_per_shard_ - 1) /
+                           channels_per_shard_),
+        sockets_(sockets),
+        block_of_channel_(channels_per_socket_) {
+    // ShardOf runs once per command on the sharded hot paths; a prebuilt
+    // channel->block table beats the integer divide it replaces.
+    for (uint32_t channel = 0; channel < channels_per_socket_; ++channel) {
+      block_of_channel_[channel] = channel / channels_per_shard_;
+    }
+  }
+
+  uint32_t shard_count() const { return sockets_ * blocks_per_socket_; }
+  uint32_t blocks_per_socket() const { return blocks_per_socket_; }
+  uint32_t channels_per_shard() const { return channels_per_shard_; }
+
+  uint32_t ShardOf(uint32_t socket, uint32_t channel) const {
+    return socket * blocks_per_socket_ + block_of_channel_[channel];
+  }
+  uint32_t SocketOf(uint32_t shard) const { return shard / blocks_per_socket_; }
+  uint32_t FirstChannelOf(uint32_t shard) const {
+    return (shard % blocks_per_socket_) * channels_per_shard_;
+  }
+  uint32_t ChannelsOf(uint32_t shard) const {
+    return std::min(channels_per_shard_, channels_per_socket_ - FirstChannelOf(shard));
+  }
+
+ private:
+  uint32_t channels_per_socket_;
+  uint32_t channels_per_shard_;
+  uint32_t blocks_per_socket_;
+  uint32_t sockets_;
+  std::vector<uint32_t> block_of_channel_;  // channel -> block (shard within socket)
+};
+
+// Per-shard slice of a run, reported in shard-plan order.
+struct ShardTelemetry {
+  uint32_t socket = 0;
+  uint32_t first_channel = 0;
+  uint32_t channels = 0;
+  uint64_t requests = 0;
+  double elapsed_ns = 0.0;
+};
+
+struct ShardedEngineResult {
+  // Folded in ascending shard order: elapsed is the max over shards (shards
+  // run concurrently in simulated time), requests the sum.
+  double elapsed_ns = 0.0;
+  uint64_t requests = 0;
+  std::vector<ShardTelemetry> shards;
+
+  double bandwidth_gib_per_s(double bytes_per_request = 64.0) const {
+    if (elapsed_ns <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(requests) * bytes_per_request / elapsed_ns *
+           (1e9 / (1024.0 * 1024.0 * 1024.0));
+  }
+};
+
+// One shard's closed loop as an incremental consumer: the serial engine's
+// window discipline (CompletionWindow, see engine.h) against a shard-private
+// controller, fed one pre-decoded command at a time in shard-stream order.
+// Both sharded serve paths — batched (RunOnBatches) and fused streaming
+// (RunShardedFused) — reduce each shard to exactly this sequence of
+// operations, so the two are bit-identical by construction.
+class ShardServer {
+ public:
+  ShardServer(MemoryController& controller, const EngineConfig& config)
+      : controller_(&controller), config_(config), window_(config.max_outstanding) {}
+
+  // Forced inline: Feed is the per-command body of the fused streaming loop
+  // (once per request on the Fig 4 grid), and left to its own devices the
+  // linker folds the out-of-line copy with unrelated identical code, hiding
+  // a call per command inside the hot loop.
+  [[gnu::always_inline]] inline void Feed(const DecodedCmd& cmd) {
+    // Same CompletionWindow arithmetic as RunClosedLoopOver (engine.h): both
+    // track only the minimum of the same multiset, so results match bit for
+    // bit.
+    double completion;
+    if (window_.full()) {
+      const size_t slot = window_.MinSlot();
+      issue_cursor_ = std::max(issue_cursor_, window_.ValueAt(slot));
+      completion = controller_->ServeDecoded(cmd, issue_cursor_);
+      window_.Replace(slot, completion);
+    } else {
+      completion = controller_->ServeDecoded(cmd, issue_cursor_);
+      window_.Push(completion);
+    }
+    last_completion_ = std::max(last_completion_, completion);
+    issue_cursor_ += config_.compute_ns_per_access;
+    ++requests_;
+  }
+
+  EngineResult result() const {
+    EngineResult r;
+    r.elapsed_ns = last_completion_;
+    r.requests = requests_;
+    return r;
+  }
+
+ private:
+  MemoryController* controller_;
+  EngineConfig config_;
+  engine_internal::CompletionWindow window_;  // in-flight completion times
+  double issue_cursor_ = 0.0;
+  double last_completion_ = 0.0;
+  uint64_t requests_ = 0;
+};
+
+namespace sharded_internal {
+
+// Serves the pre-partitioned batches: one shard-private controller + closed
+// loop per batch on a pool of config.threads workers, then the fixed-order
+// merge (AbsorbShard into controllers[socket], elapsed/requests fold,
+// telemetry). Fails without touching `controllers` if the dispatch fault
+// point fires; fails after a full merge if the conservation check —
+// sum of per-shard requests == `expected_requests` — does not hold.
+Result<ShardedEngineResult> RunOnBatches(const ShardPlan& plan,
+                                         std::vector<std::vector<DecodedCmd>>&& batches,
+                                         uint64_t expected_requests,
+                                         std::span<MemoryController* const> controllers,
+                                         const ShardedEngineConfig& config);
+
+// The fixed-order merge shared by every sharded serve path: walks shards in
+// ascending index (socket-major, then channel block) on the calling thread,
+// absorbing each shard controller into controllers[socket], folding elapsed
+// (max) and requests (sum), recording telemetry, and staging + folding the
+// per-shard model-domain census into the global metrics registry. Ends with
+// the conservation check (sum of per-shard requests == expected_requests);
+// a violation is an integrity error, not a CHECK — the fault-injection
+// battery drives that path deliberately.
+Result<ShardedEngineResult> MergeShards(const ShardPlan& plan,
+                                        std::span<std::optional<MemoryController>> shard_controllers,
+                                        std::span<const EngineResult> shard_results,
+                                        std::span<MemoryController* const> controllers,
+                                        uint64_t expected_requests);
+
+}  // namespace sharded_internal
+
+// Serves `count` requests pulled one at a time from `next` (semantics as in
+// RunClosedLoopOver): a serial partition pass decodes each request into its
+// shard's batch, then the shards are served and merged. Controllers are
+// indexed by socket and receive the shards' statistics in shard order.
+template <typename NextRequest>
+Result<ShardedEngineResult> RunShardedClosedLoopOver(
+    uint64_t count, NextRequest&& next, std::span<MemoryController* const> controllers,
+    const ShardedEngineConfig& config) {
+  SILOZ_CHECK(!controllers.empty());
+  const ShardPlan plan(controllers[0]->geometry(), static_cast<uint32_t>(controllers.size()),
+                       config.channels_per_shard);
+  SILOZ_FAULT_POINT("alloc.shard.partition");
+  std::vector<std::vector<DecodedCmd>> batches(plan.shard_count());
+  for (auto& batch : batches) {
+    // Even split plus slack; skewed streams grow geometrically from here.
+    batch.reserve(count / plan.shard_count() + 16);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const MemRequest& request = next();
+    SILOZ_DCHECK(request.address.socket < controllers.size());
+    const uint32_t shard = plan.ShardOf(request.address.socket, request.address.channel);
+    batches[shard].push_back(controllers[request.address.socket]->DecodeCmd(request));
+  }
+  return sharded_internal::RunOnBatches(plan, std::move(batches), count, controllers, config);
+}
+
+// Serves a materialized trace (partition + parallel serve + ordered merge).
+Result<ShardedEngineResult> RunShardedClosedLoop(std::span<const MemRequest> requests,
+                                                 std::span<MemoryController* const> controllers,
+                                                 const ShardedEngineConfig& config);
+
+// Fused decode-and-serve: `for_each` is invoked once with an emit callback
+// `(const DecodedCmd&, uint32_t socket)` and must produce the stream's
+// commands in trace order (TraceStreamer::ForEachDecoded is the canonical
+// producer); each command feeds its shard's closed loop the moment it is
+// produced, with no per-shard batch materialization in between. Inherently
+// single-threaded — the producer is serial — so it is the fast path when
+// the caller parallelizes at a coarser level (e.g. the experiment runner's
+// trial loop) and config.threads is 1. Bit-identical to the batched paths:
+// each shard sees the same per-shard subsequence through the same
+// ShardServer arithmetic, and the merge is the same fixed-order fold.
+// `expected_requests` must equal the number of commands emitted (the
+// conservation check fails the run otherwise).
+template <typename ForEachCmd>
+Result<ShardedEngineResult> RunShardedFused(uint64_t expected_requests, ForEachCmd&& for_each,
+                                            std::span<MemoryController* const> controllers,
+                                            const ShardedEngineConfig& config) {
+  SILOZ_CHECK(!controllers.empty());
+  const ShardPlan plan(controllers[0]->geometry(), static_cast<uint32_t>(controllers.size()),
+                       config.channels_per_shard);
+  // Both fault points of the batched pipeline fire up front: an injected
+  // failure must leave the absorb-target controllers untouched here too.
+  SILOZ_FAULT_POINT("alloc.shard.partition");
+  SILOZ_FAULT_POINT("alloc.shard.dispatch");
+  std::vector<std::optional<MemoryController>> shard_controllers(plan.shard_count());
+  std::vector<ShardServer> servers;
+  servers.reserve(plan.shard_count());
+  for (uint32_t shard = 0; shard < plan.shard_count(); ++shard) {
+    const uint32_t socket = plan.SocketOf(shard);
+    shard_controllers[shard].emplace(controllers[socket]->geometry(), socket,
+                                     controllers[socket]->timings());
+    servers.emplace_back(*shard_controllers[shard], config.engine);
+  }
+  for_each([&](const DecodedCmd& cmd, uint32_t socket) {
+    SILOZ_DCHECK(socket < controllers.size());
+    servers[plan.ShardOf(socket, cmd.channel)].Feed(cmd);
+  });
+  std::vector<EngineResult> shard_results(plan.shard_count());
+  for (uint32_t shard = 0; shard < plan.shard_count(); ++shard) {
+    shard_results[shard] = servers[shard].result();
+  }
+  return sharded_internal::MergeShards(plan, shard_controllers, shard_results, controllers,
+                                       expected_requests);
+}
+
+}  // namespace siloz
+
+#endif  // SILOZ_SRC_MEMCTL_SHARDED_ENGINE_H_

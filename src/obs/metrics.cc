@@ -211,6 +211,25 @@ std::string Registry::ToJson() const {
   return out.str();
 }
 
+void ShardMetrics::Add(const std::string& name, uint64_t delta, Domain domain) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      SILOZ_CHECK(entry.domain == domain) << "domain mismatch for staged metric " << name;
+      entry.value += delta;
+      return;
+    }
+  }
+  entries_.push_back(Entry{name, domain, delta});
+}
+
+void ShardMetrics::FoldInto(Registry& registry) const {
+  for (const Entry& entry : entries_) {
+    if (entry.value > 0) {
+      registry.GetCounter(entry.name, entry.domain).Add(entry.value);
+    }
+  }
+}
+
 bool WriteMetricsJson(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {

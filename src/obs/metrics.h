@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/base/mutex.h"
 
@@ -168,6 +169,33 @@ class Registry {
   std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mutex_);
   std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mutex_);
   std::map<std::string, Entry<Histogram>> histograms_ GUARDED_BY(mutex_);
+};
+
+// Shard-local metric staging for fan-out phases (DESIGN.md §13).
+//
+// A worker task counts into a private ShardMetrics — plain integers, no
+// atomics, no registration mutex — and the coordinator folds every shard's
+// buffer into the registry *after* the barrier, in fixed shard order. The
+// folded values are sums, so they are thread-count-invariant either way;
+// what the staged fold adds is (a) a deterministic registration order for
+// names first created by worker tasks, and (b) zero registry traffic from
+// the hot loops. Entries keep first-touch order; with the shard's metric
+// set small (a handful of names), the linear probe beats a map.
+class ShardMetrics {
+ public:
+  void Add(const std::string& name, uint64_t delta, Domain domain = Domain::kModel);
+
+  // Applies every staged delta to `registry` in first-touch order. Call from
+  // one thread per fold (the coordinator's merge loop).
+  void FoldInto(Registry& registry) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Domain domain = Domain::kModel;
+    uint64_t value = 0;
+  };
+  std::vector<Entry> entries_;
 };
 
 // Serializes Registry::Global() to `path`. Returns false (with a message on

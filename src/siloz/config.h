@@ -54,6 +54,11 @@ struct SilozConfig {
   // the rest are guard rows.
   uint32_t ept_block_row_groups = 32;  // b
   uint32_t ept_row_group_offset = 12;  // o
+
+  // Booting the same configuration twice yields identical platforms (boot is
+  // deterministic), which is what lets the experiment grid share one booted
+  // platform across points that compare equal here.
+  bool operator==(const SilozConfig&) const = default;
 };
 
 // Memory-region classification (§5.1): a page is *unmediated* if the VM can
@@ -78,6 +83,8 @@ struct VmConfig {
   uint64_t mmio_bytes = 0;              // mediated device windows
   uint32_t socket = 0;                  // preferred physical node
   PageSize backing = PageSize::k2M;     // host backing page size (§5.4 relies on 2M)
+
+  bool operator==(const VmConfig&) const = default;
 };
 
 }  // namespace siloz

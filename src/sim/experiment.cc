@@ -1,12 +1,15 @@
 #include "src/sim/experiment.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
 #include "src/memctl/engine.h"
+#include "src/memctl/sharded_engine.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -18,7 +21,8 @@ struct TrialOutcome {
   double elapsed_ns = 0.0;
   double bandwidth_gibs = 0.0;
   double row_hit_rate = 0.0;
-  std::vector<uint64_t> flip_phys;  // sorted
+  std::vector<uint64_t> flip_phys;       // sorted
+  std::vector<uint64_t> shard_requests;  // shard-plan order; empty when serial
 };
 
 // Workload identity + hypervisor variant tag mixed into the jitter stream so
@@ -35,17 +39,135 @@ uint64_t VariantTag(const RunnerConfig& config, const WorkloadSpec& spec) {
   return tag;
 }
 
-// Runs one trial on private state: its own Machine, hypervisor, VM, and
-// noise Rng. Nothing here touches shared mutable state, so trials are safe
-// to run on any thread and the outcome depends only on (config, spec,
-// trial index, noise stream).
-Result<TrialOutcome> RunTrial(const RunnerConfig& config, const WorkloadSpec& spec,
-                              uint32_t trial, Rng noise_rng) {
+// Raw serve numbers for one trial's trace, before jitter is applied.
+struct ServeOutcome {
+  double elapsed_ns = 0.0;
+  uint64_t requests = 0;
+  std::vector<uint64_t> shard_requests;  // shard-plan order; empty when serial
+};
+
+// Serves one trial's trace through the engine selected by
+// config.channels_per_shard (0 = serial reference, >= 1 = sharded;
+// DESIGN.md §13). `controllers` is the per-socket absorb-target set —
+// trial-private in timing mode, the machine's own in fault mode. When
+// `materialized` is non-null the trace is generated up front and returned
+// through it (fault mode consumes it a second time in ReplayDisturbance);
+// otherwise timing-only runs may stream generation straight into the serve
+// loop.
+Result<ServeOutcome> ServeTrial(const RunnerConfig& config, const WorkloadSpec& spec,
+                                const AddressDecoder& decoder, const Vm& vm,
+                                uint64_t trace_seed,
+                                std::span<MemoryController* const> controllers,
+                                std::vector<MemRequest>* materialized) {
+  EngineConfig engine;
+  engine.max_outstanding = spec.mlp;
+  engine.compute_ns_per_access = spec.compute_ns_per_access;
+
+  if (config.channels_per_shard >= 1) {
+    ShardedEngineConfig sharded;
+    sharded.engine = engine;
+    sharded.channels_per_shard = config.channels_per_shard;
+    // Trial-level parallelism already saturates the run's pool; nested shard
+    // workers would only oversubscribe. Thread counts never change results.
+    sharded.threads = 1;
+    Result<ShardedEngineResult> result = [&]() -> Result<ShardedEngineResult> {
+      if (materialized != nullptr) {
+        *materialized =
+            GenerateTrace(spec, decoder, vm.regions(), config.vm.socket, trace_seed);
+        return RunShardedClosedLoop(*materialized, controllers, sharded);
+      }
+      // Timing-only runs take the fused path: the streamer emits
+      // pre-resolved commands straight into the per-shard closed loops —
+      // no MemRequest materialization, no per-shard batch vectors.
+      TraceStreamer stream(spec, decoder, vm.regions(), config.vm.socket, trace_seed);
+      return RunShardedFused(
+          stream.size(), [&stream](auto&& feed) { stream.ForEachDecoded(feed); },
+          controllers, sharded);
+    }();
+    SILOZ_RETURN_IF_ERROR(result);
+    ServeOutcome outcome;
+    outcome.elapsed_ns = result->elapsed_ns;
+    outcome.requests = result->requests;
+    outcome.shard_requests.reserve(result->shards.size());
+    for (const ShardTelemetry& shard : result->shards) {
+      outcome.shard_requests.push_back(shard.requests);
+    }
+    return outcome;
+  }
+
+  // Serial reference engine. A trace that fits in the last-level cache
+  // replays faster split into a tight generation loop plus a tight service
+  // loop; one that spills to DRAM is better fused, which skips the
+  // round-trip through memory entirely. Either path yields the identical
+  // request sequence (TraceStreamer is the single implementation), so this
+  // is purely a throughput heuristic.
+  constexpr uint64_t kFuseThresholdBytes = 24ull << 20;
+  EngineResult served;
+  if (materialized != nullptr) {
+    *materialized =
+        GenerateTrace(spec, decoder, vm.regions(), config.vm.socket, trace_seed);
+    served = RunClosedLoop(*materialized, controllers, engine);
+  } else if (spec.accesses * sizeof(MemRequest) > kFuseThresholdBytes) {
+    TraceStreamer stream(spec, decoder, vm.regions(), config.vm.socket, trace_seed);
+    served = RunClosedLoopOver(
+        stream.size(), [&stream]() -> const MemRequest& { return stream.Next(); },
+        controllers, engine);
+  } else {
+    const std::vector<MemRequest> trace =
+        GenerateTrace(spec, decoder, vm.regions(), config.vm.socket, trace_seed);
+    served = RunClosedLoop(trace, controllers, engine);
+  }
+  ServeOutcome outcome;
+  outcome.elapsed_ns = served.elapsed_ns;
+  outcome.requests = served.requests;
+  return outcome;
+}
+
+TrialOutcome FinishTrial(const RunnerConfig& config, const ServeOutcome& served,
+                         const MemoryController& vm_controller, Rng& noise_rng) {
+  TrialOutcome outcome;
+  const double jitter = 1.0 + config.os_noise_frac * noise_rng.NextGaussian();
+  outcome.elapsed_ns = served.elapsed_ns * jitter;
+  outcome.bandwidth_gibs = static_cast<double>(served.requests) * 64.0 /
+                           outcome.elapsed_ns * (1e9 / (1024.0 * 1024.0 * 1024.0));
+  outcome.row_hit_rate = vm_controller.stats().row_hit_rate();
+  outcome.shard_requests = served.shard_requests;
+  return outcome;
+}
+
+// Timing-mode trial: the booted platform (decoder, VM regions) is shared and
+// immutable; all mutable timing state — the per-socket controllers the serve
+// loop updates — is private to the trial, so trials stay independent with
+// the boot hoisted out of the loop.
+Result<TrialOutcome> RunTimingTrial(const RunnerConfig& config, const WorkloadSpec& spec,
+                                    uint32_t trial, Rng noise_rng,
+                                    const AddressDecoder& decoder, const Vm& vm) {
+  std::vector<std::unique_ptr<MemoryController>> owned;
+  std::vector<MemoryController*> controllers;
+  owned.reserve(config.geometry.sockets);
+  controllers.reserve(config.geometry.sockets);
+  for (uint32_t socket = 0; socket < config.geometry.sockets; ++socket) {
+    owned.push_back(
+        std::make_unique<MemoryController>(config.geometry, socket, config.timings));
+    controllers.push_back(owned.back().get());
+  }
+  const uint64_t trace_seed = config.seed + trial * 7919;
+  Result<ServeOutcome> served =
+      ServeTrial(config, spec, decoder, vm, trace_seed, controllers, nullptr);
+  SILOZ_RETURN_IF_ERROR(served);
+  return FinishTrial(config, *served, *controllers[config.vm.socket], noise_rng);
+}
+
+// Fault-mode trial: boots a whole private Machine because the disturbance
+// devices (and the flips they record) are per-trial state. The trace is
+// materialized once and consumed twice: timing serve, then device replay.
+Result<TrialOutcome> RunFaultTrial(const RunnerConfig& config, const WorkloadSpec& spec,
+                                   uint32_t trial, Rng noise_rng) {
   MachineConfig machine_config;
   machine_config.geometry = config.geometry;
   machine_config.decoder = config.decoder;
   machine_config.timings = config.timings;
-  machine_config.fault_tracking = config.fault_tracking;  // timing fidelity (DESIGN.md §4)
+  machine_config.fault_tracking = true;  // timing fidelity (DESIGN.md §4)
   machine_config.dimm_profiles = config.dimm_profiles;
   Machine machine(machine_config);
 
@@ -56,79 +178,140 @@ Result<TrialOutcome> RunTrial(const RunnerConfig& config, const WorkloadSpec& sp
   Result<Vm*> vm = hypervisor.GetVm(*vm_id);
   SILOZ_RETURN_IF_ERROR(vm);
 
-  EngineConfig engine;
-  engine.max_outstanding = spec.mlp;
-  engine.compute_ns_per_access = spec.compute_ns_per_access;
   const std::vector<MemoryController*> controllers = machine.controllers();
   const uint64_t trace_seed = config.seed + trial * 7919;
   std::vector<MemRequest> trace;
-  EngineResult result;
-  // A trace that fits in the last-level cache replays faster split into a
-  // tight generation loop plus a tight service loop; one that spills to DRAM
-  // is better fused, which skips the round-trip through memory entirely.
-  // Either path yields the identical request sequence (TraceStreamer is the
-  // single implementation), so this is purely a throughput heuristic.
-  constexpr uint64_t kFuseThresholdBytes = 24ull << 20;
-  const bool fuse = !config.fault_tracking &&
-                    spec.accesses * sizeof(MemRequest) > kFuseThresholdBytes;
-  if (fuse) {
-    TraceStreamer stream(spec, machine.decoder(), (*vm)->regions(), config.vm.socket,
-                         trace_seed);
-    result = RunClosedLoopOver(
-        stream.size(), [&stream]() -> const MemRequest& { return stream.Next(); },
-        controllers, engine);
-  } else {
-    // Materialized path; fault tracking always takes it because the trace is
-    // consumed twice (timing run + device replay below).
-    trace = GenerateTrace(spec, machine.decoder(), (*vm)->regions(), config.vm.socket,
-                          trace_seed);
-    result = RunClosedLoop(trace, controllers, engine);
-  }
+  Result<ServeOutcome> served =
+      ServeTrial(config, spec, machine.decoder(), **vm, trace_seed, controllers, &trace);
+  SILOZ_RETURN_IF_ERROR(served);
 
-  TrialOutcome outcome;
-  const double jitter = 1.0 + config.os_noise_frac * noise_rng.NextGaussian();
-  outcome.elapsed_ns = result.elapsed_ns * jitter;
-  outcome.bandwidth_gibs = static_cast<double>(result.requests) * 64.0 / outcome.elapsed_ns *
-                           (1e9 / (1024.0 * 1024.0 * 1024.0));
-  outcome.row_hit_rate = controllers[config.vm.socket]->stats().row_hit_rate();
-  if (config.fault_tracking) {
-    // Replay the trace's activation stream into the disturbance model: a
-    // per-bank open-row tracker mirrors the controller's open-page policy,
-    // so each row *miss* becomes one device ACT (row hits reuse the buffer
-    // and disturb nothing). Deterministic in the trace alone.
-    std::unordered_map<uint64_t, int64_t> open_rows;
-    // Device clocks are monotonic and already advanced by boot-time writes.
-    uint64_t clock_ns = machine.clock_ns();
-    for (const MemRequest& request : trace) {
-      const MediaAddress& media = request.address;
-      const uint64_t bank_key =
-          (((static_cast<uint64_t>(media.socket) * config.geometry.channels_per_socket +
-             media.channel) *
-                config.geometry.dimms_per_channel +
-            media.dimm) *
-               config.geometry.ranks_per_dimm +
-           media.rank) *
-              config.geometry.banks_per_rank +
-          media.bank;
-      int64_t& open_row = open_rows.try_emplace(bank_key, -1).first->second;
-      if (open_row != static_cast<int64_t>(media.row)) {
-        open_row = media.row;
-        machine.device(media.socket, media.channel, media.dimm)
-            .Activate(media.rank, media.bank, media.row, clock_ns);
-        clock_ns += machine.config().act_cost_ns;
-      }
-    }
-    for (const PhysFlip& flip : machine.DrainFlips()) {
-      outcome.flip_phys.push_back(flip.phys);
-    }
-    std::sort(outcome.flip_phys.begin(), outcome.flip_phys.end());
+  TrialOutcome outcome =
+      FinishTrial(config, *served, *controllers[config.vm.socket], noise_rng);
+  // Trials run on pool workers, so the replay itself stays single-threaded
+  // here; the shard decomposition still matches the serve engine's.
+  ReplayDisturbance(machine, trace, config.channels_per_shard, /*threads=*/1);
+  for (const PhysFlip& flip : machine.DrainFlips()) {
+    outcome.flip_phys.push_back(flip.phys);
   }
+  std::sort(outcome.flip_phys.begin(), outcome.flip_phys.end());
   return outcome;
+}
+
+// A booted timing-mode platform: machine + hypervisor + measurement VM.
+// Immutable once built — trials read only the decoder and the VM's region
+// placement, so a platform is shareable across trials, and (in a grid)
+// across whole points whose platform configuration compares equal.
+struct BootedPlatform {
+  explicit BootedPlatform(MachineConfig machine_config)
+      : machine(std::move(machine_config)) {}
+  Machine machine;
+  std::optional<SilozHypervisor> hypervisor;
+  const Vm* vm = nullptr;
+};
+
+Result<std::shared_ptr<const BootedPlatform>> BootPlatform(const RunnerConfig& config) {
+  MachineConfig machine_config;
+  machine_config.geometry = config.geometry;
+  machine_config.decoder = config.decoder;
+  machine_config.timings = config.timings;
+  machine_config.fault_tracking = false;
+  machine_config.dimm_profiles = config.dimm_profiles;
+  auto platform = std::make_shared<BootedPlatform>(std::move(machine_config));
+  platform->hypervisor.emplace(platform->machine.decoder(), platform->machine.phys_memory(),
+                               config.hypervisor);
+  SILOZ_RETURN_IF_ERROR(platform->hypervisor->Boot());
+  Result<VmId> vm_id = platform->hypervisor->CreateVm(config.vm);
+  SILOZ_RETURN_IF_ERROR(vm_id);
+  Result<Vm*> vm = platform->hypervisor->GetVm(*vm_id);
+  SILOZ_RETURN_IF_ERROR(vm);
+  platform->vm = *vm;
+  return std::shared_ptr<const BootedPlatform>(std::move(platform));
+}
+
+// True when two timing-mode configs boot byte-identical platforms: boot
+// depends on the hypervisor configuration, the decoder, the geometry, and
+// the measurement VM. Everything else in RunnerConfig (timings, trials,
+// seed, noise, threads, sharding) only shapes per-trial state that each
+// trial builds privately.
+bool SamePlatformConfig(const RunnerConfig& a, const RunnerConfig& b) {
+  return a.hypervisor == b.hypervisor && a.decoder == b.decoder && a.geometry == b.geometry &&
+         a.vm == b.vm;
 }
 
 }  // namespace
 
-Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+void ReplayDisturbance(Machine& machine, std::span<const MemRequest> trace,
+                       uint32_t channels_per_shard, uint32_t threads) {
+  const DramGeometry& geometry = machine.config().geometry;
+  // Device clocks are monotonic and already advanced by boot-time writes.
+  const uint64_t clock0 = machine.clock_ns();
+  const uint64_t act_cost = machine.config().act_cost_ns;
+  const uint32_t banks_per_socket = geometry.banks_per_socket();
+
+  // Open-row tracker, flat over every bank in the machine (-1 = closed).
+  // Shards touch channel-disjoint index ranges (SocketBankIndex is
+  // channel-major), so one vector serves both the serial and sharded paths.
+  std::vector<int64_t> open_rows(geometry.total_banks(), -1);
+
+  // Timestamps come from the request's *global trace index*, not from an
+  // accumulated clock, so a shard replaying its subsequence computes the
+  // same per-ACT times the serial replay would — the property that makes
+  // the two paths flip-identical. The machine clock itself is not advanced.
+  auto replay_one = [&](uint64_t index) {
+    const MediaAddress& media = trace[index].address;
+    int64_t& open_row =
+        open_rows[media.socket * banks_per_socket + SocketBankIndex(geometry, media)];
+    if (open_row == static_cast<int64_t>(media.row)) {
+      return;  // row hit: buffer reuse, no device ACT
+    }
+    open_row = media.row;
+    machine.device(media.socket, media.channel, media.dimm)
+        .Activate(media.rank, media.bank, media.row, clock0 + index * act_cost);
+  };
+
+  if (channels_per_shard == 0) {
+    for (uint64_t index = 0; index < trace.size(); ++index) {
+      replay_one(index);
+    }
+    return;
+  }
+
+  // Sharded replay: partition trace indices by (socket, channel block), then
+  // replay each shard's subsequence in trace order. Devices and open-row
+  // entries are channel-disjoint across shards, so shard replays commute —
+  // concurrent workers produce the flips the serial replay would.
+  const ShardPlan plan(geometry, geometry.sockets, channels_per_shard);
+  SILOZ_CHECK(trace.size() <= std::numeric_limits<uint32_t>::max());
+  std::vector<std::vector<uint32_t>> shard_indices(plan.shard_count());
+  for (auto& indices : shard_indices) {
+    indices.reserve(trace.size() / plan.shard_count() + 16);
+  }
+  for (uint32_t index = 0; index < trace.size(); ++index) {
+    const MediaAddress& media = trace[index].address;
+    shard_indices[plan.ShardOf(media.socket, media.channel)].push_back(index);
+  }
+  auto replay_shard = [&](uint64_t shard) {
+    for (uint32_t index : shard_indices[shard]) {
+      replay_one(index);
+    }
+  };
+  if (threads <= 1) {
+    for (uint32_t shard = 0; shard < plan.shard_count(); ++shard) {
+      replay_shard(shard);
+    }
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, plan.shard_count(), replay_shard);
+  }
+}
+
+namespace {
+
+// Trial loop over an optionally pre-booted platform. `platform` non-null
+// (timing mode only) skips the boot; the grid passes one platform to every
+// point with an equal platform configuration.
+Result<RunMeasurement> RunWorkloadOn(const RunnerConfig& config, const WorkloadSpec& spec,
+                                     std::shared_ptr<const BootedPlatform> platform) {
   if (!config.trace_out.empty()) {
     obs::Tracer::Global().Enable();
   }
@@ -142,6 +325,16 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
     noise_rngs.push_back(noise_base.Fork(trial));
   }
 
+  // Timing mode boots the platform once (unless the caller shares one);
+  // trials read only its immutable state (decoder LUTs, VM region placement)
+  // and own their timing state. Fault mode boots inside each trial instead
+  // (RunFaultTrial).
+  if (!config.fault_tracking && platform == nullptr) {
+    Result<std::shared_ptr<const BootedPlatform>> booted = BootPlatform(config);
+    SILOZ_RETURN_IF_ERROR(booted);
+    platform = std::move(*booted);
+  }
+
   std::vector<Result<TrialOutcome>> outcomes(config.trials,
                                              Result<TrialOutcome>(TrialOutcome{}));
   PhaseTimer timer("trials");
@@ -153,8 +346,14 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
     obs::TraceSpan span("trials:" + spec.name);
     ProgressMeter progress("trials:" + spec.name, config.trials);
     pool.ParallelFor(0, config.trials, [&](uint64_t trial) {
-      outcomes[trial] =
-          RunTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
+      if (config.fault_tracking) {
+        outcomes[trial] =
+            RunFaultTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial]);
+      } else {
+        outcomes[trial] =
+            RunTimingTrial(config, spec, static_cast<uint32_t>(trial), noise_rngs[trial],
+                           platform->machine.decoder(), *platform->vm);
+      }
       progress.Tick();
     });
     pool_metrics = pool.metrics();
@@ -174,6 +373,15 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
     measurement.row_hit_rate = outcome.row_hit_rate;
     measurement.flip_phys.insert(measurement.flip_phys.end(), outcome.flip_phys.begin(),
                                  outcome.flip_phys.end());
+    if (!outcome.shard_requests.empty()) {
+      if (measurement.shard_requests.empty()) {
+        measurement.shard_requests.assign(outcome.shard_requests.size(), 0);
+      }
+      SILOZ_CHECK(measurement.shard_requests.size() == outcome.shard_requests.size());
+      for (size_t shard = 0; shard < outcome.shard_requests.size(); ++shard) {
+        measurement.shard_requests[shard] += outcome.shard_requests[shard];
+      }
+    }
   }
   measurement.pool = timer.Finish(pool_metrics);
   if (!config.metrics_out.empty()) {
@@ -185,25 +393,66 @@ Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpe
   return measurement;
 }
 
+}  // namespace
+
+Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec) {
+  return RunWorkloadOn(config, spec, nullptr);
+}
+
 Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>& points,
                                                     uint32_t threads,
                                                     PoolPhaseMetrics* metrics) {
   std::vector<Result<RunMeasurement>> runs(points.size(),
                                            Result<RunMeasurement>(RunMeasurement{}));
   PhaseTimer timer("grid");
+
+  // Boot each distinct timing-mode platform configuration exactly once, on
+  // the coordinating thread in point order — a figure grid reuses a handful
+  // of platforms (~2 MB each) across dozens of points, and serializing the
+  // boots here keeps boot-time model metrics thread-count-invariant. A point
+  // whose boot fails records its error and is skipped below; a later point
+  // with the same configuration re-attempts the (deterministic) boot.
+  std::vector<std::shared_ptr<const BootedPlatform>> point_platform(points.size());
+  std::vector<size_t> booted_points;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].config.fault_tracking) {
+      continue;  // fault mode boots per trial; nothing shareable
+    }
+    bool found = false;
+    for (size_t prior : booted_points) {
+      if (SamePlatformConfig(points[prior].config, points[i].config)) {
+        point_platform[i] = point_platform[prior];
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      continue;
+    }
+    Result<std::shared_ptr<const BootedPlatform>> booted = BootPlatform(points[i].config);
+    if (booted.ok()) {
+      point_platform[i] = std::move(*booted);
+      booted_points.push_back(i);
+    } else {
+      runs[i] = booted.error();
+    }
+  }
+
   PoolMetrics pool_metrics;
   {
     ThreadPool pool(threads);
     obs::TraceSpan span("grid");
     ProgressMeter progress("grid", points.size());
     pool.ParallelFor(0, points.size(), [&](uint64_t i) {
-      GridPoint point = points[i];
-      point.config.threads = 1;  // the grid is the only level of parallelism
-      // Writing observability files per point would race and interleave;
-      // the grid's caller writes once after all points complete.
-      point.config.metrics_out.clear();
-      point.config.trace_out.clear();
-      runs[i] = RunWorkload(point.config, point.workload);
+      if (runs[i].ok()) {
+        GridPoint point = points[i];
+        point.config.threads = 1;  // the grid is the only level of parallelism
+        // Writing observability files per point would race and interleave;
+        // the grid's caller writes once after all points complete.
+        point.config.metrics_out.clear();
+        point.config.trace_out.clear();
+        runs[i] = RunWorkloadOn(point.config, point.workload, point_platform[i]);
+      }
       progress.Tick();
     });
     pool_metrics = pool.metrics();

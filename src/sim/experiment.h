@@ -6,15 +6,19 @@
 // with 95% confidence intervals — the quantities the paper's figures plot.
 //
 // Trials are independent by construction and run concurrently on a
-// work-stealing pool (src/base/thread_pool.h): each trial gets its own
-// Machine + hypervisor + controllers and a private Rng forked from the run
-// seed by trial index, and per-trial statistics are merged in trial order.
-// Results are therefore bit-identical for every thread count, including the
-// legacy serial path (threads = 1) — the determinism contract of DESIGN.md §8.
+// work-stealing pool (src/base/thread_pool.h): in timing mode they share
+// only the immutable booted platform (decoder, VM placement) and own private
+// controllers; in fault mode each trial gets a whole Machine (disturbance
+// devices accumulate per-trial state). Every trial draws a private Rng
+// forked from the run seed by trial index, and per-trial statistics are
+// merged in trial order. Results are therefore bit-identical for every
+// thread count, including the legacy serial path (threads = 1) — the
+// determinism contract of DESIGN.md §8.
 #ifndef SILOZ_SRC_SIM_EXPERIMENT_H_
 #define SILOZ_SRC_SIM_EXPERIMENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,14 @@ struct RunnerConfig {
   // Worker threads for the trial loop: 0 = $SILOZ_THREADS or hardware
   // concurrency, 1 = legacy serial path. Any value yields identical results.
   uint32_t threads = 0;
+  // Channel sharding of the engine (DESIGN.md §13). 0 = serial reference
+  // engine: every channel coupled through one global MLP window. N >= 1 =
+  // sharded engine: each block of N channels is an independent command queue
+  // with its own MLP window, and — in fault mode — its own device replay
+  // shard. Part of the *model* configuration: reported times depend on this
+  // knob, but never on `threads` (the sharded decomposition is fixed by the
+  // geometry, not by the worker count).
+  uint32_t channels_per_shard = 1;
   // Run-to-run system jitter applied multiplicatively to elapsed time
   // (scheduler/interrupt noise a real host exhibits); deterministic in seed.
   double os_noise_frac = 0.0015;
@@ -66,13 +78,34 @@ struct RunMeasurement {
   // Fault mode only: flipped physical addresses, sorted within each trial
   // and concatenated in trial order.
   std::vector<uint64_t> flip_phys;
+  // Sharded engine only (channels_per_shard >= 1): requests served per
+  // shard, summed across trials, in shard-plan order (socket-major, then
+  // channel block). Empty for the serial reference engine.
+  std::vector<uint64_t> shard_requests;
   // Scheduler/timing metrics of the trial loop ("trials" phase).
   PoolPhaseMetrics pool;
 };
 
-// Boots a machine + hypervisor per trial, creates the VM, and replays
-// `spec` for config.trials independent traces (concurrently; see above).
+// Runs `spec` for config.trials independent traces (concurrently; see
+// above). In timing mode the machine + hypervisor boot once and trials share
+// only their immutable state (decoder, VM regions), each serving its trace
+// through trial-private controllers; fault mode boots per trial because the
+// disturbance devices accumulate per-trial state.
 Result<RunMeasurement> RunWorkload(const RunnerConfig& config, const WorkloadSpec& spec);
+
+// Replays a request trace's activation stream into a fault-tracking
+// machine's disturbance model: a per-bank open-row tracker mirrors the
+// controller's open-page policy, so each row *miss* becomes one device ACT
+// (row hits reuse the buffer and disturb nothing). ACT timestamps derive
+// from the request's global trace index (machine clock + index * act_cost),
+// so a channel shard can compute its own timestamps without global
+// coordination — which is what makes the sharded replay (channels_per_shard
+// >= 1, shards served on `threads` workers over channel-disjoint devices)
+// flip-identical to the serial one (channels_per_shard == 0) by
+// construction. Deterministic in the trace alone; the machine clock itself
+// is not advanced.
+void ReplayDisturbance(Machine& machine, std::span<const MemRequest> trace,
+                       uint32_t channels_per_shard = 0, uint32_t threads = 1);
 
 // One point of a sweep grid: a full runner configuration plus a workload.
 struct GridPoint {

@@ -121,6 +121,87 @@ class TraceStreamer {
   // locals. Must be the first consumption of the stream.
   void MaterializeAll(MemRequest* out);
 
+  // Stream the trial as controller-resolved commands: invokes
+  // emit(const DecodedCmd&, uint32_t socket) once per access, in trace
+  // order, where the command equals DecodeMediaCmd over the request Next()
+  // would have produced (workloads_test pins the equivalence). This is the
+  // sharded engine's fast path: it skips the MediaAddress round-trip
+  // entirely — on the Skylake cursor's channel-carry step (the common case)
+  // the flat indices advance by two adds instead of re-deriving seven
+  // coordinates and re-multiplying them back together. Must be the first
+  // consumption of the stream.
+  template <typename Emit>
+  void ForEachDecoded(Emit&& emit) {
+    SILOZ_CHECK_EQ(index_, size_t{0});
+    const std::vector<uint32_t>& ops = *ops_;
+    const DramGeometry& geometry = decoder_->geometry();
+    const uint32_t source_socket = request_.source_socket;
+    const VmRegion* last_region = last_region_;
+    auto gpa_to_hpa = [&](uint64_t gpa) {
+      if (gpa - last_region->gpa >= last_region->bytes) {
+        auto it = std::upper_bound(ram_.begin(), ram_.end(), gpa,
+                                   [](uint64_t value, const VmRegion* r) { return value < r->gpa; });
+        SILOZ_CHECK(it != ram_.begin());
+        last_region = *(it - 1);
+        SILOZ_DCHECK(gpa < last_region->gpa + last_region->bytes);
+      }
+      return last_region->hpa + (gpa - last_region->gpa);
+    };
+    if (cursor_) {
+      SkylakeDecoder::LineCursor cursor = *cursor_;
+      // Channel-major strides of the flat indices (see DecodeMediaCmd): when
+      // only the channel coordinate moves, the indices move by exactly these.
+      const auto bank_stride = static_cast<uint16_t>(geometry.banks_per_channel());
+      const auto rank_stride =
+          static_cast<uint16_t>(geometry.dimms_per_channel * geometry.ranks_per_dimm);
+      uint64_t next_hpa = ~uint64_t{0};
+      DecodedCmd cmd;
+      uint32_t socket = 0;
+      auto resync = [&] {
+        const MediaAddress& media = cursor.media();
+        socket = media.socket;
+        const uint8_t flags = cmd.flags;
+        cmd = DecodeMediaCmd(geometry, media, flags);
+      };
+      for (size_t i = 0; i < ops.size(); ++i) {
+        const uint32_t op = ops[i];
+        const uint64_t gpa = static_cast<uint64_t>(op & ~kOpWriteBit) * kCacheLineBytes;
+        const uint64_t hpa = gpa_to_hpa(gpa);
+        if (hpa == next_hpa) [[likely]] {
+          cursor.Advance();
+          if (cursor.media().channel != 0) [[likely]] {
+            // The channel carried without wrapping: every other coordinate
+            // is unchanged, so the flat indices just step one channel over.
+            ++cmd.channel;
+            cmd.bank_index = static_cast<uint16_t>(cmd.bank_index + bank_stride);
+            cmd.rank_index = static_cast<uint16_t>(cmd.rank_index + rank_stride);
+          } else {
+            resync();
+          }
+        } else if (hpa != next_hpa - kCacheLineBytes) {
+          cursor.Reset(hpa);
+          resync();
+        }  // else: repeat of the previous line, cmd already resolved
+        next_hpa = hpa + kCacheLineBytes;
+        cmd.flags = static_cast<uint8_t>(((op & kOpWriteBit) != 0 ? kDecodedWrite : 0) |
+                                         (source_socket != socket ? kDecodedRemote : 0));
+        emit(static_cast<const DecodedCmd&>(cmd), socket);
+      }
+    } else {
+      for (size_t i = 0; i < ops.size(); ++i) {
+        const uint32_t op = ops[i];
+        const uint64_t gpa = static_cast<uint64_t>(op & ~kOpWriteBit) * kCacheLineBytes;
+        const MediaAddress media = *decoder_->PhysToMedia(gpa_to_hpa(gpa));
+        const auto flags =
+            static_cast<uint8_t>(((op & kOpWriteBit) != 0 ? kDecodedWrite : 0) |
+                                 (source_socket != media.socket ? kDecodedRemote : 0));
+        emit(DecodeMediaCmd(geometry, media, flags), media.socket);
+      }
+    }
+    index_ = ops.size();
+    last_region_ = last_region;
+  }
+
  private:
   uint64_t GpaToHpa(uint64_t gpa) {
     // GPA streams are bursty (sequential runs, zipfian hot sets), so the

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 long CountEvents(const std::unordered_map<int, long>& totals_by_vm) {
   long event_count = 0;
@@ -18,4 +19,15 @@ void EmitSorted(const std::unordered_map<int, long>& totals_by_vm) {
   for (const auto& entry : sorted) {
     printf("vm %d: %ld\n", entry.first, entry.second);
   }
+}
+
+// The shard-merge idiom (DESIGN.md §13): per-shard results live in a vector
+// indexed by shard id and are folded in ascending shard order, so the
+// non-associative double sum is a pure function of the shard sequence.
+double MergeShardLatencies(const std::vector<double>& latency_by_shard) {
+  double merged_latency = 0.0;
+  for (size_t shard = 0; shard < latency_by_shard.size(); ++shard) {
+    merged_latency += latency_by_shard[shard];
+  }
+  return merged_latency;
 }

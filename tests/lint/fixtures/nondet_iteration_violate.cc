@@ -16,3 +16,14 @@ double SumRates(const std::unordered_map<int, double>& rate_by_vm) {
   }
   return total;
 }
+
+// Anti-idiom for the shard merge: folding per-shard latency sums in hash
+// order. Double addition is not associative, so the merged total depends on
+// the hash seed — the fold order must be pinned (see the clean fixture).
+double MergeShardLatencies(const std::unordered_map<int, double>& latency_by_shard) {
+  double merged_latency = 0.0;
+  for (const auto& entry : latency_by_shard) {
+    merged_latency += entry.second;
+  }
+  return merged_latency;
+}
