@@ -11,14 +11,15 @@ int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
   const uint32_t channels_per_shard = bench::ChannelsPerShardFromArgs(argc, argv);
+  const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 4: baseline-normalized execution time (Siloz vs Linux/KVM)",
-                     DramGeometry{});
+                     bench::PlatformHeaderGeometry(platform), platform);
   std::printf("Workload models replay memory-access traces with each suite's\n"
               "locality/mix/MLP profile; 5 trials per point (see DESIGN.md).\n\n");
   const bool ok = bench::RunFigure(ExecutionTimeWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig4_exec_time",
-                                   threads, channels_per_shard);
+                                   threads, channels_per_shard, platform);
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -10,14 +10,16 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 5: baseline-normalized throughput (Siloz vs Linux/KVM)",
-                     DramGeometry{});
+                     bench::PlatformHeaderGeometry(platform), platform);
   std::printf("MLC variants are saturated bandwidth probes (64 outstanding, no\n"
               "compute gap); 5 trials per point.\n\n");
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput",
-                                   threads, bench::ChannelsPerShardFromArgs(argc, argv));
+                                   threads, bench::ChannelsPerShardFromArgs(argc, argv),
+                                   platform);
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -10,9 +10,10 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
-  bench::PrintHeader(
-      "Figure 6: Siloz-1024-normalized execution time, subarray size sweep", DramGeometry{});
+  bench::PrintHeader("Figure 6: Siloz-1024-normalized execution time, subarray size sweep",
+                     bench::PlatformHeaderGeometry(platform), platform);
   std::printf("Siloz-512 manages 2x the logical NUMA nodes of Siloz-1024;\n"
               "Siloz-2048 half. 5 trials per point.\n\n");
   const bool ok = bench::RunFigure(ExecutionTimeWorkloads(),
@@ -20,6 +21,6 @@ int main(int argc, char** argv) {
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig6_size_time", threads,
-                                   bench::ChannelsPerShardFromArgs(argc, argv));
+                                   bench::ChannelsPerShardFromArgs(argc, argv), platform);
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

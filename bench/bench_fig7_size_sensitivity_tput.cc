@@ -7,14 +7,15 @@
 int main(int argc, char** argv) {
   using namespace siloz;
   const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 7: Siloz-1024-normalized throughput, subarray size sweep",
-                     DramGeometry{});
+                     bench::PlatformHeaderGeometry(platform), platform);
   const bool ok = bench::RunFigure(ThroughputWorkloads(),
                                    {"siloz-1024", bench::SilozKernel(1024)},
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig7_size_tput", threads,
-                                   bench::ChannelsPerShardFromArgs(argc, argv));
+                                   bench::ChannelsPerShardFromArgs(argc, argv), platform);
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

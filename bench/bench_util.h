@@ -57,6 +57,16 @@ inline std::string StringFromArgs(int argc, char** argv, const char* flag) {
   return "";
 }
 
+// Parses the shared `--platform NAME` model knob: selects a platform from
+// the PlatformDecoder registry (src/addr/platform.h) — decoder family,
+// geometry, DDR-generation semantics, default remap/TRR. Empty (the
+// default) keeps the bench's own configuration, i.e. the Table 2 Skylake
+// server. Like --channels-per-shard this is model configuration: reported
+// numbers legitimately depend on it, so benches print it in their header.
+inline std::string PlatformFromArgs(int argc, char** argv) {
+  return StringFromArgs(argc, argv, "--platform");
+}
+
 // Shared `--metrics-out FILE` / `--trace-out FILE` observability knobs.
 // EnableObsFromArgs turns the tracer on (call before the runs);
 // WriteObsFromArgs writes the requested files (call after the runs, when
@@ -81,10 +91,12 @@ inline bool WriteObsFromArgs(int argc, char** argv) {
   return ok;
 }
 
-inline void PrintHeader(const char* artifact, const DramGeometry& geometry) {
+inline void PrintHeader(const char* artifact, const DramGeometry& geometry,
+                        const std::string& platform = std::string()) {
   std::printf("================================================================\n");
   std::printf("%s\n", artifact);
-  std::printf("Platform (Table 2): %s\n", geometry.ToString().c_str());
+  std::printf("Platform (%s): %s\n", platform.empty() ? "Table 2" : platform.c_str(),
+              geometry.ToString().c_str());
   std::printf("================================================================\n");
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/addr/platform.h"
 #include "src/obs/metrics.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
@@ -22,10 +23,23 @@ struct VariantSpec {
   SilozConfig config;
 };
 
+// Returns the header geometry for `platform` ("" or unknown = the Table 2
+// Skylake default; RunFigure rejects unknown names with a real error).
+inline DramGeometry PlatformHeaderGeometry(const std::string& platform) {
+  const PlatformInfo* info = platform.empty() ? nullptr : FindPlatform(platform);
+  return info != nullptr ? info->geometry : DramGeometry{};
+}
+
 // Runs every workload under `baseline` and each variant; prints one
 // overhead table per variant (normalized to baseline) and geometric means.
 // With SILOZ_RESULTS_DIR set, also appends CSV rows per (variant, workload).
 // Returns false if any run failed.
+//
+// `platform` non-empty selects a registry platform (PlatformFromArgs):
+// every grid point gets the platform's geometry, decoder family, and
+// DDR-generation semantics, with each variant keeping its own subarray-size
+// choice — the channel/bank/DIMM topology the engine shards over is derived
+// from the platform, never assumed to be the Skylake constants.
 //
 // The whole (variant x workload) grid runs on a work-stealing pool, one
 // config per task (`threads` as in RunnerConfig::threads; 1 = serial).
@@ -34,7 +48,8 @@ struct VariantSpec {
 inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantSpec& baseline,
                       const std::vector<VariantSpec>& variants, uint32_t trials = 5,
                       uint64_t seed = 42, const char* experiment = "figure",
-                      uint32_t threads = 0, uint32_t channels_per_shard = 1) {
+                      uint32_t threads = 0, uint32_t channels_per_shard = 1,
+                      const std::string& platform = std::string()) {
   RunnerConfig runner;
   runner.trials = trials;
   runner.seed = seed;
@@ -50,6 +65,15 @@ inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantS
   std::vector<GridPoint> points;
   for (size_t v = 0; v < variants.size() + 1; ++v) {
     runner.hypervisor = (v == 0) ? baseline.config : variants[v - 1].config;
+    if (!platform.empty()) {
+      const Status applied =
+          ApplyPlatform(runner, platform, runner.hypervisor.rows_per_subarray);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "--platform %s: %s\n", platform.c_str(),
+                     applied.error().ToString().c_str());
+        return false;
+      }
+    }
     for (const WorkloadSpec& workload : workloads) {
       points.push_back(GridPoint{runner, workload});
     }

@@ -2,11 +2,16 @@
 // topology, run attack campaigns, compare kernels, and audit isolation.
 //
 // Usage:
-//   silozctl topology [--snc] [--ddr5] [--subarray-rows N]
+//   silozctl topology [--platform NAME] [--snc] [--ddr5] [--subarray-rows N]
 //   silozctl attack   [--baseline] [--patterns N] [--seed N]
 //   silozctl audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]
-//   silozctl run      [workload] [--baseline] [--trials N] [--threads N] [--faults]
-//   silozctl groupof  <phys-address>
+//   silozctl run      [workload] [--platform NAME] [--baseline] [--trials N]
+//                     [--threads N] [--faults]
+//   silozctl groupof  <phys-address> [--platform NAME]
+//
+// --platform selects a registered platform (skylake, cascadelake, zen,
+// ddr5): decoder family, geometry, and DDR-generation semantics together.
+// It replaces the legacy --snc/--ddr5 geometry toggles where both are given.
 //
 // Every command additionally accepts --metrics-out FILE and --trace-out FILE
 // (observability exports; written after the command completes, never mixed
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/addr/platform.h"
 #include "src/attack/blacksmith.h"
 #include "src/audit/auditor.h"
 #include "src/base/units.h"
@@ -60,16 +66,34 @@ std::string FlagString(int argc, char** argv, const char* flag) {
 }
 
 int CmdTopology(int argc, char** argv) {
+  const std::string platform = FlagString(argc, argv, "--platform");
   DramGeometry geometry = HasFlag(argc, argv, "--ddr5") ? Ddr5Geometry() : DramGeometry{};
   SilozConfig config;
-  config.rows_per_subarray =
-      static_cast<uint32_t>(FlagValue(argc, argv, "--subarray-rows", 1024));
   std::unique_ptr<AddressDecoder> decoder;
-  if (HasFlag(argc, argv, "--snc")) {
+  if (!platform.empty()) {
+    const PlatformInfo* info = FindPlatform(platform);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+      return 1;
+    }
+    geometry = info->geometry;
+    geometry.rows_per_subarray = static_cast<uint32_t>(
+        FlagValue(argc, argv, "--subarray-rows", geometry.rows_per_subarray));
+    config.uniform_internal_addressing = info->uniform_internal_addressing;
+    Result<std::unique_ptr<AddressDecoder>> made = info->make(geometry);
+    if (!made.ok()) {
+      std::fprintf(stderr, "platform '%s': %s\n", platform.c_str(),
+                   made.error().ToString().c_str());
+      return 1;
+    }
+    decoder = std::move(*made);
+  } else if (HasFlag(argc, argv, "--snc")) {
     decoder = std::make_unique<SncDecoder>(geometry, 2);
   } else {
     decoder = std::make_unique<SkylakeDecoder>(geometry);
   }
+  config.rows_per_subarray = static_cast<uint32_t>(
+      FlagValue(argc, argv, "--subarray-rows", geometry.rows_per_subarray));
   FlatPhysMemory memory;
   SilozHypervisor hypervisor(*decoder, memory, config);
   if (Status status = hypervisor.Boot(); !status.ok()) {
@@ -195,6 +219,13 @@ int CmdRun(int argc, char** argv) {
   }
   spec->accesses = FlagValue(argc, argv, "--accesses", spec->accesses);
   RunnerConfig config;
+  const std::string platform = FlagString(argc, argv, "--platform");
+  if (!platform.empty()) {
+    if (Status applied = ApplyPlatform(config, platform); !applied.ok()) {
+      std::fprintf(stderr, "--platform: %s\n", applied.error().ToString().c_str());
+      return 1;
+    }
+  }
   config.hypervisor.enabled = !HasFlag(argc, argv, "--baseline");
   config.trials = static_cast<uint32_t>(FlagValue(argc, argv, "--trials", 5));
   config.seed = FlagValue(argc, argv, "--seed", 42);
@@ -205,8 +236,9 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr, "run: %s\n", run.error().ToString().c_str());
     return 1;
   }
-  std::printf("workload=%s kernel=%s trials=%u\n", spec->name.c_str(),
-              config.hypervisor.enabled ? "siloz" : "baseline", config.trials);
+  std::printf("workload=%s kernel=%s platform=%s trials=%u\n", spec->name.c_str(),
+              config.hypervisor.enabled ? "siloz" : "baseline",
+              config.platform.empty() ? "skylake" : config.platform.c_str(), config.trials);
   std::printf("elapsed   : %.3f ms/trial (stddev %.3f)\n", run->elapsed_ns.mean() / 1e6,
               run->elapsed_ns.stddev() / 1e6);
   std::printf("bandwidth : %.3f GiB/s\n", run->bandwidth_gibs.mean());
@@ -219,19 +251,37 @@ int CmdRun(int argc, char** argv) {
 
 int CmdGroupOf(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: silozctl groupof <phys-address>\n");
+    std::fprintf(stderr, "usage: silozctl groupof <phys-address> [--platform NAME]\n");
     return 1;
   }
+  const std::string platform = FlagString(argc, argv, "--platform");
   DramGeometry geometry;
-  SkylakeDecoder decoder(geometry);
-  SubarrayGroupMap map = *SubarrayGroupMap::Build(decoder, geometry.rows_per_subarray);
+  std::unique_ptr<AddressDecoder> decoder;
+  if (!platform.empty()) {
+    const PlatformInfo* info = FindPlatform(platform);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+      return 1;
+    }
+    geometry = info->geometry;
+    Result<std::unique_ptr<AddressDecoder>> made = info->make(geometry);
+    if (!made.ok()) {
+      std::fprintf(stderr, "platform '%s': %s\n", platform.c_str(),
+                   made.error().ToString().c_str());
+      return 1;
+    }
+    decoder = std::move(*made);
+  } else {
+    decoder = std::make_unique<SkylakeDecoder>(geometry);
+  }
+  SubarrayGroupMap map = *SubarrayGroupMap::Build(*decoder, geometry.rows_per_subarray);
   const uint64_t phys = std::strtoull(argv[2], nullptr, 0);
   Result<uint32_t> group = map.GroupOfPhys(phys);
   if (!group.ok()) {
     std::fprintf(stderr, "%s\n", group.error().ToString().c_str());
     return 1;
   }
-  const MediaAddress media = *decoder.PhysToMedia(phys);
+  const MediaAddress media = *decoder->PhysToMedia(phys);
   std::printf("phys 0x%lx -> %s -> subarray group %u (socket %u, subarray %u)\n",
               static_cast<unsigned long>(phys), media.ToString().c_str(), *group,
               map.SocketOfGroup(*group), map.IndexInCluster(*group));
@@ -264,12 +314,15 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: silozctl <command>\n"
-                 "  topology [--snc] [--ddr5] [--subarray-rows N]\n"
+                 "  topology [--platform NAME] [--snc] [--ddr5] [--subarray-rows N]\n"
                  "  attack   [--baseline] [--patterns N] [--seed N]\n"
+                 "  run      [workload] [--platform NAME] [--baseline] [--trials N]\n"
+                 "           [--threads N] [--faults]\n"
                  "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
-                 "  run      [workload] [--baseline] [--trials N] [--threads N] [--faults]\n"
-                 "  groupof  <phys-address>\n"
-                 "common: --metrics-out FILE  write the metrics registry as JSON\n"
+                 "  groupof  <phys-address> [--platform NAME]\n"
+                 "common: --platform NAME     registered platform (skylake, cascadelake,\n"
+                 "                            zen, ddr5): decoder family + geometry\n"
+                 "        --metrics-out FILE  write the metrics registry as JSON\n"
                  "        --trace-out FILE    record + write a Chrome trace-event log\n");
     return 1;
   }

@@ -166,6 +166,7 @@ Result<TrialOutcome> RunFaultTrial(const RunnerConfig& config, const WorkloadSpe
   MachineConfig machine_config;
   machine_config.geometry = config.geometry;
   machine_config.decoder = config.decoder;
+  machine_config.platform = config.platform;
   machine_config.timings = config.timings;
   machine_config.fault_tracking = true;  // timing fidelity (DESIGN.md §4)
   machine_config.dimm_profiles = config.dimm_profiles;
@@ -213,6 +214,7 @@ Result<std::shared_ptr<const BootedPlatform>> BootPlatform(const RunnerConfig& c
   MachineConfig machine_config;
   machine_config.geometry = config.geometry;
   machine_config.decoder = config.decoder;
+  machine_config.platform = config.platform;
   machine_config.timings = config.timings;
   machine_config.fault_tracking = false;
   machine_config.dimm_profiles = config.dimm_profiles;
@@ -234,11 +236,43 @@ Result<std::shared_ptr<const BootedPlatform>> BootPlatform(const RunnerConfig& c
 // seed, noise, threads, sharding) only shapes per-trial state that each
 // trial builds privately.
 bool SamePlatformConfig(const RunnerConfig& a, const RunnerConfig& b) {
-  return a.hypervisor == b.hypervisor && a.decoder == b.decoder && a.geometry == b.geometry &&
-         a.vm == b.vm;
+  return a.hypervisor == b.hypervisor && a.decoder == b.decoder &&
+         a.platform == b.platform && a.geometry == b.geometry && a.vm == b.vm;
 }
 
 }  // namespace
+
+Status ApplyPlatform(RunnerConfig& config, std::string_view platform,
+                     uint32_t rows_per_subarray) {
+  const PlatformInfo* info = FindPlatform(platform);
+  if (info == nullptr) {
+    std::string names;
+    for (const std::string& name : PlatformNames()) {
+      names += names.empty() ? name : ", " + name;
+    }
+    return MakeError(ErrorCode::kInvalidArgument, "unknown platform '" +
+                                                      std::string(platform) +
+                                                      "' (have: " + names + ")");
+  }
+  uint32_t subarray = rows_per_subarray == 0 ? info->geometry.rows_per_subarray
+                                             : rows_per_subarray;
+  if (std::find(info->subarray_sizes.begin(), info->subarray_sizes.end(), subarray) ==
+      info->subarray_sizes.end()) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "platform '" + std::string(platform) + "' has no " +
+                         std::to_string(subarray) + "-row subarray parts");
+  }
+  config.platform = std::string(platform);
+  config.geometry = info->geometry;
+  config.geometry.rows_per_subarray = subarray;
+  config.hypervisor.rows_per_subarray = subarray;
+  config.hypervisor.uniform_internal_addressing = info->uniform_internal_addressing;
+  for (DimmProfile& profile : config.dimm_profiles) {
+    profile.remap = info->remap;
+    profile.trr = info->trr;
+  }
+  return Status::Ok();
+}
 
 void ReplayDisturbance(Machine& machine, std::span<const MemRequest> trace,
                        uint32_t channels_per_shard, uint32_t threads) {

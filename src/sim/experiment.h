@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/result.h"
@@ -34,6 +35,10 @@ namespace siloz {
 struct RunnerConfig {
   SilozConfig hypervisor;                      // baseline vs Siloz-512/1024/2048
   DecoderKind decoder = DecoderKind::kSkylake;
+  // Named platform from the PlatformDecoder registry; empty = the legacy
+  // `decoder`/`geometry` pair. Set via ApplyPlatform (below), which also
+  // seeds geometry, DDR-generation semantics, and the default DIMM profile.
+  std::string platform;
   DramGeometry geometry;
   DdrTimings timings;
   uint32_t trials = 5;
@@ -85,6 +90,20 @@ struct RunMeasurement {
   // Scheduler/timing metrics of the trial loop ("trials" phase).
   PoolPhaseMetrics pool;
 };
+
+// Selects a platform from the PlatformDecoder registry (src/addr/platform.h)
+// into `config`: sets config.platform, seeds config.geometry from the
+// platform default, mirrors the subarray size into the hypervisor config,
+// applies DDR-generation semantics (uniform internal addressing), and
+// rewrites the DIMM profiles' remap/TRR to the platform's (disturbance
+// personalities and names are kept — customize profiles AFTER this call).
+// `rows_per_subarray` 0 selects the platform default; any other value must
+// be one the platform's parts ship with (PlatformInfo::subarray_sizes).
+// Unknown platforms and unsupported subarray sizes are kInvalidArgument.
+// Every platform keeps the determinism contract: reports and model metrics
+// are bit-identical for any --threads value.
+Status ApplyPlatform(RunnerConfig& config, std::string_view platform,
+                     uint32_t rows_per_subarray = 0);
 
 // Runs `spec` for config.trials independent traces (concurrently; see
 // above). In timing mode the machine + hypervisor boot once and trials share

@@ -51,16 +51,24 @@ class Machine::DramBackedMemory final : public PhysMemory {
 
 Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   SILOZ_CHECK(config_.geometry.Validate().ok());
-  switch (config_.decoder) {
-    case DecoderKind::kSkylake:
-      decoder_ = std::make_unique<SkylakeDecoder>(config_.geometry);
-      break;
-    case DecoderKind::kLinear:
-      decoder_ = std::make_unique<LinearDecoder>(config_.geometry);
-      break;
-    case DecoderKind::kSnc2:
-      decoder_ = std::make_unique<SncDecoder>(config_.geometry, 2);
-      break;
+  if (!config_.platform.empty()) {
+    Result<std::unique_ptr<AddressDecoder>> made =
+        MakePlatformDecoder(config_.platform, config_.geometry);
+    SILOZ_CHECK(made.ok()) << "platform '" << config_.platform
+                           << "': " << made.error().ToString();
+    decoder_ = std::move(*made);
+  } else {
+    switch (config_.decoder) {
+      case DecoderKind::kSkylake:
+        decoder_ = std::make_unique<SkylakeDecoder>(config_.geometry);
+        break;
+      case DecoderKind::kLinear:
+        decoder_ = std::make_unique<LinearDecoder>(config_.geometry);
+        break;
+      case DecoderKind::kSnc2:
+        decoder_ = std::make_unique<SncDecoder>(config_.geometry, 2);
+        break;
+    }
   }
   for (uint32_t socket = 0; socket < config_.geometry.sockets; ++socket) {
     controllers_.push_back(

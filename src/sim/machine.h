@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/addr/decoder.h"
+#include "src/addr/platform.h"
 #include "src/addr/subarray_group.h"
 #include "src/dram/device.h"
 #include "src/ept/phys_memory.h"
@@ -39,6 +40,12 @@ struct DimmProfile {
 struct MachineConfig {
   DramGeometry geometry;
   DecoderKind decoder = DecoderKind::kSkylake;
+  // Named platform from the PlatformDecoder registry (src/addr/platform.h).
+  // When non-empty it overrides `decoder`: the machine's mapping comes from
+  // the platform's decoder family applied to `geometry` (the caller is
+  // expected to have seeded `geometry` from the platform's default — see
+  // ApplyPlatform in sim/experiment.h).
+  std::string platform;
   DdrTimings timings;
   bool fault_tracking = false;
   // One profile per DIMM, channel-major within socket ("DIMM A" in channel 0

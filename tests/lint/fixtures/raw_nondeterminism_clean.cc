@@ -19,3 +19,14 @@ uint64_t SeedFromFlag(uint64_t seed, const SimClock& clock_model) {
 }
 
 std::map<int, int> g_hits_by_probe_id;
+
+// Platform-registry idiom (src/addr/platform.h): a string-keyed ORDERED map
+// hands every consumer — test matrices, --help text, CI smoke loops — the
+// names' lexicographic order, independent of ASLR and hashing.
+#include <string>
+
+struct PlatformInfo {
+  int channels_per_socket;
+};
+
+std::map<std::string, PlatformInfo> g_platforms_by_name;

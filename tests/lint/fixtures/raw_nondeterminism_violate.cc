@@ -15,3 +15,11 @@ unsigned SeedFromWallClock() {
 std::random_device g_entropy;
 
 std::map<Probe*, int> g_hits_by_probe;
+
+// A platform registry keyed by object address: iteration order is ASLR's
+// choice, so any matrix built from it reorders between runs.
+struct PlatformInfo {
+  int channels_per_socket;
+};
+
+std::map<PlatformInfo*, const char*> g_platform_names_by_info;

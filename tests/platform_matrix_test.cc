@@ -1,0 +1,273 @@
+// Platform-matrix verification battery: the registry contract plus the
+// decoder round-trip property suite (ISSUE: every registered platform is
+// held to the same bar).
+//
+// For every platform in the PlatformDecoder registry (src/addr/platform.h):
+//  - encode/decode identity (PhysToMedia then MediaToPhys) exhaustively over
+//    the low physical range and over every layout boundary the decoder
+//    family has (socket, region, chunk, group edges);
+//  - decode/encode identity (MediaToPhys then PhysToMedia) over a systematic
+//    sweep of the media coordinate space;
+//  - subarray-group closure for every (platform x subarray size) the
+//    platform's parts ship with: the group map builds, covers the machine
+//    exactly, and every 2 MiB page stays inside one group (§4.2);
+//  - for the XOR-matrix decoder: full GF(2) mask rank (the injectivity
+//    proof) and rejection of a deliberately singular spec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/addr/decoder.h"
+#include "src/addr/platform.h"
+#include "src/addr/subarray_group.h"
+#include "src/addr/xor_decoder.h"
+#include "src/base/rng.h"
+#include "src/base/units.h"
+
+namespace siloz {
+namespace {
+
+std::unique_ptr<AddressDecoder> BuildDecoder(const PlatformInfo& info) {
+  Result<std::unique_ptr<AddressDecoder>> made = info.make(info.geometry);
+  EXPECT_TRUE(made.ok()) << info.name;
+  return std::move(*made);
+}
+
+std::string Label(const PlatformInfo& info, uint64_t phys) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " phys=0x%llx",
+                static_cast<unsigned long long>(phys));
+  return info.name + buffer;
+}
+
+TEST(PlatformRegistryTest, HasTheFourPlatformsInLexicographicOrder) {
+  const std::vector<std::string> names = PlatformNames();
+  const std::vector<std::string> expected = {"cascadelake", "ddr5", "skylake", "zen"};
+  EXPECT_EQ(names, expected);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PlatformRegistryTest, EveryEntryIsWellFormed) {
+  for (const auto& [name, info] : PlatformRegistry()) {
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.description.empty()) << name;
+    EXPECT_NE(info.make, nullptr) << name;
+    EXPECT_TRUE(info.geometry.Validate().ok()) << name;
+    ASSERT_FALSE(info.subarray_sizes.empty()) << name;
+    // The default geometry's subarray size must itself be a shipped size.
+    EXPECT_NE(std::find(info.subarray_sizes.begin(), info.subarray_sizes.end(),
+                        info.geometry.rows_per_subarray),
+              info.subarray_sizes.end())
+        << name;
+    for (uint32_t rows : info.subarray_sizes) {
+      EXPECT_EQ(info.geometry.rows_per_bank % rows, 0u)
+          << name << " rows_per_subarray=" << rows;
+    }
+  }
+}
+
+TEST(PlatformRegistryTest, LookupsResolveAndUnknownNamesError) {
+  for (const std::string& name : PlatformNames()) {
+    const PlatformInfo* info = FindPlatform(name);
+    ASSERT_NE(info, nullptr) << name;
+    Result<std::unique_ptr<AddressDecoder>> made = MakePlatformDecoder(name);
+    ASSERT_TRUE(made.ok()) << name;
+    EXPECT_EQ((*made)->geometry().total_bytes(), info->geometry.total_bytes()) << name;
+  }
+  EXPECT_EQ(FindPlatform("sapphire"), nullptr);
+  Result<std::unique_ptr<AddressDecoder>> unknown = MakePlatformDecoder("sapphire");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(PlatformRegistryTest, FactoriesRejectOutOfFamilyGeometry) {
+  for (const auto& [name, info] : PlatformRegistry()) {
+    DramGeometry bad = info.geometry;
+    bad.rows_per_bank = 96;  // valid geometry, outside every family here
+    bad.rows_per_subarray = 96;
+    ASSERT_TRUE(bad.Validate().ok());
+    Result<std::unique_ptr<AddressDecoder>> made = info.make(bad);
+    EXPECT_FALSE(made.ok()) << name;
+    if (!made.ok()) {
+      EXPECT_EQ(made.error().code, ErrorCode::kInvalidArgument) << name;
+    }
+  }
+}
+
+// Encode/decode identity, exhaustive at cache-line grain over the low
+// physical range plus every boundary class of the layout.
+TEST(PlatformRoundTripTest, EncodeDecodeIdentityOverLowRangeAndBoundaries) {
+  for (const auto& [name, info] : PlatformRegistry()) {
+    const std::unique_ptr<AddressDecoder> decoder = BuildDecoder(info);
+    const DramGeometry& geometry = info.geometry;
+
+    std::vector<uint64_t> probes;
+    for (uint64_t phys = 0; phys < 2 * kMiB; phys += kCacheLineBytes) {
+      probes.push_back(phys);  // exhaustive low range
+    }
+    // Boundary sweep: socket edges, subarray-group-period edges, and the
+    // very last lines of the machine.
+    for (uint32_t socket = 0; socket < geometry.sockets; ++socket) {
+      const uint64_t base = socket * geometry.socket_bytes();
+      for (uint64_t edge :
+           {base, base + geometry.subarray_group_bytes(),
+            base + geometry.socket_bytes() / 2, base + geometry.socket_bytes() - kCacheLineBytes}) {
+        probes.push_back(edge);
+        if (edge >= kCacheLineBytes) {
+          probes.push_back(edge - kCacheLineBytes);
+        }
+      }
+    }
+    probes.push_back(geometry.total_bytes() - kCacheLineBytes);
+
+    for (uint64_t phys : probes) {
+      Result<MediaAddress> media = decoder->PhysToMedia(phys);
+      ASSERT_TRUE(media.ok()) << Label(info, phys);
+      ASSERT_LT(media->socket, geometry.sockets) << Label(info, phys);
+      ASSERT_LT(media->channel, geometry.channels_per_socket) << Label(info, phys);
+      ASSERT_LT(media->dimm, geometry.dimms_per_channel) << Label(info, phys);
+      ASSERT_LT(media->rank, geometry.ranks_per_dimm) << Label(info, phys);
+      ASSERT_LT(media->bank, geometry.banks_per_rank) << Label(info, phys);
+      ASSERT_LT(media->row, geometry.rows_per_bank) << Label(info, phys);
+      ASSERT_LT(media->column, geometry.row_bytes) << Label(info, phys);
+      Result<uint64_t> back = decoder->MediaToPhys(*media);
+      ASSERT_TRUE(back.ok()) << Label(info, phys);
+      ASSERT_EQ(*back, phys) << Label(info, phys) << " -> " << media->ToString();
+    }
+
+    // One past the end must be an error, never a wrapped address.
+    EXPECT_FALSE(decoder->PhysToMedia(geometry.total_bytes()).ok()) << name;
+  }
+}
+
+// Decode/encode identity: a systematic sweep of media coordinates must come
+// back bit-identical after MediaToPhys -> PhysToMedia.
+TEST(PlatformRoundTripTest, DecodeEncodeIdentityOverMediaSweep) {
+  for (const auto& [name, info] : PlatformRegistry()) {
+    const std::unique_ptr<AddressDecoder> decoder = BuildDecoder(info);
+    const DramGeometry& geometry = info.geometry;
+    const uint32_t rows[] = {0u, 1u, geometry.rows_per_subarray - 1, geometry.rows_per_subarray,
+                             geometry.rows_per_bank - 1};
+    const uint32_t columns[] = {0u, static_cast<uint32_t>(kCacheLineBytes),
+                                static_cast<uint32_t>(geometry.row_bytes - kCacheLineBytes)};
+    for (uint32_t socket = 0; socket < geometry.sockets; ++socket) {
+      for (uint32_t channel = 0; channel < geometry.channels_per_socket; ++channel) {
+        for (uint32_t dimm = 0; dimm < geometry.dimms_per_channel; ++dimm) {
+          for (uint32_t rank = 0; rank < geometry.ranks_per_dimm; ++rank) {
+            for (uint32_t bank = 0; bank < geometry.banks_per_rank; ++bank) {
+              for (uint32_t row : rows) {
+                for (uint32_t column : columns) {
+                  MediaAddress media;
+                  media.socket = socket;
+                  media.channel = channel;
+                  media.dimm = dimm;
+                  media.rank = rank;
+                  media.bank = bank;
+                  media.row = row;
+                  media.column = column;
+                  Result<uint64_t> phys = decoder->MediaToPhys(media);
+                  ASSERT_TRUE(phys.ok()) << name << " " << media.ToString();
+                  ASSERT_LT(*phys, geometry.total_bytes()) << name << " " << media.ToString();
+                  Result<MediaAddress> again = decoder->PhysToMedia(*phys);
+                  ASSERT_TRUE(again.ok()) << name << " " << media.ToString();
+                  ASSERT_EQ(again->ToString(), media.ToString()) << Label(info, *phys);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The XOR decoder's injectivity proof: the stacked forward mask matrix (and
+// its computed inverse) have full rank over the platform's address width.
+TEST(XorMatrixTest, ZenMasksHaveFullRankBothWays) {
+  XorMaskSpec spec = ZenXorSpec();
+  Result<std::unique_ptr<XorMaskDecoder>> built = XorMaskDecoder::Build(spec);
+  ASSERT_TRUE(built.ok());
+  const XorMaskDecoder& decoder = **built;
+  EXPECT_EQ(decoder.forward_masks().size(), decoder.bits());
+  EXPECT_EQ(decoder.inverse_masks().size(), decoder.bits());
+  EXPECT_EQ(XorMatrixRank(decoder.forward_masks(), decoder.bits()), decoder.bits());
+  EXPECT_EQ(XorMatrixRank(decoder.inverse_masks(), decoder.bits()), decoder.bits());
+}
+
+TEST(XorMatrixTest, SingularSpecIsRejectedNotCrashed) {
+  XorMaskSpec spec = ZenXorSpec();
+  // Make two bank functions identical: the matrix drops one rank and every
+  // media address gains an aliased partner.
+  ASSERT_GE(spec.bank_masks.size(), 2u);
+  spec.bank_masks[1] = spec.bank_masks[0];
+  Result<std::unique_ptr<XorMaskDecoder>> built = XorMaskDecoder::Build(spec);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, ErrorCode::kInvalidArgument);
+  // The deficit is one rank: 2 aliases per media address.
+  EXPECT_NE(built.error().message.find("aliases 2 physical addresses"), std::string::npos)
+      << built.error().message;
+}
+
+TEST(XorMatrixTest, RankHelperCountsIndependentRows) {
+  // A tiny hand-checkable case over 3 bits.
+  EXPECT_EQ(XorMatrixRank({0b001, 0b010, 0b100}, 3), 3u);
+  EXPECT_EQ(XorMatrixRank({0b001, 0b010, 0b011}, 3), 2u);  // row2 = row0 ^ row1
+  EXPECT_EQ(XorMatrixRank({}, 3), 0u);
+}
+
+// Subarray-group closure for every platform x shipped subarray size: the
+// group map builds by probing the real decoder, covers the machine exactly,
+// and sampled 2 MiB pages are contained in single groups.
+TEST(PlatformClosureTest, GroupClosureForEveryPlatformAndSubarraySize) {
+  for (const auto& [name, info] : PlatformRegistry()) {
+    for (uint32_t rows : info.subarray_sizes) {
+      DramGeometry geometry = info.geometry;
+      geometry.rows_per_subarray = rows;
+      Result<std::unique_ptr<AddressDecoder>> made = info.make(geometry);
+      ASSERT_TRUE(made.ok()) << name << " rows=" << rows;
+      const AddressDecoder& decoder = **made;
+
+      Result<SubarrayGroupMap> built = SubarrayGroupMap::Build(decoder, rows);
+      ASSERT_TRUE(built.ok()) << name << " rows=" << rows << ": "
+                              << built.error().ToString();
+      const SubarrayGroupMap& map = *built;
+      EXPECT_EQ(map.groups_per_cluster(), geometry.rows_per_bank / rows)
+          << name << " rows=" << rows;
+      EXPECT_EQ(map.total_groups() * map.group_bytes(), geometry.total_bytes())
+          << name << " rows=" << rows;
+
+      // Extent conservation: every group's ranges sum to exactly one group.
+      uint64_t covered = 0;
+      for (uint32_t group = 0; group < map.total_groups(); ++group) {
+        uint64_t bytes = 0;
+        for (const PhysRange& range : map.RangesOf(group)) {
+          bytes += range.size();
+        }
+        EXPECT_EQ(bytes, map.group_bytes()) << name << " rows=" << rows << " group=" << group;
+        covered += bytes;
+      }
+      EXPECT_EQ(covered, geometry.total_bytes()) << name << " rows=" << rows;
+
+      // 2 MiB page containment on a deterministic sample: the first pages,
+      // a socket edge, and seeded random interior pages.
+      std::vector<uint64_t> pages = {0, 2 * kMiB, geometry.socket_bytes() - 2 * kMiB};
+      Rng rng(0xC105 + rows);
+      for (int i = 0; i < 64; ++i) {
+        pages.push_back(rng.NextBelow(geometry.total_bytes() / (2 * kMiB)) * 2 * kMiB);
+      }
+      for (uint64_t page : pages) {
+        Result<bool> contained = map.PageIsContained(decoder, page, 2 * kMiB);
+        ASSERT_TRUE(contained.ok()) << Label(info, page) << " rows=" << rows;
+        EXPECT_TRUE(*contained) << Label(info, page) << " rows=" << rows;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace siloz

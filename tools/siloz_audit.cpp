@@ -7,7 +7,7 @@
 // dual-socket Skylake platform and fails on any finding.
 //
 // Usage:
-//   siloz_audit [--decoder skylake|snc2|linear] [--ddr5]
+//   siloz_audit [--platform NAME] [--decoder skylake|snc2|linear] [--ddr5]
 //               [--subarray-rows N] [--silicon-rows N] [--host-groups N]
 //               [--ept-block N] [--ept-offset N] [--stride BYTES]
 //               [--random-probes N] [--exhaustive] [--max-findings N]
@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/addr/decoder.h"
+#include "src/addr/platform.h"
 #include "src/audit/auditor.h"
 #include "src/audit/corrupt_decoder.h"
 #include "src/base/units.h"
@@ -64,6 +65,9 @@ const char* FlagString(int argc, char** argv, const char* flag, const char* fall
 int Usage() {
   std::fprintf(stderr,
                "usage: siloz_audit [options]\n"
+               "  --platform NAME                 registered platform (skylake, cascadelake,\n"
+               "                                  zen, ddr5): decoder family, geometry, and\n"
+               "                                  remap semantics; overrides --decoder/--ddr5\n"
                "  --decoder skylake|snc2|linear   platform decoder (default skylake)\n"
                "  --ddr5                          DDR5 geometry + remap semantics\n"
                "  --subarray-rows N               boot parameter (default 1024)\n"
@@ -92,11 +96,11 @@ int Usage() {
 
 // A CI gate must not silently ignore a typo'd flag and report PASS.
 bool ValidateFlags(int argc, char** argv) {
-  static const char* kValueFlags[] = {"--decoder",   "--subarray-rows", "--silicon-rows",
-                                      "--host-groups", "--ept-block",   "--ept-offset",
-                                      "--stride",    "--random-probes", "--max-findings",
-                                      "--corrupt",   "--threads",       "--metrics-out",
-                                      "--trace-out"};
+  static const char* kValueFlags[] = {"--platform",  "--decoder",       "--subarray-rows",
+                                      "--silicon-rows", "--host-groups", "--ept-block",
+                                      "--ept-offset", "--stride",       "--random-probes",
+                                      "--max-findings", "--corrupt",    "--threads",
+                                      "--metrics-out", "--trace-out"};
   static const char* kBoolFlags[] = {"--ddr5",  "--exhaustive", "--scrambling", "--json",
                                      "--fault-sweep", "--help", "-h"};
   for (int i = 1; i < argc; ++i) {
@@ -134,7 +138,18 @@ int main(int argc, char** argv) {
   }
 
   const bool ddr5 = HasFlag(argc, argv, "--ddr5");
-  DramGeometry geometry = ddr5 ? Ddr5Geometry() : DramGeometry{};
+  const std::string platform = FlagString(argc, argv, "--platform", "");
+  const PlatformInfo* platform_info = nullptr;
+  if (!platform.empty()) {
+    platform_info = FindPlatform(platform);
+    if (platform_info == nullptr) {
+      std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+      return Usage();
+    }
+  }
+  DramGeometry geometry = platform_info != nullptr ? platform_info->geometry
+                          : ddr5                   ? Ddr5Geometry()
+                                                   : DramGeometry{};
 
   SilozConfig config;
   config.rows_per_subarray =
@@ -145,12 +160,21 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(FlagValue(argc, argv, "--ept-block", config.ept_block_row_groups));
   config.ept_row_group_offset =
       static_cast<uint32_t>(FlagValue(argc, argv, "--ept-offset", config.ept_row_group_offset));
-  config.uniform_internal_addressing = ddr5;
+  config.uniform_internal_addressing =
+      ddr5 || (platform_info != nullptr && platform_info->uniform_internal_addressing);
   geometry.rows_per_subarray = config.rows_per_subarray;
 
   const std::string decoder_name = FlagString(argc, argv, "--decoder", "skylake");
   std::unique_ptr<AddressDecoder> decoder;
-  if (decoder_name == "skylake") {
+  if (platform_info != nullptr) {
+    Result<std::unique_ptr<AddressDecoder>> made = platform_info->make(geometry);
+    if (!made.ok()) {
+      std::fprintf(stderr, "platform '%s': %s\n", platform.c_str(),
+                   made.error().ToString().c_str());
+      return 1;
+    }
+    decoder = std::move(*made);
+  } else if (decoder_name == "skylake") {
     decoder = std::make_unique<SkylakeDecoder>(geometry);
   } else if (decoder_name == "snc2") {
     decoder = std::make_unique<SncDecoder>(geometry, 2);
@@ -161,7 +185,9 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  RemapConfig remap = ddr5 ? Ddr5RemapConfig() : RemapConfig{};
+  RemapConfig remap = platform_info != nullptr ? platform_info->remap
+                      : ddr5                   ? Ddr5RemapConfig()
+                                               : RemapConfig{};
   remap.vendor_scrambling = HasFlag(argc, argv, "--scrambling");
 
   if (HasFlag(argc, argv, "--fault-sweep")) {
@@ -213,8 +239,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<audit::CorruptedDecoder> corrupted;
   const AddressDecoder* truth = decoder.get();
   if (corrupt != "none") {
-    const uint64_t region =
-        SkylakeDecoder(geometry).region_bytes();  // the mapping-jump period to shift by
+    // The mapping-jump period to shift by: the platform's own for --platform
+    // runs (XOR-matrix decoders have no skx region), the skx region otherwise.
+    const uint64_t region = platform_info != nullptr
+                                ? ShiftedJumpPeriod(*platform_info, geometry)
+                                : SkylakeDecoder(geometry).region_bytes();
     if (corrupt == "shifted-jump") {
       corrupted = std::make_unique<audit::CorruptedDecoder>(
           *decoder, audit::Corruption::kShiftedJump, region);
