@@ -9,8 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace siloz;
-  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);  // 0 = auto-detect
   const uint32_t channels_per_shard = bench::ChannelsPerShardFromArgs(argc, argv);
+  const uint32_t bank_groups_per_queue = bench::BankGroupsPerQueueFromArgs(argc, argv);
   const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 4 (extended): per-benchmark execution time, Siloz vs baseline",
@@ -19,12 +20,12 @@ int main(int argc, char** argv) {
   std::vector<WorkloadSpec> spec = SpecCpuWorkloads();
   bool ok = bench::RunFigure(spec, {"baseline", bench::BaselineKernel()},
                              {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_spec", threads,
-                             channels_per_shard, platform);
+                             channels_per_shard, platform, bank_groups_per_queue);
   std::printf("PARSEC 3.0 subset:\n\n");
   std::vector<WorkloadSpec> parsec = ParsecWorkloads();
   ok = bench::RunFigure(parsec, {"baseline", bench::BaselineKernel()},
                         {{"siloz", bench::SilozKernel()}}, 3, 42, "fig4ext_parsec",
-                        threads, channels_per_shard, platform) &&
+                        threads, channels_per_shard, platform, bank_groups_per_queue) &&
        ok;
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

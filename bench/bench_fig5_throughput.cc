@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace siloz;
-  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);  // 0 = auto-detect
   const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 5: baseline-normalized throughput (Siloz vs Linux/KVM)",
@@ -20,6 +20,6 @@ int main(int argc, char** argv) {
                                    {"baseline", bench::BaselineKernel()},
                                    {{"siloz", bench::SilozKernel()}}, 5, 42, "fig5_throughput",
                                    threads, bench::ChannelsPerShardFromArgs(argc, argv),
-                                   platform);
+                                   platform, bench::BankGroupsPerQueueFromArgs(argc, argv));
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace siloz;
-  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);  // 0 = auto-detect
   const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 6: Siloz-1024-normalized execution time, subarray size sweep",
@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig6_size_time", threads,
-                                   bench::ChannelsPerShardFromArgs(argc, argv), platform);
+                                   bench::ChannelsPerShardFromArgs(argc, argv), platform,
+                                   bench::BankGroupsPerQueueFromArgs(argc, argv));
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

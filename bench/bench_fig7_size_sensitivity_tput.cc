@@ -6,7 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace siloz;
-  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);
+  const uint32_t threads = bench::ThreadsFromArgs(argc, argv);  // 0 = auto-detect
   const std::string platform = bench::PlatformFromArgs(argc, argv);
   bench::EnableObsFromArgs(argc, argv);
   bench::PrintHeader("Figure 7: Siloz-1024-normalized throughput, subarray size sweep",
@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
                                    {{"siloz-512", bench::SilozKernel(512)},
                                     {"siloz-2048", bench::SilozKernel(2048)}},
                                    5, 42, "fig7_size_tput", threads,
-                                   bench::ChannelsPerShardFromArgs(argc, argv), platform);
+                                   bench::ChannelsPerShardFromArgs(argc, argv), platform,
+                                   bench::BankGroupsPerQueueFromArgs(argc, argv));
   return (bench::WriteObsFromArgs(argc, argv) && ok) ? 0 : 1;
 }

@@ -48,6 +48,22 @@ inline uint32_t ChannelsPerShardFromArgs(int argc, char** argv) {
   return 1;
 }
 
+// Parses the `--bank-groups-per-queue N` model knob (DESIGN.md §15): 0
+// keeps one completion window per channel shard (the PR7 shape), N >= 1
+// splits each shard into per-bank-group command queues of N bank groups
+// apiece. Model configuration like --channels-per-shard: completion times
+// depend on it (invariant censuses never do), so benches default it to 1 —
+// independent queues per bank group, the realistic controller front-end —
+// and print the value with their telemetry.
+inline uint32_t BankGroupsPerQueueFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bank-groups-per-queue") == 0) {
+      return static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 1;
+}
+
 inline std::string StringFromArgs(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) {

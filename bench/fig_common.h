@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/addr/platform.h"
+#include "src/base/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
@@ -41,19 +42,32 @@ inline DramGeometry PlatformHeaderGeometry(const std::string& platform) {
 // choice — the channel/bank/DIMM topology the engine shards over is derived
 // from the platform, never assumed to be the Skylake constants.
 //
-// The whole (variant x workload) grid runs on a work-stealing pool, one
-// config per task (`threads` as in RunnerConfig::threads; 1 = serial).
+// The whole (variant x workload x trial) space runs flattened on one
+// work-stealing pool — every grid cell's trials are independent tasks, not a
+// nested serial loop (`threads` as in RunnerConfig::threads; 0 = auto).
 // Tables on stdout are byte-identical for every thread count; the grid's
 // scheduler/timing metrics go to stderr so diffs of the tables stay clean.
 inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantSpec& baseline,
                       const std::vector<VariantSpec>& variants, uint32_t trials = 5,
                       uint64_t seed = 42, const char* experiment = "figure",
                       uint32_t threads = 0, uint32_t channels_per_shard = 1,
-                      const std::string& platform = std::string()) {
+                      const std::string& platform = std::string(),
+                      uint32_t bank_groups_per_queue = 1) {
   RunnerConfig runner;
   runner.trials = trials;
   runner.seed = seed;
   runner.channels_per_shard = channels_per_shard;
+  runner.bank_groups_per_queue = bank_groups_per_queue;
+
+  // The resolved worker count, up front on stderr: --threads 0 means
+  // auto-detect ($SILOZ_THREADS, else the hardware concurrency), and the
+  // figure's wall-clock depends on what that resolves to even though the
+  // stdout tables never do.
+  std::fprintf(stderr,
+               "%s: %u worker threads (--threads %u%s), --channels-per-shard %u, "
+               "--bank-groups-per-queue %u\n",
+               experiment, ResolveThreads(threads), threads,
+               threads == 0 ? " = auto" : "", channels_per_shard, bank_groups_per_queue);
 
   // Grid of (variant, workload) points, baseline first, workload-major per
   // variant — the same order the serial loops used.

@@ -15,7 +15,8 @@
 //
 // Every command additionally accepts --metrics-out FILE and --trace-out FILE
 // (observability exports; written after the command completes, never mixed
-// into stdout).
+// into stdout). --threads 0 (the default) auto-detects: $SILOZ_THREADS if
+// set, else the hardware concurrency.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -320,7 +321,9 @@ int main(int argc, char** argv) {
                  "           [--threads N] [--faults]\n"
                  "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
                  "  groupof  <phys-address> [--platform NAME]\n"
-                 "common: --platform NAME     registered platform (skylake, cascadelake,\n"
+                 "common: --threads N         worker count (0 = auto: $SILOZ_THREADS,\n"
+                 "                            else hardware concurrency)\n"
+                 "        --platform NAME     registered platform (skylake, cascadelake,\n"
                  "                            zen, ddr5): decoder family + geometry\n"
                  "        --metrics-out FILE  write the metrics registry as JSON\n"
                  "        --trace-out FILE    record + write a Chrome trace-event log\n");

@@ -48,12 +48,15 @@ ThreadPool::~ThreadPool() {
     }
   }
   // Flush lifetime totals into the global registry now that the pool is
-  // quiescent. Task counts are thread-count-invariant (one per submitted
-  // unit of work) and join the determinism contract; steals and sleeps
-  // describe host scheduling and stay in the sched domain.
+  // quiescent. All three counters describe how the host scheduled the run,
+  // not what the simulated machine did: callers pick their work
+  // decomposition based on the thread budget (the sharded engine serves
+  // fused with no pool at all when threads <= 1), so even the task count is
+  // scheduler telemetry and stays out of the model-domain census that the
+  // §8 determinism contract holds thread-count-invariant.
   const PoolMetrics totals = metrics();
   if (totals.tasks > 0) {
-    obs::Registry::Global().GetCounter("pool.tasks", obs::Domain::kModel).Add(totals.tasks);
+    obs::Registry::Global().GetCounter("pool.tasks", obs::Domain::kSched).Add(totals.tasks);
   }
   if (totals.steals > 0) {
     obs::Registry::Global().GetCounter("pool.steals", obs::Domain::kSched).Add(totals.steals);

@@ -11,6 +11,14 @@
 // shard-private MemoryController, and the per-shard results are merged in a
 // fixed shard order.
 //
+// One level below the channel (DESIGN.md §15), each shard optionally splits
+// into per-bank-group command queues (bank_groups_per_queue >= 1): every
+// block of bank groups owns its own CompletionWindow, so a request stalls
+// only behind its own queue's oldest in-flight miss while the shard's issue
+// cursor keeps the command stream in order. This models the bank-level
+// parallelism real controller front-ends schedule around, instead of
+// serializing every bank of the shard through one window.
+//
 // Determinism contract (DESIGN.md §8/§13): the shard decomposition is a
 // property of the *model configuration* (channels_per_shard), never of the
 // worker count. Shards share no mutable state while serving, and the merge —
@@ -49,6 +57,16 @@ struct ShardedEngineConfig {
   // Channels folded into one shard (clamped to [1, channels_per_socket]).
   // Part of the model configuration: results depend on this knob.
   uint32_t channels_per_shard = 1;
+  // Sub-channel decomposition of each shard into per-bank-group command
+  // queues (DESIGN.md §15). 0 = legacy: one CompletionWindow for the whole
+  // shard, every bank serialized through it. N >= 1 = each block of N bank
+  // groups (kBanksPerGroup banks apiece) owns an independent queue with its
+  // own completion window; the queues share the shard's issue cursor, so
+  // bank-level parallelism is exploited instead of bottlenecked on the
+  // globally-oldest in-flight request. Part of the model configuration:
+  // completion times depend on this knob — the per-bank command
+  // subsequences, and hence every invariant census, do not.
+  uint32_t bank_groups_per_queue = 0;
   // Workers for the shard serve loop (ThreadPool semantics; 1 = inline).
   // NOT part of the model: results are bit-identical for every value.
   uint32_t threads = 1;
@@ -96,11 +114,27 @@ class ShardPlan {
   std::vector<uint32_t> block_of_channel_;  // channel -> block (shard within socket)
 };
 
+// Bank-group command queues one shard of `channels` channels decomposes
+// into: ceil(banks / (kBanksPerGroup * bank_groups_per_queue)), or 1 when
+// bank_groups_per_queue is 0 (legacy single-window shard). Shared by the
+// ShardServer construction, the merge telemetry, and the tests that pin the
+// regrouping algebra.
+inline uint32_t ShardQueueCount(const DramGeometry& geometry, uint32_t channels,
+                                uint32_t bank_groups_per_queue) {
+  if (bank_groups_per_queue == 0) {
+    return 1;
+  }
+  const uint32_t banks = channels * geometry.banks_per_channel();
+  const uint32_t banks_per_queue = kBanksPerGroup * bank_groups_per_queue;
+  return (banks + banks_per_queue - 1) / banks_per_queue;
+}
+
 // Per-shard slice of a run, reported in shard-plan order.
 struct ShardTelemetry {
   uint32_t socket = 0;
   uint32_t first_channel = 0;
   uint32_t channels = 0;
+  uint32_t queues = 1;  // bank-group command queues (ShardQueueCount)
   uint64_t requests = 0;
   double elapsed_ns = 0.0;
 };
@@ -127,10 +161,61 @@ struct ShardedEngineResult {
 // Both sharded serve paths — batched (RunOnBatches) and fused streaming
 // (RunShardedFused) — reduce each shard to exactly this sequence of
 // operations, so the two are bit-identical by construction.
+//
+// With bank_groups_per_queue >= 1 the shard splits into per-bank-group
+// command queues (BankGroupQueue = one CompletionWindow per block of
+// kBanksPerGroup * bank_groups_per_queue banks): each command stalls only on
+// the oldest in-flight request of *its own* queue, while the shard-wide
+// issue cursor keeps issues in stream order across queues. The queue routing
+// is a pure function of the command's bank index — SocketBankIndex is
+// channel-major, so a shard's banks form one contiguous index range and the
+// route is a single LUT read off a shard-local base. ServeDecoded is still
+// called once per command in the identical stream order, so every invariant
+// census (hits/misses, ACT/PRE, reads/writes) matches the single-window
+// shard and the serial engine exactly; only completion *times* change.
 class ShardServer {
  public:
+  // Legacy shape: one completion window for the whole shard.
   ShardServer(MemoryController& controller, const EngineConfig& config)
       : controller_(&controller), config_(config), window_(config.max_outstanding) {}
+
+  // Sub-channel shape: the shard covers `channels` channels starting at
+  // `first_channel`; its banks split into ShardQueueCount() bank-group
+  // queues. bank_groups_per_queue == 0 — or a grouping coarse enough that
+  // the whole shard is one queue — degrades to the legacy shape, keeping
+  // the single-window Feed path free of the queue indirection (the inline
+  // window, not a one-element vector, is what the fused serve loop's
+  // per-command cost budget is built on).
+  ShardServer(MemoryController& controller, const EngineConfig& config,
+              uint32_t bank_groups_per_queue, uint32_t first_channel, uint32_t channels)
+      : controller_(&controller), config_(config), window_(config.max_outstanding) {
+    if (bank_groups_per_queue == 0) {
+      return;
+    }
+    const DramGeometry& geometry = controller.geometry();
+    const uint32_t queues = ShardQueueCount(geometry, channels, bank_groups_per_queue);
+    if (queues <= 1) {
+      return;
+    }
+    const uint32_t banks_per_channel = geometry.banks_per_channel();
+    bank_base_ = first_channel * banks_per_channel;
+    const uint32_t banks = channels * banks_per_channel;
+    const uint32_t banks_per_queue = kBanksPerGroup * bank_groups_per_queue;
+    queue_windows_.reserve(queues);
+    for (uint32_t queue = 0; queue < queues; ++queue) {
+      queue_windows_.emplace_back(config.max_outstanding);
+    }
+    queue_of_bank_.resize(banks);
+    for (uint32_t bank = 0; bank < banks; ++bank) {
+      queue_of_bank_[bank] = static_cast<uint16_t>(bank / banks_per_queue);
+    }
+    // Raw bases for the per-command route: Feed runs once per request, and
+    // re-deriving data pointers through the vector headers each time costs
+    // measurable ns/op on the fused loop.
+    queue_base_ = queue_windows_.data();
+    route_base_ = queue_of_bank_.data();
+    multi_queue_ = true;
+  }
 
   // Forced inline: Feed is the per-command body of the fused streaming loop
   // (once per request on the Fig 4 grid), and left to its own devices the
@@ -139,16 +224,21 @@ class ShardServer {
   [[gnu::always_inline]] inline void Feed(const DecodedCmd& cmd) {
     // Same CompletionWindow arithmetic as RunClosedLoopOver (engine.h): both
     // track only the minimum of the same multiset, so results match bit for
-    // bit.
+    // bit. The only sub-channel twist is *which* window the command queues
+    // behind.
+    engine_internal::CompletionWindow& window =
+        multi_queue_
+            ? queue_base_[route_base_[static_cast<uint32_t>(cmd.bank_index) - bank_base_]]
+            : window_;
     double completion;
-    if (window_.full()) {
-      const size_t slot = window_.MinSlot();
-      issue_cursor_ = std::max(issue_cursor_, window_.ValueAt(slot));
+    if (window.full()) {
+      const size_t slot = window.MinSlot();
+      issue_cursor_ = std::max(issue_cursor_, window.ValueAt(slot));
       completion = controller_->ServeDecoded(cmd, issue_cursor_);
-      window_.Replace(slot, completion);
+      window.Replace(slot, completion);
     } else {
       completion = controller_->ServeDecoded(cmd, issue_cursor_);
-      window_.Push(completion);
+      window.Push(completion);
     }
     last_completion_ = std::max(last_completion_, completion);
     issue_cursor_ += config_.compute_ns_per_access;
@@ -162,25 +252,85 @@ class ShardServer {
     return r;
   }
 
+  uint32_t queue_count() const {
+    return multi_queue_ ? static_cast<uint32_t>(queue_windows_.size()) : 1u;
+  }
+
  private:
   MemoryController* controller_;
   EngineConfig config_;
-  engine_internal::CompletionWindow window_;  // in-flight completion times
+  // In-flight completion times for the single-queue shapes (legacy, and any
+  // grouping coarse enough to cover the shard): an inline member, so the
+  // dominant Feed path pays no vector indirection.
+  engine_internal::CompletionWindow window_;
+  // Multi-queue shape only: one window per bank-group queue.
+  std::vector<engine_internal::CompletionWindow> queue_windows_;
+  // Shard-local bank index -> queue. Populated only when multi_queue_.
+  std::vector<uint16_t> queue_of_bank_;
+  // Cached .data() of the two vectors above (stable: both are sized once in
+  // the constructor and never resized).
+  engine_internal::CompletionWindow* queue_base_ = nullptr;
+  const uint16_t* route_base_ = nullptr;
+  uint32_t bank_base_ = 0;  // first bank of the shard (SocketBankIndex space)
+  bool multi_queue_ = false;
   double issue_cursor_ = 0.0;
   double last_completion_ = 0.0;
   uint64_t requests_ = 0;
 };
 
+// Shard-partitioned decode of one request stream, staged as a structure of
+// arrays: every shard's commands live in ONE flat shard-major allocation
+// instead of a vector-of-vectors, so the partition pass never reallocates
+// geometrically and the serve loop walks each shard's span contiguously.
+// Two producers:
+//  - BuildFromTrace: two passes over a materialized trace — a routing pass
+//    (shard id per request + per-shard counts), a prefix sum, then one
+//    decode pass that scatters each command straight into its final slot
+//    with the (shared) geometry hoisted out of the per-request path. This
+//    amortizes the platform-decoder arithmetic across the whole batch.
+//  - Stage + Seal: stream-order staging for pull-based producers; Seal runs
+//    the same counting scatter over the staged arrays.
+// Either way the per-shard subsequences are in stream order, identical to
+// what the old per-shard push_back partition produced.
+class DecodeBatch {
+ public:
+  explicit DecodeBatch(uint32_t shard_count) : offsets_(shard_count + 1, 0) {}
+
+  void BuildFromTrace(const ShardPlan& plan, std::span<const MemRequest> requests,
+                      std::span<MemoryController* const> controllers);
+
+  void Reserve(uint64_t count) {
+    staged_.reserve(count);
+    staged_shard_.reserve(count);
+  }
+  void Stage(uint32_t shard, const DecodedCmd& cmd) {
+    staged_shard_.push_back(static_cast<uint16_t>(shard));
+    staged_.push_back(cmd);
+  }
+  void Seal();
+
+  uint32_t shard_count() const { return static_cast<uint32_t>(offsets_.size()) - 1; }
+  uint64_t size() const { return cmds_.size(); }
+  std::span<const DecodedCmd> Shard(uint32_t shard) const {
+    return {cmds_.data() + offsets_[shard], offsets_[shard + 1] - offsets_[shard]};
+  }
+
+ private:
+  std::vector<DecodedCmd> cmds_;    // shard-major after BuildFromTrace/Seal
+  std::vector<uint32_t> offsets_;   // shard -> [start, end) into cmds_
+  std::vector<DecodedCmd> staged_;  // stream order, until Seal()
+  std::vector<uint16_t> staged_shard_;
+};
+
 namespace sharded_internal {
 
-// Serves the pre-partitioned batches: one shard-private controller + closed
-// loop per batch on a pool of config.threads workers, then the fixed-order
-// merge (AbsorbShard into controllers[socket], elapsed/requests fold,
-// telemetry). Fails without touching `controllers` if the dispatch fault
-// point fires; fails after a full merge if the conservation check —
+// Serves the pre-partitioned batch: one shard-private controller + closed
+// loop per shard span on a pool of config.threads workers, then the
+// fixed-order merge (AbsorbShard into controllers[socket], elapsed/requests
+// fold, telemetry). Fails without touching `controllers` if the dispatch
+// fault point fires; fails after a full merge if the conservation check —
 // sum of per-shard requests == `expected_requests` — does not hold.
-Result<ShardedEngineResult> RunOnBatches(const ShardPlan& plan,
-                                         std::vector<std::vector<DecodedCmd>>&& batches,
+Result<ShardedEngineResult> RunOnBatches(const ShardPlan& plan, const DecodeBatch& batch,
                                          uint64_t expected_requests,
                                          std::span<MemoryController* const> controllers,
                                          const ShardedEngineConfig& config);
@@ -197,37 +347,62 @@ Result<ShardedEngineResult> MergeShards(const ShardPlan& plan,
                                         std::span<std::optional<MemoryController>> shard_controllers,
                                         std::span<const EngineResult> shard_results,
                                         std::span<MemoryController* const> controllers,
-                                        uint64_t expected_requests);
+                                        uint64_t expected_requests,
+                                        uint32_t bank_groups_per_queue);
 
 }  // namespace sharded_internal
 
+// Forward declaration: RunShardedClosedLoopOver delegates its single-worker
+// case to the fused path (defined below).
+template <typename ForEachCmd>
+Result<ShardedEngineResult> RunShardedFused(uint64_t expected_requests, ForEachCmd&& for_each,
+                                            std::span<MemoryController* const> controllers,
+                                            const ShardedEngineConfig& config);
+
 // Serves `count` requests pulled one at a time from `next` (semantics as in
-// RunClosedLoopOver): a serial partition pass decodes each request into its
-// shard's batch, then the shards are served and merged. Controllers are
-// indexed by socket and receive the shards' statistics in shard order.
+// RunClosedLoopOver). With one worker (config.threads <= 1) the batch
+// materialization buys nothing — each request decodes and feeds its shard's
+// closed loop directly via the fused path, which is bit-identical by
+// construction. With more workers a serial DecodeBatch partition pass stages
+// the stream, then the shards are served in parallel and merged in fixed
+// order. Controllers are indexed by socket and receive the shards'
+// statistics in shard order.
 template <typename NextRequest>
 Result<ShardedEngineResult> RunShardedClosedLoopOver(
     uint64_t count, NextRequest&& next, std::span<MemoryController* const> controllers,
     const ShardedEngineConfig& config) {
   SILOZ_CHECK(!controllers.empty());
+  if (config.threads <= 1) {
+    return RunShardedFused(
+        count,
+        [&](auto&& emit) {
+          for (uint64_t i = 0; i < count; ++i) {
+            const MemRequest& request = next();
+            SILOZ_DCHECK(request.address.socket < controllers.size());
+            emit(controllers[request.address.socket]->DecodeCmd(request),
+                 request.address.socket);
+          }
+        },
+        controllers, config);
+  }
   const ShardPlan plan(controllers[0]->geometry(), static_cast<uint32_t>(controllers.size()),
                        config.channels_per_shard);
   SILOZ_FAULT_POINT("alloc.shard.partition");
-  std::vector<std::vector<DecodedCmd>> batches(plan.shard_count());
-  for (auto& batch : batches) {
-    // Even split plus slack; skewed streams grow geometrically from here.
-    batch.reserve(count / plan.shard_count() + 16);
-  }
+  DecodeBatch batch(plan.shard_count());
+  batch.Reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     const MemRequest& request = next();
     SILOZ_DCHECK(request.address.socket < controllers.size());
-    const uint32_t shard = plan.ShardOf(request.address.socket, request.address.channel);
-    batches[shard].push_back(controllers[request.address.socket]->DecodeCmd(request));
+    batch.Stage(plan.ShardOf(request.address.socket, request.address.channel),
+                controllers[request.address.socket]->DecodeCmd(request));
   }
-  return sharded_internal::RunOnBatches(plan, std::move(batches), count, controllers, config);
+  batch.Seal();
+  return sharded_internal::RunOnBatches(plan, batch, count, controllers, config);
 }
 
-// Serves a materialized trace (partition + parallel serve + ordered merge).
+// Serves a materialized trace. One worker: fused decode-and-serve, no batch
+// materialization. More: DecodeBatch counting partition + parallel serve +
+// ordered merge. Bit-identical either way.
 Result<ShardedEngineResult> RunShardedClosedLoop(std::span<const MemRequest> requests,
                                                  std::span<MemoryController* const> controllers,
                                                  const ShardedEngineConfig& config);
@@ -262,7 +437,8 @@ Result<ShardedEngineResult> RunShardedFused(uint64_t expected_requests, ForEachC
     const uint32_t socket = plan.SocketOf(shard);
     shard_controllers[shard].emplace(controllers[socket]->geometry(), socket,
                                      controllers[socket]->timings());
-    servers.emplace_back(*shard_controllers[shard], config.engine);
+    servers.emplace_back(*shard_controllers[shard], config.engine, config.bank_groups_per_queue,
+                         plan.FirstChannelOf(shard), plan.ChannelsOf(shard));
   }
   for_each([&](const DecodedCmd& cmd, uint32_t socket) {
     SILOZ_DCHECK(socket < controllers.size());
@@ -273,7 +449,7 @@ Result<ShardedEngineResult> RunShardedFused(uint64_t expected_requests, ForEachC
     shard_results[shard] = servers[shard].result();
   }
   return sharded_internal::MergeShards(plan, shard_controllers, shard_results, controllers,
-                                       expected_requests);
+                                       expected_requests, config.bank_groups_per_queue);
 }
 
 }  // namespace siloz

@@ -67,6 +67,7 @@ Result<ServeOutcome> ServeTrial(const RunnerConfig& config, const WorkloadSpec& 
     ShardedEngineConfig sharded;
     sharded.engine = engine;
     sharded.channels_per_shard = config.channels_per_shard;
+    sharded.bank_groups_per_queue = config.bank_groups_per_queue;
     // Trial-level parallelism already saturates the run's pool; nested shard
     // workers would only oversubscribe. Thread counts never change results.
     sharded.threads = 1;
@@ -240,6 +241,50 @@ bool SamePlatformConfig(const RunnerConfig& a, const RunnerConfig& b) {
          a.platform == b.platform && a.geometry == b.geometry && a.vm == b.vm;
 }
 
+// Deterministic merge of one run's trial outcomes: trial order, lowest-index
+// error wins. Shared by the RunWorkload trial loop and the flattened grid,
+// so a grid point's measurement is byte-identical to a standalone run's
+// (scheduler metrics aside).
+Result<RunMeasurement> MergeTrialOutcomes(std::span<const Result<TrialOutcome>> outcomes) {
+  RunMeasurement measurement;
+  for (const Result<TrialOutcome>& result : outcomes) {
+    SILOZ_RETURN_IF_ERROR(result);
+    const TrialOutcome& outcome = *result;
+    RunningStat elapsed;
+    elapsed.Add(outcome.elapsed_ns);
+    RunningStat bandwidth;
+    bandwidth.Add(outcome.bandwidth_gibs);
+    measurement.elapsed_ns.Merge(elapsed);
+    measurement.bandwidth_gibs.Merge(bandwidth);
+    measurement.row_hit_rate = outcome.row_hit_rate;
+    measurement.flip_phys.insert(measurement.flip_phys.end(), outcome.flip_phys.begin(),
+                                 outcome.flip_phys.end());
+    if (!outcome.shard_requests.empty()) {
+      if (measurement.shard_requests.empty()) {
+        measurement.shard_requests.assign(outcome.shard_requests.size(), 0);
+      }
+      SILOZ_CHECK(measurement.shard_requests.size() == outcome.shard_requests.size());
+      for (size_t shard = 0; shard < outcome.shard_requests.size(); ++shard) {
+        measurement.shard_requests[shard] += outcome.shard_requests[shard];
+      }
+    }
+  }
+  return measurement;
+}
+
+// The per-trial noise streams of one run, forked up front in trial order so
+// they depend only on (seed, variant, trial index) — never on which thread
+// runs the trial or in what order trials finish.
+std::vector<Rng> ForkNoiseStreams(const RunnerConfig& config, const WorkloadSpec& spec) {
+  Rng noise_base(config.seed ^ VariantTag(config, spec));
+  std::vector<Rng> noise_rngs;
+  noise_rngs.reserve(config.trials);
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    noise_rngs.push_back(noise_base.Fork(trial));
+  }
+  return noise_rngs;
+}
+
 }  // namespace
 
 Status ApplyPlatform(RunnerConfig& config, std::string_view platform,
@@ -349,15 +394,7 @@ Result<RunMeasurement> RunWorkloadOn(const RunnerConfig& config, const WorkloadS
   if (!config.trace_out.empty()) {
     obs::Tracer::Global().Enable();
   }
-  // Fork one noise stream per trial up front, in trial order, so the streams
-  // depend only on (seed, variant, trial index) — never on which thread runs
-  // the trial or in what order trials finish.
-  Rng noise_base(config.seed ^ VariantTag(config, spec));
-  std::vector<Rng> noise_rngs;
-  noise_rngs.reserve(config.trials);
-  for (uint32_t trial = 0; trial < config.trials; ++trial) {
-    noise_rngs.push_back(noise_base.Fork(trial));
-  }
+  const std::vector<Rng> noise_rngs = ForkNoiseStreams(config, spec);
 
   // Timing mode boots the platform once (unless the caller shares one);
   // trials read only its immutable state (decoder LUTs, VM region placement)
@@ -393,30 +430,9 @@ Result<RunMeasurement> RunWorkloadOn(const RunnerConfig& config, const WorkloadS
     pool_metrics = pool.metrics();
   }
 
-  // Deterministic merge: trial order, lowest-index error wins.
-  RunMeasurement measurement;
-  for (uint32_t trial = 0; trial < config.trials; ++trial) {
-    SILOZ_RETURN_IF_ERROR(outcomes[trial]);
-    const TrialOutcome& outcome = *outcomes[trial];
-    RunningStat elapsed;
-    elapsed.Add(outcome.elapsed_ns);
-    RunningStat bandwidth;
-    bandwidth.Add(outcome.bandwidth_gibs);
-    measurement.elapsed_ns.Merge(elapsed);
-    measurement.bandwidth_gibs.Merge(bandwidth);
-    measurement.row_hit_rate = outcome.row_hit_rate;
-    measurement.flip_phys.insert(measurement.flip_phys.end(), outcome.flip_phys.begin(),
-                                 outcome.flip_phys.end());
-    if (!outcome.shard_requests.empty()) {
-      if (measurement.shard_requests.empty()) {
-        measurement.shard_requests.assign(outcome.shard_requests.size(), 0);
-      }
-      SILOZ_CHECK(measurement.shard_requests.size() == outcome.shard_requests.size());
-      for (size_t shard = 0; shard < outcome.shard_requests.size(); ++shard) {
-        measurement.shard_requests[shard] += outcome.shard_requests[shard];
-      }
-    }
-  }
+  Result<RunMeasurement> merged = MergeTrialOutcomes(outcomes);
+  SILOZ_RETURN_IF_ERROR(merged);
+  RunMeasurement measurement = std::move(*merged);
   measurement.pool = timer.Finish(pool_metrics);
   if (!config.metrics_out.empty()) {
     obs::WriteMetricsJson(config.metrics_out);
@@ -472,20 +488,50 @@ Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>
     }
   }
 
+  // Flattened schedule: every (point, trial) pair is one pool task, so grid
+  // cells and their trials share a single work-stealing schedule instead of
+  // nesting a serial trial pool inside each grid task (DESIGN.md §15) — a
+  // figure grid's parallelism is points * trials, not points. Noise streams
+  // fork per point in trial order up front, exactly the forks RunWorkload
+  // draws, so the flattening is invisible in the results. Observability
+  // files are never written per point (that would race and interleave); the
+  // grid's caller writes once after all points complete.
+  struct FlatTask {
+    uint32_t point = 0;
+    uint32_t trial = 0;
+  };
+  std::vector<FlatTask> tasks;
+  std::vector<std::vector<Rng>> point_noise(points.size());
+  std::vector<std::vector<Result<TrialOutcome>>> point_outcomes(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!runs[i].ok()) {
+      continue;  // boot failed; the merge below reports it in point order
+    }
+    const RunnerConfig& config = points[i].config;
+    point_noise[i] = ForkNoiseStreams(config, points[i].workload);
+    point_outcomes[i].assign(config.trials, Result<TrialOutcome>(TrialOutcome{}));
+    for (uint32_t trial = 0; trial < config.trials; ++trial) {
+      tasks.push_back(FlatTask{static_cast<uint32_t>(i), trial});
+    }
+  }
+
   PoolMetrics pool_metrics;
   {
     ThreadPool pool(threads);
     obs::TraceSpan span("grid");
-    ProgressMeter progress("grid", points.size());
-    pool.ParallelFor(0, points.size(), [&](uint64_t i) {
-      if (runs[i].ok()) {
-        GridPoint point = points[i];
-        point.config.threads = 1;  // the grid is the only level of parallelism
-        // Writing observability files per point would race and interleave;
-        // the grid's caller writes once after all points complete.
-        point.config.metrics_out.clear();
-        point.config.trace_out.clear();
-        runs[i] = RunWorkloadOn(point.config, point.workload, point_platform[i]);
+    ProgressMeter progress("grid", tasks.size());
+    pool.ParallelFor(0, tasks.size(), [&](uint64_t t) {
+      const FlatTask task = tasks[t];
+      const GridPoint& point = points[task.point];
+      Result<TrialOutcome>& outcome = point_outcomes[task.point][task.trial];
+      if (point.config.fault_tracking) {
+        outcome = RunFaultTrial(point.config, point.workload, task.trial,
+                                point_noise[task.point][task.trial]);
+      } else {
+        outcome = RunTimingTrial(point.config, point.workload, task.trial,
+                                 point_noise[task.point][task.trial],
+                                 point_platform[task.point]->machine.decoder(),
+                                 *point_platform[task.point]->vm);
       }
       progress.Tick();
     });
@@ -495,11 +541,15 @@ Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>
     *metrics = timer.Finish(pool_metrics);
   }
 
+  // Deterministic merge: point order, trial order within each point; the
+  // lowest-indexed failure wins, as with the nested loops.
   std::vector<RunMeasurement> measurements;
   measurements.reserve(points.size());
-  for (Result<RunMeasurement>& run : runs) {
-    SILOZ_RETURN_IF_ERROR(run);
-    measurements.push_back(std::move(*run));
+  for (size_t i = 0; i < points.size(); ++i) {
+    SILOZ_RETURN_IF_ERROR(runs[i]);
+    Result<RunMeasurement> merged = MergeTrialOutcomes(point_outcomes[i]);
+    SILOZ_RETURN_IF_ERROR(merged);
+    measurements.push_back(std::move(*merged));
   }
   return measurements;
 }

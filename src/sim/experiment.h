@@ -54,6 +54,13 @@ struct RunnerConfig {
   // knob, but never on `threads` (the sharded decomposition is fixed by the
   // geometry, not by the worker count).
   uint32_t channels_per_shard = 1;
+  // Sub-channel decomposition of each shard into per-bank-group command
+  // queues (sharded engine only; DESIGN.md §15). 0 = one completion window
+  // per shard (the PR7 shape). N >= 1 = each block of N bank groups owns an
+  // independent command queue and window under the shard's issue cursor.
+  // Like channels_per_shard this is *model* configuration: completion times
+  // depend on it, invariant censuses and thread counts never do.
+  uint32_t bank_groups_per_queue = 0;
   // Run-to-run system jitter applied multiplicatively to elapsed time
   // (scheduler/interrupt noise a real host exhibits); deterministic in seed.
   double os_noise_frac = 0.0015;
@@ -132,12 +139,16 @@ struct GridPoint {
   WorkloadSpec workload;
 };
 
-// Runs every grid point as one pool task (each point's trial loop forced
-// serial so the grid is the only level of parallelism) and returns the
-// measurements in point order — bit-identical for every thread count.
-// `threads` as in RunnerConfig::threads. On failure returns the error of the
-// lowest-indexed failing point. `metrics`, when non-null, receives the
-// "grid" phase metrics.
+// Runs every (point, trial) pair as one pool task — grid cells and their
+// trials share a single flat work-stealing schedule instead of nesting a
+// serial trial loop inside each grid task — and returns the measurements in
+// point order, merged per point in trial order: bit-identical for every
+// thread count, and identical to running each point through RunWorkload.
+// `threads` as in RunnerConfig::threads. On failure returns the error of
+// the lowest-indexed failing point (lowest failing trial within it).
+// `metrics`, when non-null, receives the "grid" phase metrics — the only
+// scheduler telemetry of a grid run; the per-point RunMeasurement::pool is
+// left empty because no per-point pool exists anymore.
 Result<std::vector<RunMeasurement>> RunWorkloadGrid(const std::vector<GridPoint>& points,
                                                     uint32_t threads = 0,
                                                     PoolPhaseMetrics* metrics = nullptr);

@@ -31,3 +31,16 @@ double MergeShardLatencies(const std::vector<double>& latency_by_shard) {
   }
   return merged_latency;
 }
+
+// The sub-channel queue fold idiom (DESIGN.md §15): a shard's per-bank-group
+// queue windows live in a vector indexed by queue id (the queue route is a
+// pure function of the bank index, so the id order is pinned by
+// construction), and the shard tail folds in ascending queue order — the
+// same pinned-order discipline as the shard merge, one level down.
+double FoldQueueTails(const std::vector<double>& tail_by_queue) {
+  double shard_tail = 0.0;
+  for (size_t queue = 0; queue < tail_by_queue.size(); ++queue) {
+    shard_tail += tail_by_queue[queue];
+  }
+  return shard_tail;
+}

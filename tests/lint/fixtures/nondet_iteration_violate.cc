@@ -27,3 +27,17 @@ double MergeShardLatencies(const std::unordered_map<int, double>& latency_by_sha
   }
   return merged_latency;
 }
+
+// Anti-idiom for the sub-channel queue fold (DESIGN.md §15): a shard's
+// per-bank-group queue tails keyed by queue id in a hash map, folded in
+// hash order. The shard elapsed is the max (associative — but the same
+// hash-order loop invariably grows a latency sum next to it), and the
+// emission leaks queue order into the report. Keep queue state in a vector
+// indexed by queue id instead (see the clean fixture).
+double FoldQueueTails(const std::unordered_map<int, double>& tail_by_queue) {
+  double queue_latency_sum = 0.0;
+  for (const auto& entry : tail_by_queue) {
+    queue_latency_sum += entry.second;
+  }
+  return queue_latency_sum;
+}

@@ -98,8 +98,7 @@ TEST(ObsGoldenTest, AuditRunModelKeySet) {
             "\"audit.probes.domain-closure\":553216,"
             "\"audit.probes.guard-fencing\":32,"
             "\"hv.ept.guard_pages\":23808,"
-            "\"hv.ept.pool_pages\":768,"
-            "\"pool.tasks\":256},"
+            "\"hv.ept.pool_pages\":768},"
             "\"gauges\":{},"
             "\"histograms\":{\"audit.blast_radius.probes_per_shard\":"
             "{\"count\":256,\"sum\":4188160,\"buckets\":[[8192,256]]}}}");

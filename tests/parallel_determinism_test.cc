@@ -132,7 +132,13 @@ TEST(ParallelDeterminismTest, GridMatchesPointwiseSerialRuns) {
     ASSERT_TRUE(grid.ok()) << grid.error().ToString();
     ASSERT_EQ(grid->size(), points.size());
     EXPECT_EQ(metrics.phase, "grid");
-    EXPECT_EQ(metrics.pool.tasks, points.size());
+    // The flattened schedule runs every (point, trial) pair as its own pool
+    // task; every point here carries config.trials == 3 trials.
+    uint64_t expected_tasks = 0;
+    for (const GridPoint& point : points) {
+      expected_tasks += point.config.trials;
+    }
+    EXPECT_EQ(metrics.pool.tasks, expected_tasks);
     for (size_t i = 0; i < points.size(); ++i) {
       ExpectSameMeasurement(expected[i], (*grid)[i]);
     }
@@ -239,7 +245,10 @@ TEST(ParallelDeterminismTest, RunWorkloadModelMetricsIdenticalAcrossThreadCounts
       // instrumented layers, not an empty section.
       EXPECT_NE(metrics.find("memctl.s0.bg0.act"), std::string::npos) << metrics;
       EXPECT_NE(metrics.find("dram."), std::string::npos) << metrics;
-      EXPECT_NE(metrics.find("pool.tasks"), std::string::npos) << metrics;
+      // Scheduler counters (pool.*) live in the sched domain and must not
+      // leak into the model census: whether a pool even exists depends on
+      // the thread budget (the fused sharded path builds none).
+      EXPECT_EQ(metrics.find("pool."), std::string::npos) << metrics;
     } else {
       EXPECT_EQ(metrics, serial_metrics) << "threads=" << threads;
     }

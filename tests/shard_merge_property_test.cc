@@ -40,10 +40,12 @@ EngineConfig TestEngineConfig() {
 // controller, giving each "shard" a distinct, channel-disjoint footprint.
 std::unique_ptr<MemoryController> ServeChannelShard(const DramGeometry& geometry,
                                                     uint32_t channel, uint64_t seed,
-                                                    uint64_t count = 20000) {
+                                                    uint64_t count = 20000,
+                                                    uint32_t bank_groups_per_queue = 0) {
   const SkylakeDecoder decoder(geometry);
   auto controller = std::make_unique<MemoryController>(geometry, 0);
-  ShardServer server(*controller, TestEngineConfig());
+  ShardServer server(*controller, TestEngineConfig(), bank_groups_per_queue, channel,
+                     /*channels=*/1);
   Rng rng(seed);
   const uint64_t lines = geometry.total_bytes() / kCacheLineBytes;
   for (uint64_t i = 0; i < count; ++i) {
@@ -173,6 +175,62 @@ TEST(ShardMergePropertyTest, ChannelShardsHaveDisjointBankGroupCensuses) {
     EXPECT_EQ(target.bank_group_counts()[g].rd, census_a[g].rd + census_b[g].rd);
     EXPECT_EQ(target.bank_group_counts()[g].act, census_a[g].act + census_b[g].act);
   }
+}
+
+TEST(ShardMergePropertyTest, ShardQueueCountAlgebra) {
+  // DESIGN.md §15: queues = ceil(banks / (kBanksPerGroup * bgpq)), with
+  // bgpq == 0 reserved for the legacy single-window shape.
+  const DramGeometry geometry;  // 32 banks per channel by default
+  EXPECT_EQ(ShardQueueCount(geometry, 1, 0), 1u);
+  EXPECT_EQ(ShardQueueCount(geometry, geometry.channels_per_socket, 0), 1u);
+  EXPECT_EQ(ShardQueueCount(geometry, 1, 1), geometry.banks_per_channel() / kBanksPerGroup);
+  for (uint32_t channels : {1u, 2u, 3u, 6u}) {
+    for (uint32_t bgpq : {1u, 2u, 4u, 8u}) {
+      const uint32_t queues = ShardQueueCount(geometry, channels, bgpq);
+      const uint32_t banks = channels * geometry.banks_per_channel();
+      // Ceil division: every bank routes to a queue, and the last queue is
+      // non-empty.
+      EXPECT_GE(queues * kBanksPerGroup * bgpq, banks);
+      EXPECT_LT((queues - 1) * kBanksPerGroup * bgpq, banks);
+    }
+  }
+  // Grouping coarser than the shard degrades to one queue, never zero.
+  EXPECT_EQ(ShardQueueCount(geometry, 1, 1000), 1u);
+}
+
+TEST(ShardMergePropertyTest, BankGroupQueueRegroupingPreservesInvariantCounts) {
+  // Splitting a shard's completion window into per-bank-group queues changes
+  // completion *times* only: ServeDecoded runs once per command in the same
+  // stream order under every regrouping, so the request/hit/miss/ACT/PRE/
+  // read/write censuses are equal across queue shapes (§15). Timing fields
+  // (busy_ns, latency, ref_tail_hits) are deliberately excluded — they are
+  // exactly what the regrouping is allowed to move.
+  const DramGeometry geometry;
+  std::vector<ControllerStats> stats;
+  for (const uint32_t bgpq : {0u, 1u, 2u, 4u}) {
+    stats.push_back(ServeChannelShard(geometry, 1, 77, 20000, bgpq)->stats());
+  }
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].requests, stats[0].requests) << "shape " << i;
+    EXPECT_EQ(stats[i].row_hits, stats[0].row_hits) << "shape " << i;
+    EXPECT_EQ(stats[i].row_misses, stats[0].row_misses) << "shape " << i;
+    EXPECT_EQ(stats[i].activates, stats[0].activates) << "shape " << i;
+    EXPECT_EQ(stats[i].precharges, stats[0].precharges) << "shape " << i;
+    EXPECT_EQ(stats[i].reads, stats[0].reads) << "shape " << i;
+    EXPECT_EQ(stats[i].writes, stats[0].writes) << "shape " << i;
+  }
+}
+
+TEST(ShardMergePropertyTest, SingleQueueShardBitIdenticalToLegacyWindow) {
+  // When bank_groups_per_queue covers the whole shard, the split is one
+  // queue — structurally the legacy single window — so even the timing
+  // fields must match bit-for-bit.
+  const DramGeometry geometry;
+  const uint32_t whole_shard = geometry.banks_per_channel() / kBanksPerGroup;
+  auto legacy = ServeChannelShard(geometry, 0, 5, 20000, 0);
+  auto one_queue = ServeChannelShard(geometry, 0, 5, 20000, whole_shard);
+  EXPECT_TRUE(StatsBitIdentical(legacy->stats(), one_queue->stats()))
+      << "whole-shard queue diverged from the legacy window";
 }
 
 TEST(ShardMergePropertyTest, ResultFoldIsElapsedMaxRequestsSum) {

@@ -19,6 +19,11 @@
 //  3. The two sharded serve paths — batched (RunShardedClosedLoop) and fused
 //     streaming (RunShardedFused) — are bit-identical to each other.
 //
+// Claims 1 and 2 are additionally pinned under the §15 sub-channel
+// decomposition (bank_groups_per_queue >= 1): queue regrouping never
+// reorders ServeDecoded calls, so the invariant counts still match serial,
+// and threads remain a pure scheduler knob with queues enabled.
+//
 // Plus the experiment-level corollaries: RunWorkload report values are
 // bit-identical across thread counts on the sharded path, and fault-mode
 // flip censuses are identical for serial (channels_per_shard = 0) and every
@@ -189,6 +194,95 @@ TEST(ShardedDifferentialTest, ShardInvariantCountsMatchSerialOnAllPlatforms) {
           EXPECT_EQ(lhs[group].wr, rhs[group].wr) << platform.name << " group " << group;
         }
       }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, SubShardedInvariantCountsMatchSerialOnAllPlatforms) {
+  // Claim 1 extended to the §15 sub-channel decomposition: per-bank command
+  // subsequences are a pure function of the channel partition, and bank-group
+  // queues subdivide *within* a shard without reordering ServeDecoded calls —
+  // so for every queue shape the invariant counts and the per-bank-group
+  // census still match the serial reference exactly.
+  for (const Platform& platform : AllPlatforms()) {
+    const std::vector<MemRequest> stream = MakeStream(platform, 0x5B5B);
+    ControllerSet serial(platform.geometry);
+    RunClosedLoop(stream, serial.ptrs, TestEngineConfig());
+
+    for (const uint32_t bgpq : {1u, 2u, 4u}) {
+      ControllerSet sharded(platform.geometry);
+      ShardedEngineConfig config;
+      config.engine = TestEngineConfig();
+      config.channels_per_shard = 2;
+      config.bank_groups_per_queue = bgpq;
+      Result<ShardedEngineResult> result = RunShardedClosedLoop(stream, sharded.ptrs, config);
+      const std::string label = platform.name + " bgpq=" + std::to_string(bgpq);
+      ASSERT_TRUE(result.ok()) << label;
+      EXPECT_EQ(result->requests, stream.size()) << label;
+      // Telemetry reports the §15 queue decomposition per shard.
+      for (const ShardTelemetry& shard : result->shards) {
+        EXPECT_EQ(shard.queues, ShardQueueCount(platform.geometry, shard.channels, bgpq))
+            << label;
+      }
+      for (size_t socket = 0; socket < serial.ptrs.size(); ++socket) {
+        ExpectShardInvariantCountsEqual(serial.ptrs[socket]->stats(),
+                                        sharded.ptrs[socket]->stats(),
+                                        label + " socket" + std::to_string(socket));
+        const auto& lhs = serial.ptrs[socket]->bank_group_counts();
+        const auto& rhs = sharded.ptrs[socket]->bank_group_counts();
+        ASSERT_EQ(lhs.size(), rhs.size()) << label;
+        for (size_t group = 0; group < lhs.size(); ++group) {
+          EXPECT_EQ(lhs[group].act, rhs[group].act) << label << " group " << group;
+          EXPECT_EQ(lhs[group].pre, rhs[group].pre) << label << " group " << group;
+          EXPECT_EQ(lhs[group].rd, rhs[group].rd) << label << " group " << group;
+          EXPECT_EQ(lhs[group].wr, rhs[group].wr) << label << " group " << group;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, BitIdenticalAcrossThreadCountsWithBankGroupQueues) {
+  // Claim 2 with sub-channel queues on: bank_groups_per_queue is a model
+  // knob (it moves completion times), threads stay a scheduler knob — the
+  // results and the model-domain census must be byte-identical whether the
+  // queues are served fused (threads = 1) or batched in parallel.
+  for (const Platform& platform : AllPlatforms()) {
+    const std::vector<MemRequest> stream = MakeStream(platform, 0xBEEF + 15);
+    std::vector<ShardedEngineResult> results;
+    std::vector<std::string> censuses;
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      obs::Registry::Global().Reset();
+      std::string census;
+      ShardedEngineResult run;
+      {
+        ControllerSet controllers(platform.geometry);
+        ShardedEngineConfig config;
+        config.engine = TestEngineConfig();
+        config.channels_per_shard = 2;
+        config.bank_groups_per_queue = 1;
+        config.threads = threads;
+        Result<ShardedEngineResult> result =
+            RunShardedClosedLoop(stream, controllers.ptrs, config);
+        ASSERT_TRUE(result.ok()) << platform.name << " threads=" << threads;
+        run = *result;
+      }  // controllers destroyed: lifetime censuses flushed to the registry
+      census = obs::Registry::Global().SectionJson(obs::Domain::kModel);
+      if (!results.empty()) {
+        const ShardedEngineResult& reference = results.front();
+        const std::string label = platform.name + " bgpq=1 threads=" + std::to_string(threads);
+        EXPECT_EQ(run.elapsed_ns, reference.elapsed_ns) << label;
+        EXPECT_EQ(run.requests, reference.requests) << label;
+        ASSERT_EQ(run.shards.size(), reference.shards.size()) << label;
+        for (size_t shard = 0; shard < run.shards.size(); ++shard) {
+          EXPECT_EQ(run.shards[shard].requests, reference.shards[shard].requests) << label;
+          EXPECT_EQ(run.shards[shard].elapsed_ns, reference.shards[shard].elapsed_ns) << label;
+          EXPECT_EQ(run.shards[shard].queues, reference.shards[shard].queues) << label;
+        }
+        EXPECT_EQ(census, censuses.front()) << label;
+      }
+      results.push_back(run);
+      censuses.push_back(census);
     }
   }
 }

@@ -5,9 +5,11 @@
 // §8), which tests/parallel_determinism_test.cc covers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/base/thread_pool.h"
@@ -27,6 +29,17 @@ TEST(ResolveThreadsTest, ZeroFallsBackToEnvThenHardware) {
   EXPECT_GE(ResolveThreads(0), 1u);
   ::unsetenv("SILOZ_THREADS");
   EXPECT_GE(ResolveThreads(0), 1u);
+}
+
+TEST(ResolveThreadsTest, AutoDetectUsesHardwareConcurrency) {
+  // --threads 0 is the documented auto-detect spelling everywhere a thread
+  // knob is exposed (silozctl, siloz_audit, the figure benches): without an
+  // env override it resolves to the host's hardware concurrency, and a pool
+  // built from 0 gets exactly that many workers.
+  ::unsetenv("SILOZ_THREADS");
+  EXPECT_EQ(ResolveThreads(0), std::max(1u, std::thread::hardware_concurrency()));
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), ResolveThreads(0));
 }
 
 TEST(ThreadPoolTest, SerialPoolRunsTasksInlineInSubmissionOrder) {
