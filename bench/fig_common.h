@@ -31,6 +31,13 @@ inline DramGeometry PlatformHeaderGeometry(const std::string& platform) {
   return info != nullptr ? info->geometry : DramGeometry{};
 }
 
+// Resolves the --threads flag for a figure run, exactly once. The resolved
+// value must be what RunFigure prints, labels telemetry with, AND passes to
+// RunWorkloadGrid — resolving independently at each layer let the banner and
+// the pool's actual worker_count() disagree whenever $SILOZ_THREADS changed
+// between the two reads (fig_threads_test.cc pins reported == actual).
+inline uint32_t FigureThreads(uint32_t flag) { return ResolveThreads(flag); }
+
 // Runs every workload under `baseline` and each variant; prints one
 // overhead table per variant (normalized to baseline) and geometric means.
 // With SILOZ_RESULTS_DIR set, also appends CSV rows per (variant, workload).
@@ -62,11 +69,14 @@ inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantS
   // The resolved worker count, up front on stderr: --threads 0 means
   // auto-detect ($SILOZ_THREADS, else the hardware concurrency), and the
   // figure's wall-clock depends on what that resolves to even though the
-  // stdout tables never do.
+  // stdout tables never do. Resolved ONCE here; the same value is forwarded
+  // to RunWorkloadGrid below, so the banner can never disagree with the
+  // pool's actual worker count.
+  const uint32_t resolved_threads = FigureThreads(threads);
   std::fprintf(stderr,
                "%s: %u worker threads (--threads %u%s), --channels-per-shard %u, "
                "--bank-groups-per-queue %u\n",
-               experiment, ResolveThreads(threads), threads,
+               experiment, resolved_threads, threads,
                threads == 0 ? " = auto" : "", channels_per_shard, bank_groups_per_queue);
 
   // Grid of (variant, workload) points, baseline first, workload-major per
@@ -93,7 +103,8 @@ inline bool RunFigure(const std::vector<WorkloadSpec>& workloads, const VariantS
     }
   }
   PoolPhaseMetrics grid_metrics;
-  Result<std::vector<RunMeasurement>> grid = RunWorkloadGrid(points, threads, &grid_metrics);
+  Result<std::vector<RunMeasurement>> grid =
+      RunWorkloadGrid(points, resolved_threads, &grid_metrics);
   if (!grid.ok()) {
     std::fprintf(stderr, "figure grid failed: %s\n", grid.error().ToString().c_str());
     return false;

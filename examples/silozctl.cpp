@@ -7,6 +7,9 @@
 //   silozctl audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]
 //   silozctl run      [workload] [--platform NAME] [--baseline] [--trials N]
 //                     [--threads N] [--faults]
+//   silozctl fleet    [--policy reject|queue|defrag] [--seed N] [--threads N]
+//                     [--duration S] [--rate R] [--burst A] [--epoch S]
+//                     [--timeout S] [--json]
 //   silozctl groupof  <phys-address> [--platform NAME]
 //
 // --platform selects a registered platform (skylake, cascadelake, zen,
@@ -31,6 +34,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/experiment.h"
+#include "src/sim/fleet.h"
 #include "src/sim/machine.h"
 #include "src/siloz/hypervisor.h"
 #include "src/workload/workloads.h"
@@ -64,6 +68,15 @@ std::string FlagString(int argc, char** argv, const char* flag) {
     }
   }
   return "";
+}
+
+double FlagDouble(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  return fallback;
 }
 
 int CmdTopology(int argc, char** argv) {
@@ -250,6 +263,41 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+int CmdFleet(int argc, char** argv) {
+  // Fleet churn on the 8-socket fleet platform (§7 operational costs).
+  // Model output (stdout) is bit-identical for every --threads N; the
+  // wall-clock latency tails go to stderr so stdout stays comparable.
+  FleetConfig config;
+  const std::string policy = FlagString(argc, argv, "--policy");
+  if (!policy.empty()) {
+    Result<AdmissionPolicy> parsed = ParseAdmissionPolicy(policy);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--policy: %s\n", parsed.error().ToString().c_str());
+      return 1;
+    }
+    config.policy = *parsed;
+  }
+  config.seed = FlagValue(argc, argv, "--seed", config.seed);
+  config.threads = static_cast<uint32_t>(FlagValue(argc, argv, "--threads", 0));
+  config.duration_s = FlagDouble(argc, argv, "--duration", config.duration_s);
+  config.arrivals_per_s = FlagDouble(argc, argv, "--rate", config.arrivals_per_s);
+  config.burst_amplitude = FlagDouble(argc, argv, "--burst", config.burst_amplitude);
+  config.epoch_s = FlagDouble(argc, argv, "--epoch", config.epoch_s);
+  config.queue_timeout_s = FlagDouble(argc, argv, "--timeout", config.queue_timeout_s);
+  Result<FleetReport> report = RunFleetChurn(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", report.error().ToString().c_str());
+    return 1;
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s\n", report->ModelJson().c_str());
+  } else {
+    std::printf("%s", report->ModelText().c_str());
+  }
+  std::fprintf(stderr, "%s", FleetReport::LatencyText().c_str());
+  return report->drained_clean ? 0 : 2;
+}
+
 int CmdGroupOf(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: silozctl groupof <phys-address> [--platform NAME]\n");
@@ -304,6 +352,9 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "run") {
     return CmdRun(argc, argv);
   }
+  if (command == "fleet") {
+    return CmdFleet(argc, argv);
+  }
   if (command == "groupof") {
     return CmdGroupOf(argc, argv);
   }
@@ -319,6 +370,9 @@ int main(int argc, char** argv) {
                  "  attack   [--baseline] [--patterns N] [--seed N]\n"
                  "  run      [workload] [--platform NAME] [--baseline] [--trials N]\n"
                  "           [--threads N] [--faults]\n"
+                 "  fleet    [--policy reject|queue|defrag] [--seed N] [--threads N]\n"
+                 "           [--duration S] [--rate R] [--burst A] [--epoch S]\n"
+                 "           [--timeout S] [--json]\n"
                  "  audit    [--flip-ept] [--stride BYTES] [--threads N] [--json]\n"
                  "  groupof  <phys-address> [--platform NAME]\n"
                  "common: --threads N         worker count (0 = auto: $SILOZ_THREADS,\n"

@@ -21,6 +21,19 @@ void PhysMemory::WriteU64(uint64_t phys, uint64_t value) {
   WritePhys(phys, bytes);
 }
 
+
+void PhysMemory::CopyPhys(uint64_t dst, uint64_t src, uint64_t bytes) {
+  uint8_t buffer[kPage4K];
+  while (bytes > 0) {
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(bytes, kPage4K));
+    ReadPhys(src, std::span<uint8_t>(buffer, chunk));
+    WritePhys(dst, std::span<const uint8_t>(buffer, chunk));
+    src += chunk;
+    dst += chunk;
+    bytes -= chunk;
+  }
+}
+
 std::vector<uint8_t>& FlatPhysMemory::Frame(uint64_t frame_index) {
   std::vector<uint8_t>& frame = frames_[frame_index];
   if (frame.empty()) {
@@ -57,6 +70,29 @@ void FlatPhysMemory::WritePhys(uint64_t phys, std::span<const uint8_t> data) {
     std::memcpy(Frame(frame_index).data() + offset, data.data() + done, chunk);
     done += chunk;
     cursor += chunk;
+  }
+}
+
+
+void FlatPhysMemory::CopyPhys(uint64_t dst, uint64_t src, uint64_t bytes) {
+  // Ragged (non-frame-aligned) spans are rare and small; stream them.
+  if (dst % kPage4K != 0 || src % kPage4K != 0 || bytes % kPage4K != 0) {
+    PhysMemory::CopyPhys(dst, src, bytes);
+    return;
+  }
+  for (uint64_t offset = 0; offset < bytes; offset += kPage4K) {
+    const uint64_t src_frame = (src + offset) / kPage4K;
+    const uint64_t dst_frame = (dst + offset) / kPage4K;
+    auto it = frames_.find(src_frame);
+    if (it == frames_.end()) {
+      // Zero source: the destination must read back zero, but a frame that
+      // was never touched already does — drop any stale destination frame
+      // instead of materializing 4 KiB of zeros.
+      frames_.erase(dst_frame);
+    } else {
+      std::vector<uint8_t> copy = it->second;  // operator[] below may rehash
+      frames_[dst_frame] = std::move(copy);
+    }
   }
 }
 

@@ -23,6 +23,13 @@ class PhysMemory {
   virtual void ReadPhys(uint64_t phys, std::span<uint8_t> out) = 0;
   virtual void WritePhys(uint64_t phys, std::span<const uint8_t> data) = 0;
 
+  // Copies `bytes` from `src` to `dst` (ranges must not overlap). The base
+  // implementation streams 4 KiB chunks through ReadPhys/WritePhys, which is
+  // correct for any backing; sparse stores override it so copying a region
+  // whose frames were never touched stays O(frames actually materialized) —
+  // the property VM migration relies on to move multi-GiB backings cheaply.
+  virtual void CopyPhys(uint64_t dst, uint64_t src, uint64_t bytes);
+
   uint64_t ReadU64(uint64_t phys);
   void WriteU64(uint64_t phys, uint64_t value);
 };
@@ -32,6 +39,10 @@ class FlatPhysMemory final : public PhysMemory {
  public:
   void ReadPhys(uint64_t phys, std::span<uint8_t> out) override;
   void WritePhys(uint64_t phys, std::span<const uint8_t> data) override;
+  // Frame-aligned spans copy (or drop, for zero source frames) whole frames
+  // without materializing untouched memory; ragged edges fall back to the
+  // streaming base implementation.
+  void CopyPhys(uint64_t dst, uint64_t src, uint64_t bytes) override;
 
   // Test helper: flip one bit directly (simulates a Rowhammer hit on a
   // flat-backed configuration).

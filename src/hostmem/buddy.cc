@@ -70,6 +70,9 @@ Result<uint64_t> BuddyAllocator::Allocate(uint32_t order) {
     return MakeError(ErrorCode::kNoMemory,
                      "no free block of order " + std::to_string(order));
   }
+  // Lowest-address block of the smallest sufficient order. free_[have] is
+  // address-ordered, so begin() is the deterministic choice (with the old
+  // unordered free lists this dereferenced hash-table iteration order).
   uint64_t block = *free_[have].begin();
   RemoveFree(block, have);
   // Split down, returning the upper halves to the free lists.
@@ -180,6 +183,20 @@ int32_t BuddyAllocator::LargestFreeOrder() const {
     }
   }
   return -1;
+}
+
+uint64_t BuddyAllocator::LargestFreeRun() const {
+  uint64_t largest = 0;
+  uint64_t run_begin = 0;
+  uint64_t run_end = 0;
+  for (const auto& [start, order] : free_by_addr_) {
+    if (start != run_end || run_end == 0) {
+      largest = std::max(largest, run_end - run_begin);
+      run_begin = start;
+    }
+    run_end = start + OrderBytes(order);
+  }
+  return std::max(largest, run_end - run_begin);
 }
 
 bool BuddyAllocator::IsFree(uint64_t phys) const {

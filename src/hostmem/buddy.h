@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <map>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "src/addr/subarray_group.h"
@@ -71,6 +70,14 @@ class BuddyAllocator {
   // offlined page. O(log n) via the address-ordered free-block mirror.
   bool OverlapsFreeOrOfflined(uint64_t phys, uint32_t order) const;
 
+  // Largest physically-contiguous free extent in bytes, merging adjacent
+  // free blocks across orders (buddy coalescing only merges aligned pairs,
+  // so the largest *run* can exceed the largest free block). Derived from
+  // the address-ordered mirror, so the answer is deterministic. The fleet
+  // simulator reports free_bytes() - LargestFreeRun() as a per-node
+  // fragmentation stat.
+  uint64_t LargestFreeRun() const;
+
  private:
   // Splits blocks until a free block of exactly `order` containing `phys`
   // exists; returns false if `phys` is not inside any free block of order
@@ -85,7 +92,12 @@ class BuddyAllocator {
   void RemoveFree(uint64_t phys, uint32_t order);
 
   // free_[order] holds the start addresses of free blocks of that order.
-  std::vector<std::unordered_set<uint64_t>> free_;
+  // Address-ordered (std::set): Allocate() hands out the lowest-address
+  // block, so allocation placement is a pure function of the call sequence.
+  // These were std::unordered_set once, and Allocate()'s begin() leaked
+  // hash-table iteration order — a libstdc++-version-dependent placement
+  // that broke bit-identical replay of allocation traces.
+  std::vector<std::set<uint64_t>> free_;
   // Address-ordered mirror of every free block (start -> order). Free blocks
   // never overlap, so a start address maps to exactly one order; the mirror
   // gives Free() O(log n) overlap detection.

@@ -1,6 +1,8 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -40,6 +42,31 @@ size_t HistogramBucketIndex(uint64_t value) {
 
 uint64_t HistogramBucketLowerBound(size_t bucket) {
   return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+}
+
+uint64_t HistogramPercentile(const HistogramSnapshot& snapshot, double quantile) {
+  if (snapshot.count == 0) {
+    return 0;
+  }
+  if (quantile < 0.0) {
+    quantile = 0.0;
+  } else if (quantile > 1.0) {
+    quantile = 1.0;
+  }
+  // 1-based rank of the requested sample. ceil() keeps the convention that
+  // p100 of n samples is the n-th and p0 is the 1st; the min/max clamps
+  // absorb floating-point slop at the ends.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(quantile * static_cast<double>(snapshot.count)));
+  rank = std::max<uint64_t>(1, std::min(rank, snapshot.count));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += snapshot.buckets[b];
+    if (seen >= rank) {
+      return HistogramBucketLowerBound(b);
+    }
+  }
+  return HistogramBucketLowerBound(kHistogramBuckets - 1);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {

@@ -103,6 +103,14 @@ struct HistogramSnapshot {
   std::array<uint64_t, kHistogramBuckets> buckets{};
 };
 
+// Percentile estimate from a log2-bucketed snapshot; `quantile` in [0, 1]
+// (clamped). The sample ranked ceil(quantile * count) in sorted order lands
+// in some bucket; the estimate is that bucket's inclusive lower bound —
+// exact for the zero bucket, within 2x elsewhere, which is the resolution a
+// log2 layout affords. Returns 0 for an empty histogram. The fleet
+// tail-latency report extracts p50/p99/p999 through this.
+uint64_t HistogramPercentile(const HistogramSnapshot& snapshot, double quantile);
+
 class Histogram {
  public:
   void Observe(uint64_t value) {

@@ -118,4 +118,61 @@ Result<FaultSweepReport> RunCreateVmFaultSweep(SilozHypervisor& hv, const VmConf
                        " points");
 }
 
+Result<FaultSweepReport> RunMigrateVmFaultSweep(SilozHypervisor& hv, const VmConfig& vm_config,
+                                                uint32_t target_socket, uint64_t max_points) {
+  FaultSweepReport report;
+  FaultInjector& injector = FaultInjector::Global();
+  for (uint64_t k = 1; k <= max_points; ++k) {
+    const ConservationSnapshot empty = CaptureConservation(hv);
+    Result<VmId> created = hv.CreateVm(vm_config);
+    SILOZ_RETURN_IF_ERROR(created);  // the create itself runs unfaulted
+    const ConservationSnapshot placed = CaptureConservation(hv);
+    injector.Arm(k, "alloc.");
+    const Status migrated = hv.MigrateVm(*created, target_socket);
+    const uint64_t fired = injector.faults_fired();
+    injector.Disarm();
+    ++report.points_probed;
+    report.faults_injected += fired;
+    bool past_last_point = false;
+    if (migrated.ok()) {
+      if (fired > 0) {
+        ++report.creates_survived;
+      } else {
+        past_last_point = true;
+      }
+      SILOZ_RETURN_IF_ERROR(hv.AuditVmIsolation(*created));
+    } else {
+      if (fired == 0) {
+        return MakeError(ErrorCode::kFailedPrecondition,
+                         "MigrateVm failed without an injected fault at k=" +
+                             std::to_string(k) + ": " + migrated.error().ToString());
+      }
+      ++report.creates_failed;
+      // The VM must be exactly where it was: still placed on the source
+      // socket, target-side reservations fully unwound.
+      const std::string diff = DiffConservation(placed, CaptureConservation(hv));
+      if (!diff.empty()) {
+        return MakeError(ErrorCode::kIntegrityViolation,
+                         "failed MigrateVm leaked state at k=" + std::to_string(k) + " (" +
+                             migrated.error().ToString() + "): " + diff);
+      }
+      SILOZ_RETURN_IF_ERROR(hv.AuditVmIsolation(*created));
+    }
+    SILOZ_RETURN_IF_ERROR(hv.DestroyVm(*created));
+    SILOZ_RETURN_IF_ERROR(hv.ReleaseVmNodes(*created));
+    const std::string diff = DiffConservation(empty, CaptureConservation(hv));
+    if (!diff.empty()) {
+      return MakeError(ErrorCode::kIntegrityViolation,
+                       "create->migrate->destroy->release is not a fixed point at k=" +
+                           std::to_string(k) + ": " + diff);
+    }
+    if (past_last_point) {
+      return report;
+    }
+  }
+  return MakeError(ErrorCode::kOutOfRange,
+                   "migrate fault sweep did not terminate within " +
+                       std::to_string(max_points) + " points");
+}
+
 }  // namespace siloz

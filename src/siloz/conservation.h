@@ -64,6 +64,18 @@ struct FaultSweepReport {
 Result<FaultSweepReport> RunCreateVmFaultSweep(SilozHypervisor& hv, const VmConfig& vm_config,
                                                uint64_t max_points = 100000);
 
+// The same sweep over MigrateVm's error paths: for k = 1, 2, ... create a VM
+// from `vm_config`, arm the k-th "alloc." fault, and migrate it to
+// `target_socket`. A failed migration must leave the hypervisor identical to
+// its post-create snapshot (the VM intact on its source socket); a successful
+// one must pass the isolation audit; and either way the full
+// create -> migrate -> destroy -> release cycle must restore the pre-create
+// snapshot exactly. Stops at the first k whose fault no longer fires. In the
+// returned report, creates_failed / creates_survived tally *migrations*.
+Result<FaultSweepReport> RunMigrateVmFaultSweep(SilozHypervisor& hv, const VmConfig& vm_config,
+                                                uint32_t target_socket,
+                                                uint64_t max_points = 100000);
+
 }  // namespace siloz
 
 #endif  // SILOZ_SRC_SILOZ_CONSERVATION_H_

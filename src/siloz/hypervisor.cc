@@ -49,6 +49,7 @@ SilozHypervisor::~SilozHypervisor() {
   flush("hv.alloc.denied", obs_counts_.alloc_denied);
   flush("hv.vm.created", obs_counts_.vms_created);
   flush("hv.vm.destroyed", obs_counts_.vms_destroyed);
+  flush("hv.vm.migrated", obs_counts_.vms_migrated);
   flush("hv.ept.pool_pages", obs_counts_.ept_pool_pages);
   flush("hv.ept.guard_pages", obs_counts_.ept_guard_pages);
   flush("hv.ept.violations", obs_counts_.ept_violations);
@@ -785,8 +786,248 @@ Status SilozHypervisor::ReleaseVmNodesLocked(VmId id) {
   return Status::Ok();
 }
 
+Status SilozHypervisor::MigrateVm(VmId id, uint32_t target_socket) {
+  obs::TraceSpan span("hv.MigrateVm");
+  MutexLock lock(mu_);
+  return MigrateVmLocked(id, target_socket);
+}
+
+Status SilozHypervisor::MigrateVmLocked(VmId id, uint32_t target_socket) {
+  if (!booted_) {
+    return MakeError(ErrorCode::kFailedPrecondition, "not booted");
+  }
+  if (!config_.enabled) {
+    return MakeError(ErrorCode::kUnsupported,
+                     "baseline kernel has no subarray-group placement to migrate");
+  }
+  auto it = vms_.find(id);
+  if (it == vms_.end() || destroyed_vms_.count(id) != 0) {
+    return MakeError(ErrorCode::kNotFound, "no live VM " + std::to_string(id));
+  }
+  Vm& vm = *it->second;
+  const VmConfig& vm_config = vm.config();
+  if (target_socket >= decoder_.geometry().sockets) {
+    return MakeError(ErrorCode::kOutOfRange, "no such socket");
+  }
+  if (target_socket == vm_config.socket) {
+    return MakeError(ErrorCode::kInvalidArgument,
+                     "VM " + std::to_string(id) + " is already on socket " +
+                         std::to_string(target_socket));
+  }
+  for (const auto& [device_id, device] : devices_) {
+    if (device.vm == id) {
+      return MakeError(ErrorCode::kFailedPrecondition,
+                       "VM has passthrough device " + std::to_string(device_id) +
+                           "; its IOMMU pins the source placement");
+    }
+  }
+  SILOZ_FAULT_POINT("alloc.hv.migrate");
+
+  const uint64_t backing_bytes = OrderBytes(OrderOf(vm_config.backing));
+  const uint64_t unmediated_bytes = vm_config.memory_bytes + vm_config.rom_bytes;
+  const std::string& cgroup_name = vm.cgroup_name();
+
+  // Build the target placement exactly as CreateVmLocked does, but into local
+  // staging: the VM keeps its source placement until every target reservation
+  // has succeeded. Each reservation arms an undo the moment it lands, so any
+  // failure below unwinds the target half and leaves the VM untouched.
+  std::vector<Backing> new_backing;
+  std::vector<VmRegion> new_regions;
+  std::vector<std::pair<uint32_t, uint32_t>> new_nodes;  // node id, first group
+  // Declared before txn: the EPT undo below captures it by reference, and an
+  // uncommitted txn unwinds in its destructor — which runs before the
+  // destructor of anything declared after it.
+  std::vector<uint64_t> old_ept_pages;
+  ReservationTransaction txn;
+  auto log_backing = [&](const Backing& run) {
+    new_backing.push_back(run);
+    txn.OnRollback([this, run] {
+      mu_.AssertHeld();  // txn unwinds inside MigrateVmLocked
+      Backing remaining = run;
+      SILOZ_CHECK(FreeBackingBlocks(remaining).ok())
+          << "rollback failed to free backing at " << run.phys;
+    });
+  };
+  uint64_t gpa_cursor = 0;
+  // The target regions replay the guest-physical layout CreateVmLocked built:
+  // RAM then ROM across the unmediated runs, MMIO after. Same split logic,
+  // staged into new_regions instead of the live VM.
+  auto add_unmediated_regions = [&](uint64_t hpa, uint64_t bytes) {
+    uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const bool is_ram = gpa_cursor < vm_config.memory_bytes;
+      const uint64_t limit = is_ram ? vm_config.memory_bytes - gpa_cursor : remaining;
+      const uint64_t piece = std::min(remaining, limit);
+      new_regions.push_back(VmRegion{is_ram ? MemoryType::kGuestRam : MemoryType::kGuestRom,
+                                     gpa_cursor, hpa, piece, vm_config.backing});
+      gpa_cursor += piece;
+      hpa += piece;
+      remaining -= piece;
+    }
+  };
+
+  const std::vector<uint32_t> available = AvailableGuestNodesLocked(target_socket);
+  std::vector<uint32_t> selected;
+  uint64_t capacity = 0;
+  for (uint32_t node_id : available) {
+    if (capacity >= unmediated_bytes) {
+      break;
+    }
+    NumaNode& node = *nodes_.Get(node_id).value();
+    selected.push_back(node_id);
+    capacity += AlignDown(node.allocator().free_bytes(), backing_bytes);
+  }
+  if (capacity < unmediated_bytes) {
+    return MakeError(ErrorCode::kNoMemory,
+                     "target socket " + std::to_string(target_socket) + " has only " +
+                         std::to_string(capacity) + " free guest-node bytes of " +
+                         std::to_string(unmediated_bytes) + " needed");
+  }
+  uint64_t remaining = unmediated_bytes;
+  for (uint32_t node_id : selected) {
+    node_owner_[node_id] = cgroup_name;
+    txn.OnRollback([this, node_id] {
+      mu_.AssertHeld();
+      node_owner_.erase(node_id);
+    });
+    NumaNode& node = *nodes_.Get(node_id).value();
+    new_nodes.emplace_back(node_id, node.first_group());
+    const uint64_t chunk =
+        std::min(remaining, AlignDown(node.allocator().free_bytes(), backing_bytes));
+    if (chunk == 0) {
+      continue;
+    }
+    Result<std::vector<PhysRange>> runs = AllocateRuns(node, chunk, OrderOf(vm_config.backing));
+    SILOZ_RETURN_IF_ERROR(runs);
+    for (const PhysRange& run : *runs) {
+      log_backing(Backing{node_id, run.begin, run.size(), OrderOf(vm_config.backing)});
+      add_unmediated_regions(run.begin, run.size());
+    }
+    remaining -= chunk;
+  }
+  SILOZ_CHECK_EQ(remaining, 0u);
+
+  if (vm_config.mmio_bytes > 0) {
+    NumaNode& host = *nodes_.Get(host_node_by_socket_[target_socket]).value();
+    const uint64_t mmio_bytes = AlignUp(vm_config.mmio_bytes, kPage4K);
+    Result<uint64_t> mmio = AllocateContiguous(host, mmio_bytes, kOrder4K);
+    SILOZ_RETURN_IF_ERROR(mmio);
+    log_backing(Backing{host.id(), *mmio, mmio_bytes, kOrder4K});
+    new_regions.push_back(
+        VmRegion{MemoryType::kMmio, gpa_cursor, *mmio, mmio_bytes, PageSize::k4K});
+  }
+
+  // --- New EPT from the *target* socket's protected pool ---
+  // The EPT object keeps its page allocator for life, so the vector the
+  // allocator fills must outlive this function: stash the source pages in a
+  // local and reuse the VM's stable map node for the target pages — the same
+  // lifetime contract CreateVmLocked relies on. The undo returns the drawn
+  // target pages and restores the source set.
+  auto pages_it = vm_ept_pages_.find(id);
+  SILOZ_CHECK(pages_it != vm_ept_pages_.end());
+  old_ept_pages = std::move(pages_it->second);
+  pages_it->second.clear();
+  txn.OnRollback([this, id, target_socket, &old_ept_pages] {
+    mu_.AssertHeld();  // txn unwinds inside MigrateVmLocked
+    auto entry = vm_ept_pages_.find(id);
+    SILOZ_CHECK(entry != vm_ept_pages_.end());
+    while (!entry->second.empty()) {
+      SILOZ_CHECK(ReturnEptPage(target_socket, entry->second.back()).ok())
+          << "rollback failed to return EPT page";
+      entry->second.pop_back();
+    }
+    entry->second = std::move(old_ept_pages);
+  });
+  Result<std::unique_ptr<ExtendedPageTable>> new_ept = ExtendedPageTable::Create(
+      memory_, MakeEptAllocator(target_socket, &pages_it->second),
+      /*secure=*/config_.ept_protection == EptProtection::kSecureEpt);
+  SILOZ_RETURN_IF_ERROR(new_ept);
+  for (const VmRegion& region : new_regions) {
+    if (!IsUnmediated(region.type)) {
+      continue;
+    }
+    const uint64_t step = OrderBytes(OrderOf(region.page_size));
+    for (uint64_t offset = 0; offset < region.bytes; offset += step) {
+      SILOZ_RETURN_IF_ERROR(
+          (*new_ept)->Map(region.gpa + offset, region.hpa + offset, region.page_size));
+    }
+  }
+
+  // --- Copy the guest image, matched by guest-physical address ---
+  // Both region lists are GPA-ascending over the same span by construction
+  // (the cursor above replays creation), so a single forward walk pairs them.
+  // Infallible, and writes only into the still-uncommitted target backing, so
+  // it runs last before the commit point.
+  {
+    size_t ni = 0;
+    for (const VmRegion& old_region : vm.regions()) {
+      uint64_t gpa = old_region.gpa;
+      const uint64_t end = old_region.gpa + old_region.bytes;
+      while (gpa < end) {
+        while (ni < new_regions.size() &&
+               new_regions[ni].gpa + new_regions[ni].bytes <= gpa) {
+          ++ni;
+        }
+        SILOZ_CHECK_LT(ni, new_regions.size());
+        const VmRegion& target = new_regions[ni];
+        SILOZ_CHECK_LE(target.gpa, gpa);
+        const uint64_t chunk = std::min(end, target.gpa + target.bytes) - gpa;
+        memory_.CopyPhys(target.hpa + (gpa - target.gpa),
+                         old_region.hpa + (gpa - old_region.gpa), chunk);
+        gpa += chunk;
+      }
+    }
+  }
+
+  // --- Commit: target fully reserved and populated; flip the placement ---
+  txn.Commit();
+  const uint32_t source_socket = vm_config.socket;
+  // Source-side frees cannot fail short of bookkeeping corruption, so they
+  // are invariant-CHECKed like rollback frees (the conservation sweeps arm
+  // "alloc." points only; there is no partial-commit state to resume from).
+  auto backing_it = vm_backing_.find(id);
+  SILOZ_CHECK(backing_it != vm_backing_.end());
+  for (Backing& run : backing_it->second) {
+    SILOZ_CHECK(FreeBackingBlocks(run).ok()) << "migration failed to free source backing";
+  }
+  backing_it->second = std::move(new_backing);
+  while (!old_ept_pages.empty()) {
+    SILOZ_CHECK(ReturnEptPage(source_socket, old_ept_pages.back()).ok())
+        << "migration failed to return source EPT page";
+    old_ept_pages.pop_back();
+  }
+  for (uint32_t node : vm.guest_nodes()) {
+    node_owner_.erase(node);
+  }
+  vm.ResetPlacement(target_socket);
+  std::set<uint32_t> mems;
+  for (const auto& [node_id, first_group] : new_nodes) {
+    vm.AddGuestNode(node_id, first_group);
+    mems.insert(node_id);
+  }
+  for (const VmRegion& region : new_regions) {
+    vm.AddRegion(region);
+  }
+  vm.SetEpt(std::move(*new_ept));
+  Result<ControlGroup*> cgroup = cgroups_.Get(cgroup_name);
+  SILOZ_CHECK(cgroup.ok()) << "VM cgroup vanished mid-migration";
+  (*cgroup)->SetMemsAllowed(mems);
+  ++obs_counts_.vms_migrated;
+
+  // The committed placement must still prove isolation on the target groups
+  // before the caller trusts it.
+  SILOZ_RETURN_IF_ERROR(AuditVmIsolationLocked(id));
+  SILOZ_LOG(kInfo) << "migrated VM " << vm.config().name << " (" << id << ") socket "
+                   << source_socket << " -> " << target_socket;
+  return Status::Ok();
+}
+
 Status SilozHypervisor::AuditVmIsolation(VmId id) const {
   MutexLock lock(mu_);
+  return AuditVmIsolationLocked(id);
+}
+
+Status SilozHypervisor::AuditVmIsolationLocked(VmId id) const {
   auto it = vms_.find(id);
   if (it == vms_.end()) {
     return MakeError(ErrorCode::kNotFound, "no VM " + std::to_string(id));

@@ -72,6 +72,18 @@ class SilozHypervisor {
   // available pool. Privileged operation.
   Status ReleaseVmNodes(VmId id);
 
+  // Moves a live VM to `target_socket` (§7: the defragmentation remedy for
+  // stranded capacity under churn): reserves whole subarray groups there,
+  // copies the guest image GPA-for-GPA, rebuilds the EPT from the target
+  // socket's protected pool, and retargets the VM's control group. All
+  // target-side reservations are transactional — any failure (target
+  // exhausted, EPT pool empty, an armed fault point) rolls back and leaves
+  // the VM untouched on its source socket. Siloz mode only (the baseline has
+  // no subarray-group placement to move); VMs with passthrough devices must
+  // drop them first, since their IOMMU tables pin the source placement.
+  // The committed placement is re-audited before returning.
+  Status MigrateVm(VmId id, uint32_t target_socket);
+
   Result<Vm*> GetVm(VmId id);
 
   // --- Passthrough IO (§5.1) ---
@@ -186,6 +198,8 @@ class SilozHypervisor {
   // Lock-requiring bodies of the public lifecycle/device entry points, for
   // callers that already hold mu_ (HostShutdown, the device plane).
   Result<VmId> CreateVmLocked(const VmConfig& vm_config) REQUIRES(mu_);
+  Status MigrateVmLocked(VmId id, uint32_t target_socket) REQUIRES(mu_);
+  Status AuditVmIsolationLocked(VmId id) const REQUIRES(mu_);
   Status DestroyVmLocked(VmId id) REQUIRES(mu_);
   Status ReleaseVmNodesLocked(VmId id) REQUIRES(mu_);
   Result<Vm*> GetVmLocked(VmId id) REQUIRES(mu_);
@@ -246,6 +260,7 @@ class SilozHypervisor {
     uint64_t alloc_denied = 0;     // kPermissionDenied by allocation policy
     uint64_t vms_created = 0;
     uint64_t vms_destroyed = 0;
+    uint64_t vms_migrated = 0;
     uint64_t ept_pool_pages = 0;   // pages seeded into per-socket EPT pools
     uint64_t ept_guard_pages = 0;  // guard-row pages offlined around them
     uint64_t ept_violations = 0;   // kIntegrityViolation detections

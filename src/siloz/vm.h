@@ -55,6 +55,16 @@ class Vm {
   void AddRegion(VmRegion region) { regions_.push_back(region); }
   void SetEpt(std::unique_ptr<ExtendedPageTable> ept) { ept_ = std::move(ept); }
 
+  // Migration commit: drop the source placement (nodes, groups, regions; the
+  // EPT is replaced separately via SetEpt) and move the VM to `socket`. The
+  // rest of the config — name, sizes, backing page size — is unchanged.
+  void ResetPlacement(uint32_t socket) {
+    config_.socket = socket;
+    guest_nodes_.clear();
+    guest_groups_.clear();
+    regions_.clear();
+  }
+
  private:
   VmId id_;
   VmConfig config_;

@@ -1,6 +1,7 @@
 #include "src/sim/report.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -162,6 +163,18 @@ Status CsvReporter::Append(const std::vector<std::string>& columns,
 }
 
 std::string CsvNumber(double value) {
+  // Doubles hold every integer exactly up to 2^53, so an integral value in
+  // that range must round-trip digit for digit. Rounding it to 6 significant
+  // digits turned large byte counts and request totals into scientific
+  // notation ("1.23457e+07"), corrupting the very columns CSV consumers
+  // parse as integers.
+  constexpr double kExactIntegerLimit = 9007199254740992.0;  // 2^53
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < kExactIntegerLimit) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
   std::ostringstream out;
   out.precision(6);
   out << value;

@@ -159,6 +159,57 @@ TEST(BuddyTest, SplitAndCoalesceStress) {
   EXPECT_EQ(buddy.LargestFreeOrder(), 13);  // fully coalesced to 32 MiB
 }
 
+TEST(BuddyTest, AllocationOrderIsDeterministicLowestAddressFirst) {
+  // Regression: the per-order free lists were unordered_sets, so the block
+  // Allocate handed out depended on the hash order of whatever addresses had
+  // been freed — identical call sequences placed VMs differently run to run.
+  // With ordered free lists, Allocate always returns the lowest-addressed
+  // block of the smallest sufficient order.
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  for (uint64_t expected : {0 * 2_MiB, 1 * 2_MiB, 2 * 2_MiB, 3 * 2_MiB}) {
+    Result<uint64_t> block = buddy.Allocate(kOrder2M);
+    ASSERT_TRUE(block.ok());
+    EXPECT_EQ(*block, expected);
+  }
+  // Free three of the four in scrambled order; the block at 2 MiB stays
+  // allocated so the frees cannot coalesce past it.
+  ASSERT_TRUE(buddy.Free(4_MiB, kOrder2M).ok());
+  ASSERT_TRUE(buddy.Free(0, kOrder2M).ok());
+  ASSERT_TRUE(buddy.Free(6_MiB, kOrder2M).ok());  // coalesces into [4 MiB, 8 MiB)
+  // Refills come back lowest-address-first regardless of free order: the
+  // exact-order block at 0 first, then the coalesced 4 MiB block is split.
+  Result<uint64_t> first = buddy.Allocate(kOrder2M);
+  Result<uint64_t> second = buddy.Allocate(kOrder2M);
+  Result<uint64_t> third = buddy.Allocate(kOrder2M);
+  ASSERT_TRUE(first.ok() && second.ok() && third.ok());
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(*second, 4_MiB);
+  EXPECT_EQ(*third, 6_MiB);
+}
+
+TEST(BuddyTest, LargestFreeRunMergesAdjacentBlocksAcrossOrders) {
+  BuddyAllocator buddy({PhysRange{0, 64_MiB}});
+  EXPECT_EQ(buddy.LargestFreeRun(), 64_MiB);
+  // Pin one 2 MiB block at 6 MiB: free space is [0, 6M) and [8M, 64M). The
+  // 56 MiB run spans free blocks of several different orders (8M..16M,
+  // 16M..32M, 32M..64M) even though the largest single block is 32 MiB —
+  // free_bytes() - LargestFreeRun() is the fragmentation the fleet reports.
+  ASSERT_TRUE(buddy.AllocateAt(6_MiB, kOrder2M).ok());
+  EXPECT_EQ(buddy.free_bytes(), 62_MiB);
+  EXPECT_EQ(buddy.LargestFreeRun(), 56_MiB);
+  ASSERT_TRUE(buddy.Free(6_MiB, kOrder2M).ok());
+  EXPECT_EQ(buddy.LargestFreeRun(), 64_MiB);
+  // A fully allocated pool has no run at all.
+  ASSERT_TRUE(buddy.Allocate(14).ok());  // one 64 MiB block
+  EXPECT_EQ(buddy.LargestFreeRun(), 0u);
+}
+
+TEST(BuddyTest, LargestFreeRunStopsAtRangeGaps) {
+  BuddyAllocator buddy({PhysRange{0, 4_MiB}, PhysRange{8_MiB, 24_MiB}});
+  EXPECT_EQ(buddy.free_bytes(), 20_MiB);
+  EXPECT_EQ(buddy.LargestFreeRun(), 16_MiB);  // [8M, 24M); the gap breaks the run
+}
+
 // --- NumaNode / NodeRegistry ---
 
 TEST(NumaTest, NodeProperties) {

@@ -156,15 +156,40 @@ TEST(IntegrationTest, UnprotectedEptRowsFlipOnBaseline) {
   ASSERT_TRUE(vm.ok());
   Vm& tenant = **hypervisor.GetVm(*vm);
 
-  // Hammer the rows adjacent to a leaf EPT table page.
-  const uint64_t ept_page = tenant.ept()->table_pages().back();
-  const MediaAddress ept_media = *machine.decoder().PhysToMedia(ept_page);
-  MediaAddress below = ept_media;
-  below.row = ept_media.row - 1;
-  MediaAddress over = ept_media;
-  over.row = ept_media.row + 1;
-  const uint64_t aggressors[] = {*machine.decoder().MediaToPhys(below),
-                                 *machine.decoder().MediaToPhys(over)};
+  // Hammer the rows adjacent to a leaf EPT table page. Unprotected table
+  // pages land wherever the buddy allocator's (deterministic,
+  // lowest-address-first) order puts them, which can be a bank's edge row —
+  // prefer a page with both neighbor rows in range. The open-page controller
+  // only re-ACTs on a row conflict, so the attack always needs at least two
+  // same-bank aggressor rows; a page on the edge row gets the two rows on
+  // its open side instead of a double-sided pair.
+  const uint32_t last_row = machine.decoder().geometry().rows_per_bank - 1;
+  const std::vector<uint64_t>& table_pages = tenant.ept()->table_pages();
+  uint64_t ept_page = table_pages.back();
+  MediaAddress ept_media = *machine.decoder().PhysToMedia(ept_page);
+  for (uint64_t candidate : table_pages) {
+    const MediaAddress media = *machine.decoder().PhysToMedia(candidate);
+    if (media.row > 0 && media.row < last_row) {
+      ept_page = candidate;
+      ept_media = media;
+      break;
+    }
+  }
+  std::vector<uint64_t> aggressors;
+  auto add_aggressor = [&](int64_t row) {
+    if (row < 0 || row > static_cast<int64_t>(last_row)) {
+      return;
+    }
+    MediaAddress neighbor = ept_media;
+    neighbor.row = static_cast<uint32_t>(row);
+    aggressors.push_back(*machine.decoder().MediaToPhys(neighbor));
+  };
+  add_aggressor(static_cast<int64_t>(ept_media.row) - 1);
+  add_aggressor(static_cast<int64_t>(ept_media.row) + 1);
+  if (aggressors.size() < 2) {
+    add_aggressor(ept_media.row == 0 ? 2 : static_cast<int64_t>(ept_media.row) - 2);
+  }
+  ASSERT_EQ(aggressors.size(), 2u);
   HammerPhysAddresses(machine, aggressors, 25000);
 
   const std::vector<PhysFlip> flips = machine.DrainFlips();

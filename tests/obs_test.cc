@@ -342,6 +342,46 @@ TEST(HistogramTest, ShardMergeMatchesSerialObservation) {
   }
 }
 
+TEST(HistogramTest, PercentileOfEmptySnapshotIsZero) {
+  const HistogramSnapshot empty{};
+  for (double quantile : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(obs::HistogramPercentile(empty, quantile), 0u) << quantile;
+  }
+}
+
+TEST(HistogramTest, PercentileOfSingleSampleIsItsBucketFloor) {
+  // One sample answers every quantile with its bucket's lower bound.
+  Histogram histogram;
+  histogram.Observe(1000);  // bucket [512, 1024)
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  for (double quantile : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(obs::HistogramPercentile(snapshot, quantile), 512u) << quantile;
+  }
+}
+
+TEST(HistogramTest, PercentileRanksAreCeilBasedAndClamped) {
+  // 100 samples: 50 zeros, 49 fives ([4, 8)), one 1500 ([1024, 2048)).
+  // Rank = ceil(q * count), so p50 is the 50th sample (still a zero), and
+  // only p-quantiles past 0.99 reach the lone tail sample.
+  Histogram histogram;
+  for (int i = 0; i < 50; ++i) {
+    histogram.Observe(0);
+  }
+  for (int i = 0; i < 49; ++i) {
+    histogram.Observe(5);
+  }
+  histogram.Observe(1500);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 0.50), 0u);
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 0.51), 4u);
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 0.99), 4u);
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 0.999), 1024u);  // rank ceil(99.9) = 100
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 1.0), 1024u);
+  // Out-of-range quantiles clamp to the first / last sample.
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, -0.5), 0u);
+  EXPECT_EQ(obs::HistogramPercentile(snapshot, 1.5), 1024u);
+}
+
 // --- Registry ---------------------------------------------------------------
 
 TEST(RegistryTest, HandlesAreStableAcrossReset) {

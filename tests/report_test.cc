@@ -78,6 +78,22 @@ TEST_F(ReportTest, CsvNumberFormatting) {
   EXPECT_EQ(CsvNumber(0.0), "0");
 }
 
+TEST_F(ReportTest, CsvNumberEmitsLargeIntegersExactly) {
+  // Regression: the old 6-significant-digit format turned every integer
+  // column past 1e6 into scientific notation — 12345678 became "1.23457e+07",
+  // corrupting byte counts and request totals for CSV consumers.
+  EXPECT_EQ(CsvNumber(12345678.0), "12345678");
+  EXPECT_EQ(CsvNumber(1000001.0), "1000001");
+  EXPECT_EQ(CsvNumber(-987654321.0), "-987654321");
+  EXPECT_EQ(CsvNumber(68719476736.0), "68719476736");          // a 64 GiB byte count
+  EXPECT_EQ(CsvNumber(9007199254740991.0), "9007199254740991");  // 2^53 - 1
+  // Past 2^53 a double no longer holds every integer, so exactness is
+  // unattainable and the compact form is correct again.
+  EXPECT_EQ(CsvNumber(9007199254740992.0), "9.0072e+15");
+  // Genuinely fractional values keep the 6-significant-digit rounding.
+  EXPECT_EQ(CsvNumber(12345678.5), "1.23457e+07");
+}
+
 // Golden outputs for the pool metrics block: the benches and CLIs print
 // these lines verbatim (to stderr), so the format is part of the interface.
 PoolPhaseMetrics GoldenMetrics() {

@@ -84,9 +84,10 @@ int Usage() {
                "  --threads N                     blast-radius scan workers (0 = auto,\n"
                "                                  1 = serial; findings identical for all N)\n"
                "  --fault-sweep                   instead of the static audit, run the\n"
-               "                                  CreateVm fault-injection sweep: fail each\n"
-               "                                  allocation point once and verify the\n"
-               "                                  lifecycle conservation invariants\n"
+               "                                  CreateVm and MigrateVm fault-injection\n"
+               "                                  sweeps: fail each allocation point once\n"
+               "                                  and verify the lifecycle conservation\n"
+               "                                  invariants (migration needs >= 2 sockets)\n"
                "  --json                          machine-readable report\n"
                "  --metrics-out FILE              write the metrics registry as JSON (model\n"
                "                                  values identical for every --threads)\n"
@@ -220,6 +221,28 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sweep->faults_injected),
         static_cast<unsigned long long>(sweep->creates_failed),
         static_cast<unsigned long long>(sweep->creates_survived));
+    // The same treatment for MigrateVm: fail each allocation point of the
+    // cross-socket move and verify the VM stays intact on its source (or,
+    // when the fault is tolerated, passes the isolation audit on its
+    // target). Needs a second socket to migrate to.
+    if (geometry.sockets < 2) {
+      std::printf("migrate sweep SKIPPED: platform has %u socket(s)\n", geometry.sockets);
+      return 0;
+    }
+    Result<FaultSweepReport> migrate_sweep =
+        RunMigrateVmFaultSweep(hypervisor, vm, /*target_socket=*/1);
+    if (!migrate_sweep.ok()) {
+      std::fprintf(stderr, "migrate sweep FAILED: %s\n",
+                   migrate_sweep.error().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "migrate sweep PASS: %llu points probed, %llu faults injected "
+        "(%llu failed the migration, %llu tolerated); all error paths conserved\n",
+        static_cast<unsigned long long>(migrate_sweep->points_probed),
+        static_cast<unsigned long long>(migrate_sweep->faults_injected),
+        static_cast<unsigned long long>(migrate_sweep->creates_failed),
+        static_cast<unsigned long long>(migrate_sweep->creates_survived));
     return 0;
   }
 
